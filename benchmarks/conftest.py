@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration and shared reporting helpers.
+
+Every bench regenerates one paper artifact (figure/claim) and prints the
+same rows/series the paper reports, so `pytest benchmarks/
+--benchmark-only -s` reproduces the evaluation narrative end to end.
+"""
+
+import sys
+
+sys.setrecursionlimit(100_000)  # see tests/conftest.py
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Uniform fixed-width table output for bench reports."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print()
+    print(title)
+    print("-" * len(title))
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,178 @@
+"""ATTR — attribute space characterization (Sections 2.1, 3.2).
+
+Latency/throughput of the put/get primitives in the three access
+configurations a TDP daemon sees — its local LASS, the central CASS, and
+a proxied CASS across the firewall — plus the value-size sweep and the
+blocking-get ablation (server-side wait vs client-side polling).
+"""
+
+import threading
+
+import pytest
+from conftest import print_table
+
+from repro.attrspace.client import AttributeSpaceClient
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.errors import NoSuchAttributeError
+from repro.sim.cluster import SimCluster
+from repro.transport.proxy import ProxyServer, connect_via_proxy
+
+
+@pytest.fixture
+def world():
+    cluster = SimCluster.with_private_nodes(
+        submit_hosts=["submit", "gateway"],
+        node_hosts=["node1"],
+        gateway_pinholes=[("gateway", 9000)],
+    ).start()
+    lass = AttributeSpaceServer(cluster.transport, "node1", role=ServerRole.LASS)
+    cass = AttributeSpaceServer(cluster.transport, "submit", role=ServerRole.CASS)
+    proxy = ProxyServer(cluster.transport, "gateway", 9000)
+    yield cluster, lass, cass, proxy
+    proxy.stop()
+    lass.stop()
+    cass.stop()
+    cluster.stop()
+
+
+def _client_for(world, path: str) -> AttributeSpaceClient:
+    cluster, lass, cass, proxy = world
+    if path == "local-lass":
+        chan = cluster.transport.connect("node1", lass.endpoint)
+    elif path == "central-cass":
+        chan = cluster.transport.connect("submit", cass.endpoint)
+    else:  # proxied-cass: daemon inside the private zone reaches the CASS
+        chan = connect_via_proxy(
+            cluster.transport, "node1", proxy.endpoint, cass.endpoint
+        )
+    return AttributeSpaceClient(chan, member=f"bench-{path}")
+
+
+@pytest.mark.parametrize("path", ["local-lass", "central-cass", "proxied-cass"])
+def test_put_get_latency_by_path(world, benchmark, path):
+    client = _client_for(world, path)
+    n = [0]
+
+    def op():
+        n[0] += 1
+        key = f"k{n[0] % 32}"
+        client.put(key, "v")
+        return client.get(key, timeout=5.0)
+
+    assert benchmark(op) == "v"
+    benchmark.extra_info["path"] = path
+    client.close()
+
+
+@pytest.mark.parametrize("size", [16, 256, 4096, 65536])
+def test_value_size_sweep(world, benchmark, size):
+    client = _client_for(world, "local-lass")
+    value = "x" * size
+
+    def op():
+        client.put("blob", value)
+        return len(client.get("blob", timeout=5.0))
+
+    assert benchmark(op) == size
+    benchmark.extra_info["value_bytes"] = size
+    client.close()
+
+
+def test_blocking_get_wakeup_latency(world, benchmark):
+    """The pilot handshake cost: how long between a put and the wake-up
+    of a blocked getter."""
+    cluster, lass, _cass, _proxy = world
+    getter = _client_for(world, "local-lass")
+    putter = _client_for(world, "local-lass")
+    n = [0]
+
+    def handshake():
+        n[0] += 1
+        key = f"hs{n[0]}"
+        result = {}
+
+        def blocked_get():
+            result["v"] = getter.get(key, timeout=10.0)
+
+        t = threading.Thread(target=blocked_get)
+        t.start()
+        # Wait until the waiter is parked server-side (not just racing).
+        import time
+
+        while lass.store.pending_waiter_count() == 0:
+            time.sleep(0.0002)
+        putter.put(key, "now")
+        t.join(timeout=10.0)
+        return result["v"]
+
+    assert benchmark.pedantic(handshake, rounds=50, iterations=1) == "now"
+    getter.close()
+    putter.close()
+
+
+def test_ablation_blocking_vs_polling(world, benchmark):
+    """Design ablation: server-side blocking get vs client polling.
+
+    The paper's blocking tdp_get parks a waiter at the server; the
+    alternative (poll try_get in a loop) costs a full RPC per poll.  We
+    compare RPCs consumed until a late-arriving value is observed.
+    """
+    cluster, lass, _cass, _proxy = world
+    client = _client_for(world, "local-lass")
+    import time
+
+    # Blocking path: exactly 1 get request, served when the put arrives.
+    gets_before = lass.stats["gets"].value
+    result = {}
+    t = threading.Thread(target=lambda: result.__setitem__("v", client.get("late1", timeout=10.0)))
+    t.start()
+    time.sleep(0.05)
+    client.put("late1", "v")
+    t.join(timeout=10.0)
+    blocking_rpcs = lass.stats["gets"].value - gets_before
+
+    # Polling path: try_get every 5 ms until present (~10 polls).
+    gets_before = lass.stats["gets"].value
+    timer = threading.Timer(0.05, lambda: client.put("late2", "v"))
+    timer.start()
+    polls = 0
+    while True:
+        polls += 1
+        try:
+            client.try_get("late2")
+            break
+        except NoSuchAttributeError:
+            time.sleep(0.005)
+    polling_rpcs = lass.stats["gets"].value - gets_before
+
+    print_table(
+        "Ablation: blocking get vs client polling (50 ms late value)",
+        ["strategy", "get RPCs to server", "notes"],
+        [
+            ["blocking tdp_get", blocking_rpcs, "waiter parked server-side"],
+            ["poll try_get @5ms", polling_rpcs, f"{polls} polls issued"],
+        ],
+    )
+    assert blocking_rpcs == 1
+    assert polling_rpcs > blocking_rpcs
+    benchmark(lambda: client.try_get("late1"))
+    client.close()
+
+
+def test_notification_fanout_throughput(world, benchmark):
+    """Cost of one put as subscriber count grows (async notification)."""
+    client = _client_for(world, "local-lass")
+    subscribers = []
+    for i in range(20):
+        sub = _client_for(world, "local-lass")
+        sub.subscribe("fan.*", lambda n, a: None, None)
+        subscribers.append(sub)
+
+    def put():
+        client.put("fan.out", "v")
+
+    benchmark(put)
+    benchmark.extra_info["subscribers"] = len(subscribers)
+    for sub in subscribers:
+        sub.close()
+    client.close()

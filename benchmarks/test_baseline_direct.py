@@ -1,0 +1,63 @@
+"""BASE — TDP-mediated monitoring vs the hard-wired baseline.
+
+Same workload, same measurements, two integrations: the full Parador
+path (Condor + TDP + Paradyn, across daemons and the attribute space)
+versus the fused direct integration (tool and job manager in one object,
+as in point solutions like Totalview-under-MPICH).  The functional
+result must match; the run-time overhead of the standard interface is
+what we report.
+"""
+
+from conftest import print_table
+
+from repro.baselines.direct import run_direct_monitored_job
+from repro.paradyn.metrics import Metric
+from repro.parador.run import run_monitored_job
+from repro.util.clock import Stopwatch
+
+
+WORKLOAD = ("foo", ["5", "0.1"])
+
+
+def test_direct_baseline(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_direct_monitored_job(WORKLOAD[0], WORKLOAD[1]),
+        rounds=5, iterations=1,
+    )
+    assert result.exit_code == 0
+    assert result.bottleneck_fraction is not None
+    benchmark.extra_info["integration"] = "hard-wired"
+
+
+def test_tdp_parador_path(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_monitored_job(WORKLOAD[0], " ".join(WORKLOAD[1])),
+        rounds=3, iterations=1,
+    )
+    assert run.job.exit_code == 0
+    benchmark.extra_info["integration"] = "tdp"
+
+
+def test_functional_parity_and_overhead(benchmark):
+    with Stopwatch() as direct_sw:
+        direct = run_direct_monitored_job(WORKLOAD[0], WORKLOAD[1])
+    with Stopwatch() as tdp_sw:
+        tdp = run_monitored_job(WORKLOAD[0], " ".join(WORKLOAD[1]))
+    tdp_cpu = tdp.session.latest(Metric.PROC_CPU.value)
+
+    print_table(
+        "TDP vs hard-wired integration (same workload)",
+        ["metric", "direct", "TDP (Parador)"],
+        [
+            ["exit code", direct.exit_code, tdp.job.exit_code],
+            ["observed app CPU (virtual s)",
+             f"{direct.proc_cpu:.4f}", f"{tdp_cpu:.4f}"],
+            ["wall time (s)", f"{direct_sw.seconds:.3f}", f"{tdp_sw.seconds:.3f}"],
+            ["reusable across RMs/tools?", "no (1 pair)", "yes (m + n)"],
+        ],
+    )
+    # Functional parity: identical exit code and CPU observation.
+    assert direct.exit_code == tdp.job.exit_code == 0
+    assert tdp_cpu is not None
+    assert abs(tdp_cpu - direct.proc_cpu) / direct.proc_cpu < 0.05
+    benchmark(lambda: tdp.session.latest(Metric.PROC_CPU.value))

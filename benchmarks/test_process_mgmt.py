@@ -1,0 +1,154 @@
+"""PROC — process management characterization (Sections 2.2, 3.1).
+
+Create-run vs create-paused vs attach cost on the simulated backend;
+the tool-request indirection cost (control via the RM vs direct RM
+call); and the same create-paused handshake on REAL processes (POSIX
+backend) where the platform allows.
+"""
+
+import os
+import sys
+
+import pytest
+from conftest import print_table
+
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.sim.cluster import SimCluster
+from repro.tdp.api import (
+    tdp_attach,
+    tdp_continue_process,
+    tdp_create_process,
+    tdp_init,
+    tdp_kill,
+    tdp_pause_process,
+)
+from repro.tdp.handle import Role
+from repro.tdp.process import SimHostBackend
+from repro.tdp.wellknown import CreateMode
+
+
+@pytest.fixture
+def world():
+    cluster = SimCluster.flat(["node1"]).start()
+    lass = AttributeSpaceServer(cluster.transport, "node1", role=ServerRole.LASS)
+    rm = tdp_init(cluster.transport, lass.endpoint, member="rm", role=Role.RM,
+                  backend=SimHostBackend(cluster.host("node1")))
+    rm.control.serve_tool_requests()
+    rm.start_service_loop()
+    rt = tdp_init(cluster.transport, lass.endpoint, member="rt", role=Role.RT,
+                  src_host="node1")
+    yield cluster, lass, rm, rt
+    rm.stop_service_loop()
+    rt.close()
+    rm.close()
+    lass.stop()
+    cluster.stop()
+
+
+def test_create_run(world, benchmark):
+    _cluster, _lass, rm, _rt = world
+
+    def create():
+        info = tdp_create_process(rm, "spin")
+        tdp_kill(rm, info.pid)
+        return info
+
+    info = benchmark(create)
+    assert info.pid > 0
+
+
+def test_create_paused(world, benchmark):
+    _cluster, _lass, rm, _rt = world
+
+    def create_paused():
+        info = tdp_create_process(rm, "spin", mode=CreateMode.PAUSED)
+        tdp_kill(rm, info.pid)
+        return info
+
+    info = benchmark(create_paused)
+    assert info.status == "created"
+
+
+def test_attach_running(world, benchmark):
+    _cluster, _lass, rm, _rt = world
+
+    def attach_cycle():
+        info = tdp_create_process(rm, "spin")
+        rm.control.attach(info.pid, tracer="bench")
+        tdp_kill(rm, info.pid)
+        return info
+
+    benchmark(attach_cycle)
+
+
+def test_pause_continue_cycle(world, benchmark):
+    _cluster, _lass, rm, _rt = world
+    info = tdp_create_process(rm, "spin")
+
+    def cycle():
+        tdp_pause_process(rm, info.pid)
+        tdp_continue_process(rm, info.pid)
+
+    benchmark(cycle)
+    tdp_kill(rm, info.pid)
+
+
+def test_tool_request_indirection_cost(world, benchmark):
+    """Section 2.3's single-owner rule routes tool control through the
+    RM; this measures what that costs vs a direct RM call."""
+    _cluster, _lass, rm, rt = world
+    info = tdp_create_process(rm, "spin")
+
+    def via_tool():
+        tdp_pause_process(rt, info.pid)     # routed through the RM
+        tdp_continue_process(rt, info.pid)
+
+    benchmark(via_tool)
+    benchmark.extra_info["path"] = "tool->RM->backend"
+    tdp_kill(rm, info.pid)
+
+
+@pytest.mark.skipif(
+    not sys.platform.startswith("linux") or not os.path.isdir("/proc"),
+    reason="POSIX backend needs Linux /proc",
+)
+def test_create_paused_real_processes(benchmark):
+    """The same create-paused handshake on genuine OS processes."""
+    from repro.osproc.backend import PosixBackend
+
+    backend = PosixBackend()
+
+    def create_paused_real():
+        info = backend.create("/bin/sh", ["-c", "exit 0"], mode=CreateMode.PAUSED)
+        backend.continue_process(info.pid)
+        return backend.wait_exit(info.pid, timeout=15.0)
+
+    code = benchmark.pedantic(create_paused_real, rounds=10, iterations=1)
+    assert code == 0
+    benchmark.extra_info["backend"] = "posix"
+
+
+def test_report_comparison(world, benchmark):
+    """Narrative table comparing the three launch schemes of Section 2.2."""
+    _cluster, _lass, rm, _rt = world
+    from repro.util.clock import Stopwatch
+
+    rows = []
+    with Stopwatch() as sw:
+        info = tdp_create_process(rm, "spin")
+    rows.append(["1. create+run (Vampir/PCL style)", f"{sw.seconds * 1e6:.0f} us",
+                 "no tool init window"])
+    tdp_kill(rm, info.pid)
+    with Stopwatch() as sw:
+        info = tdp_create_process(rm, "spin", mode=CreateMode.PAUSED)
+    rows.append(["2. create paused (gdb/Paradyn style)", f"{sw.seconds * 1e6:.0f} us",
+                 "tool initializes pre-main"])
+    tdp_kill(rm, info.pid)
+    info = tdp_create_process(rm, "spin")
+    with Stopwatch() as sw:
+        rm.control.attach(info.pid, tracer="bench")
+    rows.append(["3. attach to running", f"{sw.seconds * 1e6:.0f} us",
+                 "stops at unknown point"])
+    tdp_kill(rm, info.pid)
+    print_table("Section 2.2: the three launch schemes", ["scheme", "cost", "property"], rows)
+    benchmark(lambda: rm.control.managed_pids())

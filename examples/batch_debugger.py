@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""A second tool under the same RM: batch debugging with tdb.
+
+The paper's m + n argument, demonstrated: `tdb` is a gdb-like batch
+debugger that was written against TDP only — the Condor substrate runs
+it through the very same submit-file mechanism as paradynd, with zero
+resource-manager changes.  Here it breaks twice at the hot function,
+reports the stack at each stop, and lets the job finish.
+
+Run:  python examples/batch_debugger.py
+"""
+
+import time
+
+from repro.condor.pool import CondorPool
+from repro.condor.tools import ToolRegistry
+from repro.debugger.daemon import register_tdb
+from repro.sim.cluster import SimCluster
+from repro.util.log import TraceRecorder
+
+
+def main() -> None:
+    with SimCluster.flat(["submit", "node1"]) as cluster:
+        registry = register_tdb(ToolRegistry())
+        pool = CondorPool(
+            cluster, submit_host="submit", execute_hosts=["node1"],
+            tool_registry=registry, trace=TraceRecorder(),
+        )
+        try:
+            submit_text = (
+                "universe = Vanilla\n"
+                "executable = foo\n"
+                "arguments = 5 0.1\n"
+                "output = outfile\n"
+                "+SuspendJobAtExec = True\n"
+                '+ToolDaemonCmd = "tdb"\n'
+                '+ToolDaemonArgs = "-bcompute_b -bwrite_output -x2 -a%pid"\n'
+                '+ToolDaemonOutput = "tdb.log"\n'
+                "queue\n"
+            )
+            job = pool.submit_file(submit_text)[0]
+            status = job.wait_terminal(timeout=60.0)
+            print(f"job {job.job_id}: {status.value}, exit code {job.exit_code}")
+
+            fs = cluster.host("node1").filesystem
+            deadline = time.monotonic() + 10.0
+            while "target exited" not in fs.get("tdb.log", "") and (
+                time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            print("\ndebug session log (tdb.log):")
+            for line in fs.get("tdb.log", "").splitlines():
+                print(f"  {line}")
+        finally:
+            pool.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The Condor MPI universe under TDP: one paradynd per rank.
+
+Reproduces the paper's Section 4.3 MPI flow on a 4-machine pool: the
+master rank starts paused and monitored; when it runs and reaches
+MPI_Init, the remaining ranks are created — each paused, each attached
+by its own paradynd before executing a single instruction.
+
+Run:  python examples/mpi_universe.py
+"""
+
+from repro.condor.job import JobStatus
+from repro.paradyn.metrics import Metric
+from repro.parador.run import ParadorScenario
+
+
+def main() -> None:
+    hosts = ["node1", "node2", "node3", "node4"]
+    with ParadorScenario(execute_hosts=hosts) as scenario:
+        submit_text = (
+            "universe = MPI\n"
+            "executable = mpi_pi\n"
+            "arguments = 4000\n"
+            "machine_count = 4\n"
+            "output = outfile\n"
+            "+SuspendJobAtExec = True\n"
+            '+ToolDaemonCmd = "paradynd"\n'
+            f'+ToolDaemonArgs = "-zunix -l3 -m{scenario.submit_host} '
+            f'-p{scenario.port1} -P{scenario.port2} -a%pid"\n'
+            "queue\n"
+        )
+        job = scenario.pool.submit_file(submit_text)[0]
+        sessions = scenario.frontend.wait_for_daemons(4, timeout=90.0)
+        status = job.wait_terminal(timeout=90.0)
+
+        print(f"MPI job {job.job_id}: {status.value}, exit code {job.exit_code}")
+        assert status is JobStatus.COMPLETED
+        import time
+
+        deadline = time.monotonic() + 10.0
+        while not job.stdout_lines and time.monotonic() < deadline:
+            time.sleep(0.01)
+        print(f"rank 0 output: {job.stdout_lines}")
+        print("\nper-rank tool daemons:")
+        for session in sessions:
+            session.wait_state("exited", timeout=60.0)
+            cpu = session.latest(Metric.PROC_CPU.value) or 0.0
+            print(
+                f"  paradynd #{session.daemon_id}: {session.host} pid {session.pid}"
+                f"  cpu={cpu:.4f}s  exit={session.exit_code}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""The Performance Consultant: automated bottleneck search over TDP.
+
+Uses the pilot's interactive mode: the application is created paused by
+Condor, paradynd runs it to the top of main and stops; the consultant
+sets up per-function instrumentation through the live daemon, presses
+RUN, and localizes the planted bottleneck (compute_b, 80% of each
+round).
+
+Run:  python examples/performance_consultant.py
+"""
+
+from repro.paradyn.consultant import PerformanceConsultant
+from repro.parador.run import ParadorScenario
+
+
+def main() -> None:
+    with ParadorScenario(execute_hosts=["node1"], auto_run=False) as scenario:
+        run = scenario.submit_monitored("foo", "12 0.1")
+        run.session.wait_state("at_main", timeout=30.0)
+        print(f"application pid {run.session.pid} stopped at main; searching...")
+
+        consultant = PerformanceConsultant(run.session, cpu_fraction_threshold=0.2)
+        result = consultant.search()
+        run.job.wait_terminal(timeout=60.0)
+
+        print()
+        print(result.format())
+        print()
+        print(f"refinement path: {' -> '.join(result.refinement_path)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""TDP on real operating-system processes (Linux).
+
+The same Figure 3A dance as the simulated examples, but the application
+is a genuine ``/bin/sh`` child, the LASS is a real TCP server on
+loopback, and create-paused uses the documented SIGSTOP trampoline
+(stopped just after exec, before the program runs).
+
+Run:  python examples/real_processes.py        (Linux only)
+"""
+
+import sys
+
+from repro.attrspace.server import AttributeSpaceServer
+from repro.osproc.backend import PosixBackend
+from repro.tdp.api import (
+    tdp_attach,
+    tdp_continue_process,
+    tdp_create_process,
+    tdp_exit,
+    tdp_get,
+    tdp_init,
+    tdp_put,
+    tdp_wait_exit,
+)
+from repro.tdp.handle import Role
+from repro.tdp.wellknown import Attr, CreateMode
+from repro.transport.tcp import TcpTransport
+
+
+def main() -> None:
+    if not sys.platform.startswith("linux"):
+        print("this example needs Linux (/proc and POSIX signals)")
+        return
+
+    transport = TcpTransport()
+    lass = AttributeSpaceServer(transport, "localhost")
+    print(f"LASS listening on real TCP at {lass.endpoint}")
+
+    backend = PosixBackend()
+    rm = tdp_init(transport, lass.endpoint, member="starter", role=Role.RM,
+                  backend=backend)
+    rt = tdp_init(transport, lass.endpoint, member="tool", role=Role.RT,
+                  src_host="localhost")
+    rm.control.serve_tool_requests()
+    rm.start_service_loop()
+
+    # RM: create a real child, stopped before it runs.
+    info = tdp_create_process(
+        rm, "/bin/sh", ["-c", "echo hello from a real process; exit 7"],
+        mode=CreateMode.PAUSED,
+    )
+    print(f"created paused: real pid {info.pid}, status {info.status}")
+    lines: list[str] = []
+    backend.add_stdout_sink(info.pid, lines.append)
+    tdp_put(rm, Attr.PID, str(info.pid))
+
+    # RT: the pilot handshake on real processes.
+    pid = int(tdp_get(rt, Attr.PID, timeout=10.0))
+    tdp_attach(rt, pid)
+    print(f"tool attached to real pid {pid}")
+    tdp_continue_process(rt, pid)
+    code = tdp_wait_exit(rt, pid, timeout=15.0)
+
+    import time
+
+    deadline = time.monotonic() + 5.0
+    while not lines and time.monotonic() < deadline:
+        time.sleep(0.01)
+    print(f"exit code: {code}; captured stdout: {lines}")
+
+    rm.stop_service_loop()
+    tdp_exit(rt)
+    tdp_exit(rm)
+    lass.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""The raw TDP API: both Figure 3 scenarios without any batch system.
+
+Scenario A (create mode): the RM creates the application paused, the
+tool attaches before anything ran, then continues it.
+
+Scenario B (attach mode): the application is already running; the tool
+attaches later, stopping it "at some unknown point".
+
+Run:  python examples/tdp_create_and_attach.py
+"""
+
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.sim.cluster import SimCluster
+from repro.sim.process import ProcessState
+from repro.tdp.api import (
+    tdp_attach,
+    tdp_continue_process,
+    tdp_create_process,
+    tdp_exit,
+    tdp_get,
+    tdp_init,
+    tdp_kill,
+    tdp_put,
+    tdp_wait_exit,
+)
+from repro.tdp.handle import Role
+from repro.tdp.process import SimHostBackend
+from repro.tdp.wellknown import Attr, CreateMode
+
+
+def scenario_a_create_mode(cluster, lass) -> None:
+    print("=== Figure 3A: create mode ===")
+    rm = tdp_init(cluster.transport, lass.endpoint, member="rm", role=Role.RM,
+                  context="fig3a", backend=SimHostBackend(cluster.host("node1")))
+    rt = tdp_init(cluster.transport, lass.endpoint, member="tool", role=Role.RT,
+                  context="fig3a", src_host="node1")
+    rm.control.serve_tool_requests()
+    rm.start_service_loop()
+
+    # RM: tdp_create_process(AP, paused)
+    info = tdp_create_process(rm, "hello", ["create-mode"], mode=CreateMode.PAUSED)
+    print(f"RM created AP pid={info.pid} status={info.status}")
+    tdp_put(rm, Attr.PID, str(info.pid))
+
+    # RT: blocking get -> attach -> continue
+    pid = int(tdp_get(rt, Attr.PID, timeout=10.0))
+    tdp_attach(rt, pid)
+    print(f"RT attached to pid={pid} (nothing has executed yet)")
+    tdp_continue_process(rt, pid)
+    code = tdp_wait_exit(rt, pid, timeout=10.0)
+    print(f"application exited with code {code}; "
+          f"output: {cluster.host('node1').get_process(pid).stdout_lines}")
+    rm.stop_service_loop()
+    tdp_exit(rt)
+    tdp_exit(rm)
+
+
+def scenario_b_attach_mode(cluster, lass) -> None:
+    print("\n=== Figure 3B: attach mode ===")
+    rm = tdp_init(cluster.transport, lass.endpoint, member="rm", role=Role.RM,
+                  context="fig3b", backend=SimHostBackend(cluster.host("node1")))
+    rt = tdp_init(cluster.transport, lass.endpoint, member="tool", role=Role.RT,
+                  context="fig3b", src_host="node1")
+    rm.control.serve_tool_requests()
+    rm.start_service_loop()
+
+    # RM: application already running (a server).
+    info = tdp_create_process(rm, "server_loop", mode=CreateMode.RUN)
+    tdp_put(rm, Attr.PID, str(info.pid))
+    print(f"RM started AP pid={info.pid}, it is serving requests...")
+
+    # RT: attach later.
+    pid = int(tdp_get(rt, Attr.PID, timeout=10.0))
+    tdp_attach(rt, pid)
+    proc = cluster.host("node1").get_process(pid)
+    assert proc.state is ProcessState.STOPPED
+    print(f"RT attached: process stopped at an unknown point "
+          f"(cpu so far: {proc.cpu_time:.6f}s, stack: {proc.stack()})")
+    tdp_continue_process(rt, pid)
+    print("RT continued the application; shutting it down")
+    tdp_kill(rt, pid)
+    print(f"exit code {tdp_wait_exit(rt, pid, timeout=10.0)}")
+    rm.stop_service_loop()
+    tdp_exit(rt)
+    tdp_exit(rm)
+
+
+def main() -> None:
+    with SimCluster.flat(["node1"]) as cluster:
+        lass = AttributeSpaceServer(cluster.transport, "node1", role=ServerRole.LASS)
+        try:
+            scenario_a_create_mode(cluster, lass)
+            scenario_b_attach_mode(cluster, lass)
+        finally:
+            lass.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by pyproject.toml; this file exists so
+`pip install -e . --no-use-pep517` works in offline environments where
+the `wheel` package (required by the PEP 660 editable path) is absent.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""Reproduction of *The Tool Daemon Protocol (TDP)*, SC 2003.
+
+TDP is a standard interface between resource managers (batch systems),
+run-time tools (debuggers/profilers), and the application processes they
+share — turning the m x n tool-porting problem into m + n.  This package
+provides:
+
+* the TDP library itself (:mod:`repro.tdp`): ``tdp_init``, the attribute
+  space (``tdp_put``/``tdp_get`` and async variants), safe-point event
+  servicing, and split-ownership process management;
+* the attribute space servers (:mod:`repro.attrspace`): per-host LASS
+  and central CASS;
+* a simulated distributed substrate (:mod:`repro.sim`) plus a real-POSIX
+  backend (:mod:`repro.osproc`);
+* a Condor-like batch system (:mod:`repro.condor`), a Paradyn-like
+  performance tool (:mod:`repro.paradyn`), an MPICH-ch_p4-style MPI
+  runtime (:mod:`repro.mpisim`);
+* the Parador pilot joining them (:mod:`repro.parador`) and the
+  baselines the paper argues against (:mod:`repro.baselines`).
+
+Quickstart::
+
+    from repro.parador import run_monitored_job
+    run = run_monitored_job("foo", "10 0.1")
+    print(run.job.exit_code, run.session.latest("proc_cpu"))
+"""
+
+from repro.errors import TdpError
+from repro.tdp import (
+    Attr,
+    CreateMode,
+    TdpHandle,
+    tdp_init,
+    tdp_exit,
+    tdp_put,
+    tdp_get,
+    tdp_try_get,
+    tdp_remove,
+    tdp_async_get,
+    tdp_async_put,
+    tdp_subscribe,
+    tdp_service_events,
+    tdp_poll,
+    tdp_create_process,
+    tdp_attach,
+    tdp_continue_process,
+    tdp_pause_process,
+    tdp_detach,
+    tdp_kill,
+    tdp_process_status,
+    tdp_wait_exit,
+)
+from repro.tdp.handle import Role
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TdpError",
+    "Attr",
+    "CreateMode",
+    "Role",
+    "TdpHandle",
+    "tdp_init",
+    "tdp_exit",
+    "tdp_put",
+    "tdp_get",
+    "tdp_try_get",
+    "tdp_remove",
+    "tdp_async_get",
+    "tdp_async_put",
+    "tdp_subscribe",
+    "tdp_service_events",
+    "tdp_poll",
+    "tdp_create_process",
+    "tdp_attach",
+    "tdp_continue_process",
+    "tdp_pause_process",
+    "tdp_detach",
+    "tdp_kill",
+    "tdp_process_status",
+    "tdp_wait_exit",
+    "__version__",
+]

@@ -1,0 +1,137 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Small operational surface for exploring the reproduction without
+writing code:
+
+* ``quickstart`` — run the monitored-job pilot and print the trace;
+* ``fig3`` — print both Figure 3 call sequences from live runs;
+* ``consultant`` — run the Performance Consultant on the planted
+  bottleneck workload;
+* ``info`` — version, registered executables, standard attributes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_quickstart(_args: argparse.Namespace) -> int:
+    from repro.parador.run import ParadorScenario
+
+    with ParadorScenario(execute_hosts=["node1"]) as scenario:
+        run = scenario.submit_monitored("foo", "5 0.1")
+        status = run.job.wait_terminal(timeout=60.0)
+        run.session.wait_state("exited", timeout=30.0)
+        print(f"job {run.job.job_id}: {status.value} (exit {run.job.exit_code})")
+        print(f"tool observed {run.session.latest('proc_cpu'):.4f}s of app CPU")
+        print()
+        for event in scenario.trace.events():
+            if event.actor in ("starter", "paradynd"):
+                print(f"  {event}")
+    return 0
+
+
+def cmd_fig3(_args: argparse.Namespace) -> int:
+    from repro.attrspace.server import AttributeSpaceServer, ServerRole
+    from repro.sim.cluster import SimCluster
+    from repro.util.log import TraceRecorder
+
+    # Reuse the bench's sequence drivers (they live in benchmarks/, which
+    # is not a package; inline minimal versions here instead).
+    from repro.tdp.api import (
+        tdp_attach, tdp_continue_process, tdp_create_process, tdp_exit,
+        tdp_get, tdp_init, tdp_kill, tdp_put, tdp_wait_exit,
+    )
+    from repro.tdp.handle import Role
+    from repro.tdp.process import SimHostBackend
+    from repro.tdp.wellknown import Attr, CreateMode
+
+    with SimCluster.flat(["node1"]) as cluster:
+        lass = AttributeSpaceServer(cluster.transport, "node1", role=ServerRole.LASS)
+        for mode, executable in (("create", "hello"), ("attach", "server_loop")):
+            trace = TraceRecorder()
+            context = f"fig3-{mode}"
+            rm = tdp_init(cluster.transport, lass.endpoint, member="RM",
+                          role=Role.RM, context=context,
+                          backend=SimHostBackend(cluster.host("node1")))
+            rm.control.serve_tool_requests()
+            rm.start_service_loop()
+            trace.record("RM", "tdp_init")
+            create_mode = CreateMode.PAUSED if mode == "create" else CreateMode.RUN
+            info = tdp_create_process(rm, executable, mode=create_mode)
+            trace.record("RM", "tdp_create_process", target="AP",
+                         mode=create_mode.value)
+            tdp_put(rm, Attr.PID, str(info.pid))
+            rt = tdp_init(cluster.transport, lass.endpoint, member="RT",
+                          role=Role.RT, context=context, src_host="node1")
+            trace.record("RT", "tdp_init")
+            pid = int(tdp_get(rt, Attr.PID, timeout=10.0))
+            tdp_attach(rt, pid)
+            trace.record("RT", "tdp_attach", pid=pid)
+            tdp_continue_process(rt, pid)
+            trace.record("RT", "tdp_continue_process", pid=pid)
+            if mode == "create":
+                tdp_wait_exit(rt, pid, timeout=10.0)
+            else:
+                tdp_kill(rt, pid)
+            rm.stop_service_loop()
+            tdp_exit(rt)
+            tdp_exit(rm)
+            print(trace.format(f"Figure 3{'A' if mode == 'create' else 'B'} "
+                               f"({mode} mode)"))
+            print()
+        lass.stop()
+    return 0
+
+
+def cmd_consultant(_args: argparse.Namespace) -> int:
+    from repro.paradyn.consultant import PerformanceConsultant
+    from repro.parador.run import ParadorScenario
+
+    with ParadorScenario(execute_hosts=["node1"], auto_run=False) as scenario:
+        run = scenario.submit_monitored("foo", "10 0.1")
+        run.session.wait_state("at_main", timeout=30.0)
+        result = PerformanceConsultant(run.session).search()
+        run.job.wait_terminal(timeout=60.0)
+        print(result.format())
+    return 0
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    import repro
+    from repro.sim.loader import default_registry
+    from repro.tdp.wellknown import Attr
+
+    print(f"repro {repro.__version__} — TDP (SC 2003) reproduction")
+    print(f"\nregistered executables: {', '.join(default_registry().names())}")
+    print("\nstandard attributes:")
+    for name in (Attr.PID, Attr.EXECUTABLE_NAME, Attr.APP_HOST, Attr.APP_ARGS,
+                 Attr.RT_FRONTEND, Attr.RM_PROXY, Attr.STDIO_ENDPOINT):
+        print(f"  {name}")
+    print("\nsee README.md for the full tour; DESIGN.md for the paper mapping")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="TDP (SC 2003) reproduction — exploration commands",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("quickstart", help="run the monitored-job pilot").set_defaults(
+        func=cmd_quickstart
+    )
+    sub.add_parser("fig3", help="print both Figure 3 call sequences").set_defaults(
+        func=cmd_fig3
+    )
+    sub.add_parser("consultant", help="run the bottleneck search").set_defaults(
+        func=cmd_consultant
+    )
+    sub.add_parser("info", help="version and registries").set_defaults(func=cmd_info)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""The TDP Attribute Space (paper Sections 2.1 and 3.2).
+
+A general-purpose (attribute, value) string space — "a highly simplified
+version of the Linda tuple space" — through which the resource manager,
+run-time tools, and application processes exchange configuration and
+run-time information.  Each execution host runs a Local Attribute Space
+Server (**LASS**); the front-end host runs a Central Attribute Space
+Server (**CASS**).  The space is partitioned into *contexts*, one per
+(RM, RT) pairing, created at ``tdp_init`` and destroyed when the last
+member calls ``tdp_exit``.
+"""
+
+from repro.attrspace.store import AttributeStore, StoredValue
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.attrspace.client import AttributeSpaceClient
+from repro.attrspace.notify import Notification, SubscriptionRegistry
+
+__all__ = [
+    "AttributeStore",
+    "StoredValue",
+    "AttributeSpaceServer",
+    "ServerRole",
+    "AttributeSpaceClient",
+    "Notification",
+    "SubscriptionRegistry",
+]

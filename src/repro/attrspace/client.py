@@ -1,0 +1,353 @@
+"""Attribute space client: the daemon-side endpoint of a LASS/CASS session.
+
+Provides both the blocking primitives of the paper (``put``/``get``) and
+the asynchronous ones (``async_get``/``async_put``) with the
+service-at-a-safe-point delivery model of Section 3.3: completions and
+subscription notifications are queued, the queue doubles as the
+"descriptor" a daemon polls, and callbacks run only inside
+:meth:`service_events`, never from internal threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro import errors
+from repro.attrspace import protocol
+from repro.attrspace.notify import Notification
+from repro.attrspace.store import DEFAULT_CONTEXT
+from repro.transport.base import Channel
+from repro.util.ids import IdAllocator
+from repro.util.log import get_logger
+from repro.util.sync import Latch, WaitableQueue
+
+_log = get_logger("attrspace.client")
+
+#: Callback signature for async completions: (value_or_none, error_or_none, arg)
+AsyncCallback = Callable[[Any, Exception | None, Any], None]
+#: Callback signature for subscriptions: (Notification, arg)
+NotifyCallback = Callable[[Notification, Any], None]
+
+
+@dataclass
+class _PendingAsync:
+    kind: str  # "get" | "put"
+    attribute: str
+    callback: AsyncCallback
+    callback_arg: Any
+
+
+@dataclass
+class _Event:
+    """One queued deliverable: an async completion or a notification."""
+
+    invoke: Callable[[], None]
+    description: str
+
+
+class AttributeSpaceClient:
+    """One daemon's session with one attribute space server.
+
+    A client binds to a single *context* (the per-RT space of Section
+    3.2); open a second client for a second context.  The constructor
+    performs the ``attach`` handshake; :meth:`close` detaches.
+    """
+
+    def __init__(
+        self,
+        channel: Channel,
+        *,
+        context: str = DEFAULT_CONTEXT,
+        member: str | None = None,
+    ):
+        self._channel = channel
+        self.context = context
+        self.member = member if member is not None else f"client@{channel.local_host}"
+        self._req_ids = IdAllocator()
+        self._pending_sync: dict[int, Latch[dict]] = {}
+        self._pending_async: dict[int, _PendingAsync] = {}
+        self._subs: dict[int, tuple[NotifyCallback, Any]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._conn_lost = False
+        #: the "descriptor": non-empty means tdp_service_events has work
+        self.events: WaitableQueue[_Event] = WaitableQueue()
+        self._receiver = threading.Thread(
+            target=self._recv_loop, name=f"attr-client-{self.member}", daemon=True
+        )
+        self._receiver.start()
+        self._rpc({"op": protocol.OP_ATTACH, "context": context, "member": self.member})
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _next_req(self, latch: Latch[dict] | None = None) -> int:
+        with self._lock:
+            if self._closed:
+                raise errors.SpaceClosedError("client closed")
+            if self._conn_lost:
+                raise errors.SpaceClosedError("attribute space connection lost")
+            req = self._req_ids.next()
+            if latch is not None:
+                self._pending_sync[req] = latch
+            return req
+
+    def _rpc(self, request: dict[str, Any], timeout: float | None = 30.0) -> dict[str, Any]:
+        """Send a request and block for its reply."""
+        latch: Latch[dict] = Latch()
+        req = self._next_req(latch)
+        request = dict(request, req=req)
+        try:
+            self._channel.send(request)
+        except errors.TdpError:
+            with self._lock:
+                self._pending_sync.pop(req, None)
+            raise errors.SpaceClosedError("attribute space connection lost") from None
+        reply = latch.wait(timeout=timeout)
+        if not reply.get("ok", False):
+            protocol.raise_error(reply)
+        return reply
+
+    def _recv_loop(self) -> None:
+        try:
+            while True:
+                message = self._channel.recv()
+                self._route(message)
+        except errors.TdpError:
+            pass
+        finally:
+            self._fail_pending()
+
+    def _route(self, message: dict[str, Any]) -> None:
+        if message.get("op") == protocol.OP_NOTIFY:
+            sub_id = message.get("sub")
+            notification = Notification.from_wire(message)
+            with self._lock:
+                entry = self._subs.get(sub_id) if isinstance(sub_id, int) else None
+            if entry is not None:
+                callback, arg = entry
+                self.events.put(
+                    _Event(
+                        invoke=lambda: callback(notification, arg),
+                        description=f"notify {notification.attribute}",
+                    )
+                )
+            return
+        reply_to = message.get("reply_to")
+        if not isinstance(reply_to, int):
+            _log.warning("dropping unroutable message: %r", message)
+            return
+        with self._lock:
+            latch = self._pending_sync.pop(reply_to, None)
+            pending_async = self._pending_async.pop(reply_to, None)
+        if latch is not None:
+            latch.open(message)
+            return
+        if pending_async is not None:
+            self._queue_async_completion(pending_async, message)
+            return
+        _log.warning("reply for unknown request %s", reply_to)
+
+    def _queue_async_completion(self, pending: _PendingAsync, reply: dict[str, Any]) -> None:
+        error: Exception | None = None
+        value: Any = None
+        if reply.get("ok", False):
+            value = reply.get("value") if pending.kind == "get" else None
+        else:
+            try:
+                protocol.raise_error(reply)
+            except Exception as e:  # noqa: BLE001 — captured for callback delivery
+                error = e
+        self.events.put(
+            _Event(
+                invoke=lambda: pending.callback(value, error, pending.callback_arg),
+                description=f"async-{pending.kind} {pending.attribute}",
+            )
+        )
+
+    def _fail_pending(self) -> None:
+        """Connection died: fail sync waiters, queue async error completions."""
+        with self._lock:
+            self._conn_lost = True
+            sync = list(self._pending_sync.values())
+            self._pending_sync.clear()
+            asyncs = list(self._pending_async.values())
+            self._pending_async.clear()
+        failure = {"ok": False, "error_type": "space_closed", "error": "connection lost"}
+        for latch in sync:
+            latch.open(failure)
+        for pending in asyncs:
+            self._queue_async_completion(pending, failure)
+        self.events.close()
+
+    # -- blocking API (paper Section 3.2) --------------------------------------
+
+    def put(self, attribute: str, value: str) -> int:
+        """Blocking put; returns the stored version number."""
+        reply = self._rpc({"op": protocol.OP_PUT, "context": self.context,
+                           "attribute": attribute, "value": value})
+        return int(reply["version"])
+
+    def get(self, attribute: str, timeout: float | None = None) -> str:
+        """Blocking get: waits until the attribute exists.
+
+        ``timeout`` bounds the wait (server-side timer); ``None`` waits
+        indefinitely — the paradynd-waits-for-pid pattern of Section 4.3.
+        """
+        reply = self._rpc(
+            {
+                "op": protocol.OP_GET,
+                "context": self.context,
+                "attribute": attribute,
+                "block": True,
+                "timeout": timeout,
+            },
+            timeout=None if timeout is None else timeout + 30.0,
+        )
+        return str(reply["value"])
+
+    def try_get(self, attribute: str) -> str:
+        """Non-blocking get; raises ``NoSuchAttributeError`` when absent."""
+        reply = self._rpc(
+            {"op": protocol.OP_GET, "context": self.context,
+             "attribute": attribute, "block": False}
+        )
+        return str(reply["value"])
+
+    def remove(self, attribute: str) -> bool:
+        reply = self._rpc(
+            {"op": protocol.OP_REMOVE, "context": self.context, "attribute": attribute}
+        )
+        return bool(reply["existed"])
+
+    def list_attributes(self) -> list[str]:
+        reply = self._rpc({"op": protocol.OP_LIST, "context": self.context})
+        return list(reply["attributes"])
+
+    def snapshot(self) -> dict[str, str]:
+        reply = self._rpc({"op": protocol.OP_SNAPSHOT, "context": self.context})
+        return dict(reply["data"])
+
+    def ping(self) -> dict[str, Any]:
+        return self._rpc({"op": protocol.OP_PING})
+
+    # -- asynchronous API (paper Section 3.2/3.3) -------------------------------
+
+    def async_get(self, attribute: str, callback: AsyncCallback, callback_arg: Any = None) -> None:
+        """Non-blocking get; ``callback(value, error, arg)`` runs from
+        :meth:`service_events` once the attribute is available."""
+        req = self._next_req()
+        with self._lock:
+            self._pending_async[req] = _PendingAsync("get", attribute, callback, callback_arg)
+        self._channel.send(
+            {
+                "op": protocol.OP_GET,
+                "req": req,
+                "context": self.context,
+                "attribute": attribute,
+                "block": True,
+            }
+        )
+
+    def async_put(
+        self, attribute: str, value: str, callback: AsyncCallback, callback_arg: Any = None
+    ) -> None:
+        """Non-blocking put with completion callback (same delivery rules)."""
+        req = self._next_req()
+        with self._lock:
+            self._pending_async[req] = _PendingAsync("put", attribute, callback, callback_arg)
+        self._channel.send(
+            {
+                "op": protocol.OP_PUT,
+                "req": req,
+                "context": self.context,
+                "attribute": attribute,
+                "value": value,
+            }
+        )
+
+    def subscribe(self, pattern: str, callback: NotifyCallback, callback_arg: Any = None) -> int:
+        """Subscribe to puts/removes matching ``pattern`` in this context."""
+        reply = self._rpc(
+            {"op": protocol.OP_SUBSCRIBE, "context": self.context, "pattern": pattern}
+        )
+        sub_id = int(reply["sub"])
+        with self._lock:
+            self._subs[sub_id] = (callback, callback_arg)
+        return sub_id
+
+    def unsubscribe(self, sub_id: int) -> bool:
+        with self._lock:
+            self._subs.pop(sub_id, None)
+        reply = self._rpc({"op": protocol.OP_UNSUBSCRIBE, "sub": sub_id})
+        return bool(reply["removed"])
+
+    # -- event servicing (paper Section 3.3) ------------------------------------
+
+    def has_pending_events(self) -> bool:
+        """True when :meth:`service_events` would run at least one callback.
+
+        This is the library's version of "activity on the descriptor":
+        a poll loop checks it (or blocks in :meth:`wait_event`) and then
+        calls :meth:`service_events` at its safe point.
+        """
+        return len(self.events) > 0
+
+    def wait_event(self, timeout: float | None = None) -> bool:
+        """Block until an event is queued (or timeout); returns availability.
+
+        The queued event is *not* consumed — like returning from
+        ``poll()`` without reading the descriptor.
+        """
+        return self.events.wait_nonempty(timeout=timeout)
+
+    def service_events(self, max_events: int | None = None) -> int:
+        """Run queued callbacks in the caller's thread; returns the count.
+
+        This is ``tdp_service_event``: "the callback function will be
+        called at a well-known and (presumably) safe point."
+        """
+        count = 0
+        while max_events is None or count < max_events:
+            try:
+                event = self.events.get_nowait()
+            except (IndexError, errors.ChannelClosedError):
+                break
+            event.invoke()
+            count += 1
+        return count
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self, *, detach: bool = True) -> None:
+        """Detach from the context and drop the connection. Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if detach:
+            try:
+                latch: Latch[dict] = Latch()
+                with self._lock:
+                    req = self._req_ids.next()
+                    self._pending_sync[req] = latch
+                self._channel.send(
+                    {"op": protocol.OP_DETACH, "req": req,
+                     "context": self.context, "member": self.member}
+                )
+                latch.wait(timeout=5.0)
+            except errors.TdpError:
+                pass
+        self._channel.close()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __enter__(self) -> "AttributeSpaceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,110 @@
+"""Asynchronous change notification for the attribute space.
+
+Paper Section 2.1: "There is also a mechanism for providing asynchronous
+notifications" — the RM "optionally can use the asynchronous notification
+to hear immediately about the change" (Section 2.3).  A subscription
+names a context and a glob pattern over attribute names; every matching
+``put`` or ``remove`` produces a :class:`Notification` that the server
+pushes to the subscribing connection.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.util.ids import IdAllocator
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One change event: an attribute was put (with value) or removed."""
+
+    context: str
+    attribute: str
+    value: str | None  # None means the attribute was removed
+    kind: str  # "put" | "remove"
+
+    def to_wire(self) -> dict:
+        return {
+            "context": self.context,
+            "attribute": self.attribute,
+            "value": self.value,
+            "kind": self.kind,
+        }
+
+    @staticmethod
+    def from_wire(d: dict) -> "Notification":
+        return Notification(
+            context=str(d["context"]),
+            attribute=str(d["attribute"]),
+            value=d["value"],
+            kind=str(d["kind"]),
+        )
+
+
+@dataclass(frozen=True)
+class _Subscription:
+    sub_id: int
+    context: str
+    pattern: str
+    deliver: Callable[[int, Notification], None]
+
+    def matches(self, context: str, attribute: str) -> bool:
+        return context == self.context and fnmatch.fnmatchcase(attribute, self.pattern)
+
+
+class SubscriptionRegistry:
+    """Thread-safe registry of pattern subscriptions.
+
+    ``deliver`` callables must be non-blocking (the store invokes them
+    from the putter's thread); server connections satisfy this by queuing
+    onto the channel.
+    """
+
+    def __init__(self) -> None:
+        self._subs: dict[int, _Subscription] = {}
+        self._ids = IdAllocator()
+        self._lock = threading.Lock()
+
+    def subscribe(
+        self,
+        context: str,
+        pattern: str,
+        deliver: Callable[[int, Notification], None],
+    ) -> int:
+        """Register; returns the subscription id used for unsubscribe."""
+        with self._lock:
+            sub_id = self._ids.next()
+            self._subs[sub_id] = _Subscription(sub_id, context, pattern, deliver)
+            return sub_id
+
+    def unsubscribe(self, sub_id: int) -> bool:
+        with self._lock:
+            return self._subs.pop(sub_id, None) is not None
+
+    def drop_context(self, context: str) -> int:
+        """Remove every subscription on a context (context destruction)."""
+        with self._lock:
+            doomed = [s for s in self._subs.values() if s.context == context]
+            for s in doomed:
+                del self._subs[s.sub_id]
+            return len(doomed)
+
+    def publish(self, notification: Notification) -> int:
+        """Fan a notification out to matching subscribers; returns count."""
+        with self._lock:
+            targets = [
+                s
+                for s in self._subs.values()
+                if s.matches(notification.context, notification.attribute)
+            ]
+        for s in targets:
+            s.deliver(s.sub_id, notification)
+        return len(targets)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._subs)

@@ -1,0 +1,74 @@
+"""Wire protocol between attribute-space clients and LASS/CASS servers.
+
+Requests are frames like ``{"op": "put", "req": 7, ...}``; every request
+gets exactly one reply ``{"reply_to": 7, "ok": true, ...}``.  The server
+may also push unsolicited ``{"op": "notify", ...}`` frames for
+subscriptions.  Errors travel as ``{"ok": false, "error_type": ...,
+"error": ...}`` and are re-raised client-side as the matching exception
+from :mod:`repro.errors`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import errors
+
+# Request operations
+OP_ATTACH = "attach"        # join a context (tdp_init)
+OP_DETACH = "detach"        # leave a context (tdp_exit)
+OP_PUT = "put"
+OP_GET = "get"              # fields: block (bool), timeout (float|None)
+OP_REMOVE = "remove"
+OP_LIST = "list"
+OP_SNAPSHOT = "snapshot"
+OP_SUBSCRIBE = "subscribe"  # fields: pattern
+OP_UNSUBSCRIBE = "unsubscribe"
+OP_PING = "ping"
+
+# Server push
+OP_NOTIFY = "notify"
+
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    "no_such_attribute": errors.NoSuchAttributeError,
+    "attribute_format": errors.AttributeFormatError,
+    "context": errors.ContextError,
+    "get_timeout": errors.GetTimeoutError,
+    "protocol": errors.ProtocolError,
+    "space_closed": errors.SpaceClosedError,
+}
+
+_TYPE_NAMES = {
+    errors.NoSuchAttributeError: "no_such_attribute",
+    errors.AttributeFormatError: "attribute_format",
+    errors.ContextError: "context",
+    errors.GetTimeoutError: "get_timeout",
+    errors.ProtocolError: "protocol",
+    errors.SpaceClosedError: "space_closed",
+}
+
+
+def error_reply(req: int, exc: Exception) -> dict[str, Any]:
+    """Build the error reply frame for an exception."""
+    for klass, name in _TYPE_NAMES.items():
+        if isinstance(exc, klass):
+            return {"reply_to": req, "ok": False, "error_type": name, "error": str(exc)}
+    return {"reply_to": req, "ok": False, "error_type": "protocol", "error": str(exc)}
+
+
+def ok_reply(req: int, **fields: Any) -> dict[str, Any]:
+    reply: dict[str, Any] = {"reply_to": req, "ok": True}
+    reply.update(fields)
+    return reply
+
+
+def raise_error(reply: dict[str, Any]) -> None:
+    """Re-raise the server-side error carried in an error reply."""
+    error_type = str(reply.get("error_type", "protocol"))
+    message = str(reply.get("error", "unknown server error"))
+    klass = _ERROR_TYPES.get(error_type, errors.ProtocolError)
+    if klass is errors.NoSuchAttributeError:
+        attribute = str(reply.get("attribute", message))
+        context = reply.get("context")
+        raise errors.NoSuchAttributeError(attribute, context)
+    raise klass(message)

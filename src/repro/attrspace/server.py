@@ -1,0 +1,335 @@
+"""LASS / CASS: the attribute space server.
+
+One server instance wraps an :class:`~repro.attrspace.store.AttributeStore`
+and serves it over a transport listener.  Thread model: one acceptor
+thread plus one reader thread per connection.  Blocking GETs never park a
+server thread — they register store waiters whose completion callbacks
+send the reply from whichever thread performed the matching PUT.
+
+Roles (paper Section 2.1): a **LASS** runs on each execution host,
+started by the RM; the **CASS** runs on the front-end host, started by
+the RM front-end.  The role only affects identification/diagnostics —
+the protocol is identical, which is exactly the paper's design (clients
+"can access the attribute space of its LASS or the CASS").
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any
+
+from repro import errors
+from repro.attrspace import protocol
+from repro.attrspace.notify import Notification
+from repro.attrspace.store import DEFAULT_CONTEXT, AttributeStore
+from repro.net.address import Endpoint
+from repro.transport.base import Channel, Transport
+from repro.util.log import get_logger
+from repro.util.sync import AtomicCounter
+
+_log = get_logger("attrspace.server")
+
+
+class ServerRole(enum.Enum):
+    LASS = "lass"  # Local Attribute Space Server (one per execution host)
+    CASS = "cass"  # Central Attribute Space Server (front-end host)
+
+
+class _Connection:
+    """Server-side state for one client channel."""
+
+    def __init__(self, server: "AttributeSpaceServer", channel: Channel, conn_id: int):
+        self.server = server
+        self.channel = channel
+        self.conn_id = conn_id
+        self.peer = f"{channel.remote_host}#{conn_id}"
+        self.send_lock = threading.Lock()
+        # (context, attribute, waiter_id) for pending blocking gets, so we
+        # can cancel them if this client disconnects.
+        self.pending_waiters: set[tuple[str, str, int]] = set()
+        self.subscriptions: set[int] = set()
+        self.contexts_joined: list[str] = []
+        self.timers: dict[int, threading.Timer] = {}
+
+    def send(self, message: dict[str, Any]) -> None:
+        try:
+            with self.send_lock:
+                self.channel.send(message)
+        except errors.TdpError:
+            pass  # peer gone; reader loop will clean up
+
+
+class AttributeSpaceServer:
+    """A running LASS or CASS bound to one endpoint."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        host: str,
+        *,
+        port: int = 0,
+        role: ServerRole = ServerRole.LASS,
+        name: str | None = None,
+        store: AttributeStore | None = None,
+        local_only: bool = False,
+    ):
+        self.role = role
+        self.host = host
+        #: the paper's LASS access rule ("a process … cannot access the
+        #: LASS's of other nodes"): when set, connections from any other
+        #: host are refused at accept time.  Production LASSes (those the
+        #: startd boots) enable this; it is off by default so tests can
+        #: drive a server from anywhere.
+        self.local_only = local_only
+        self.store = store if store is not None else AttributeStore()
+        self.name = name if name is not None else f"{role.value}@{host}"
+        self._transport = transport
+        self._listener = transport.listen(host, port)
+        self._stopped = threading.Event()
+        self._conn_ids = AtomicCounter()
+        self._connections: dict[int, _Connection] = {}
+        self._conn_lock = threading.Lock()
+        self.stats = {
+            "puts": AtomicCounter(),
+            "gets": AtomicCounter(),
+            "blocked_gets": AtomicCounter(),
+            "notifications": AtomicCounter(),
+            "connections": AtomicCounter(),
+        }
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name=f"{self.name}-accept", daemon=True
+        )
+        self._acceptor.start()
+        _log.info("%s listening at %s", self.name, self.endpoint)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return self._listener.endpoint
+
+    def stop(self) -> None:
+        """Shut the server down: close the listener and every connection."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self._listener.close()
+        with self._conn_lock:
+            conns = list(self._connections.values())
+            self._connections.clear()
+        for conn in conns:
+            for timer in conn.timers.values():
+                timer.cancel()
+            conn.channel.close()
+
+    @property
+    def connection_count(self) -> int:
+        with self._conn_lock:
+            return len(self._connections)
+
+    # -- accept/serve ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                channel = self._listener.accept()
+            except errors.TdpError:
+                return
+            if self.local_only and channel.remote_host != self.host:
+                _log.info(
+                    "%s refusing non-local client from %s (LASS access rule)",
+                    self.name, channel.remote_host,
+                )
+                channel.close()
+                continue
+            conn = _Connection(self, channel, self._conn_ids.increment())
+            with self._conn_lock:
+                if self._stopped.is_set():
+                    channel.close()
+                    return
+                self._connections[conn.conn_id] = conn
+            self.stats["connections"].increment()
+            threading.Thread(
+                target=self._serve_loop,
+                args=(conn,),
+                name=f"{self.name}-conn{conn.conn_id}",
+                daemon=True,
+            ).start()
+
+    def _serve_loop(self, conn: _Connection) -> None:
+        try:
+            while True:
+                try:
+                    request = conn.channel.recv()
+                except errors.TdpError:
+                    return
+                self._dispatch(conn, request)
+        finally:
+            self._cleanup(conn)
+
+    def _cleanup(self, conn: _Connection) -> None:
+        with self._conn_lock:
+            self._connections.pop(conn.conn_id, None)
+        for timer in conn.timers.values():
+            timer.cancel()
+        for context, attribute, wid in list(conn.pending_waiters):
+            self.store.cancel_waiter(context, attribute, wid)
+        for sub_id in conn.subscriptions:
+            self.store.subscriptions.unsubscribe(sub_id)
+        conn.channel.close()
+
+    # -- request dispatch -----------------------------------------------------
+
+    def _dispatch(self, conn: _Connection, request: dict[str, Any]) -> None:
+        req = request.get("req")
+        op = request.get("op")
+        if not isinstance(req, int) or not isinstance(op, str):
+            conn.send(
+                protocol.error_reply(
+                    req if isinstance(req, int) else -1,
+                    errors.ProtocolError(f"malformed request: {request!r}"),
+                )
+            )
+            return
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            conn.send(protocol.error_reply(req, errors.ProtocolError(f"unknown op {op!r}")))
+            return
+        try:
+            handler(conn, req, request)
+        except errors.TdpError as e:
+            conn.send(protocol.error_reply(req, e))
+
+    @staticmethod
+    def _context_of(request: dict[str, Any]) -> str:
+        ctx = request.get("context", DEFAULT_CONTEXT)
+        if not isinstance(ctx, str) or not ctx:
+            raise errors.ProtocolError(f"bad context field: {ctx!r}")
+        return ctx
+
+    # Individual operations ---------------------------------------------------
+
+    def _op_ping(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
+        conn.send(protocol.ok_reply(req, role=self.role.value, name=self.name))
+
+    def _op_attach(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
+        context = self._context_of(request)
+        member = str(request.get("member", conn.peer))
+        self.store.attach(context, member)
+        conn.contexts_joined.append(context)
+        conn.send(protocol.ok_reply(req, context=context))
+
+    def _op_detach(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
+        context = self._context_of(request)
+        member = str(request.get("member", conn.peer))
+        destroyed = self.store.detach(context, member)
+        conn.send(protocol.ok_reply(req, destroyed=destroyed))
+
+    def _op_put(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
+        context = self._context_of(request)
+        attribute = str(request.get("attribute", ""))
+        value = request.get("value")
+        if not isinstance(value, str):
+            raise errors.AttributeFormatError(f"value must be a string, got {type(value).__name__}")
+        sv = self.store.put(attribute, value, context=context, writer=conn.peer)
+        self.stats["puts"].increment()
+        conn.send(protocol.ok_reply(req, version=sv.version))
+
+    def _op_get(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
+        context = self._context_of(request)
+        attribute = str(request.get("attribute", ""))
+        block = bool(request.get("block", True))
+        timeout = request.get("timeout")
+        self.stats["gets"].increment()
+
+        if not block:
+            try:
+                value = self.store.try_get(attribute, context=context)
+            except errors.NoSuchAttributeError:
+                conn.send(
+                    {
+                        "reply_to": req,
+                        "ok": False,
+                        "error_type": "no_such_attribute",
+                        "error": f"no attribute {attribute!r}",
+                        "attribute": attribute,
+                        "context": context,
+                    }
+                )
+                return
+            conn.send(protocol.ok_reply(req, value=value))
+            return
+
+        # Blocking get: register a waiter whose completion sends the reply.
+        waiter_key: list[tuple[str, str, int]] = []
+
+        def complete(value: str) -> None:
+            if waiter_key:
+                conn.pending_waiters.discard(waiter_key[0])
+            timer = conn.timers.pop(req, None)
+            if timer is not None:
+                timer.cancel()
+            conn.send(protocol.ok_reply(req, value=value))
+
+        wid = self.store.add_waiter(attribute, complete, context=context)
+        if wid is None:
+            return  # value was present; complete() already replied
+        self.stats["blocked_gets"].increment()
+        key = (context, attribute, wid)
+        waiter_key.append(key)
+        conn.pending_waiters.add(key)
+        if isinstance(timeout, (int, float)) and timeout >= 0:
+
+            def on_timeout() -> None:
+                if self.store.cancel_waiter(context, attribute, wid):
+                    conn.pending_waiters.discard(key)
+                    conn.timers.pop(req, None)
+                    conn.send(
+                        protocol.error_reply(
+                            req,
+                            errors.GetTimeoutError(
+                                f"get({attribute!r}) timed out after {timeout}s"
+                            ),
+                        )
+                    )
+
+            timer = threading.Timer(float(timeout), on_timeout)
+            timer.daemon = True
+            conn.timers[req] = timer
+            timer.start()
+
+    def _op_remove(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
+        context = self._context_of(request)
+        attribute = str(request.get("attribute", ""))
+        existed = self.store.remove(attribute, context=context)
+        conn.send(protocol.ok_reply(req, existed=existed))
+
+    def _op_list(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
+        context = self._context_of(request)
+        conn.send(protocol.ok_reply(req, attributes=self.store.list_attributes(context=context)))
+
+    def _op_snapshot(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
+        context = self._context_of(request)
+        conn.send(protocol.ok_reply(req, data=self.store.snapshot(context=context)))
+
+    def _op_subscribe(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
+        context = self._context_of(request)
+        pattern = str(request.get("pattern", "*"))
+
+        def deliver(sub_id: int, notification: Notification) -> None:
+            self.stats["notifications"].increment()
+            conn.send(
+                {"op": protocol.OP_NOTIFY, "sub": sub_id, **notification.to_wire()}
+            )
+
+        sub_id = self.store.subscriptions.subscribe(context, pattern, deliver)
+        conn.subscriptions.add(sub_id)
+        conn.send(protocol.ok_reply(req, sub=sub_id))
+
+    def _op_unsubscribe(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
+        sub_id = request.get("sub")
+        removed = isinstance(sub_id, int) and self.store.subscriptions.unsubscribe(sub_id)
+        if isinstance(sub_id, int):
+            conn.subscriptions.discard(sub_id)
+        conn.send(protocol.ok_reply(req, removed=bool(removed)))

@@ -1,0 +1,269 @@
+"""The attribute store: context-partitioned (attribute, value) space.
+
+Semantics pinned from the paper (Section 3.2):
+
+* attributes and values are strings (validated by :mod:`repro.util.strings`);
+* ``put`` blocks until the attribute is stored (here: returns after the
+  store mutates — callers over a channel block on the reply);
+* blocking ``get`` waits until some daemon puts the attribute; the
+  non-blocking variant reports an error when absent;
+* a *context* partitions the space per (RM, RT) pairing; a context is
+  created by the first ``tdp_init`` naming it and destroyed when the last
+  member calls ``tdp_exit``;
+* attributes can also be removed (Section 2.1: "inserted and removed").
+
+Waiters are callback-registered rather than thread-blocking so one server
+thread can park any number of pending blocking GETs (the same reasoning
+the paper applies to tool event loops).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ContextError, NoSuchAttributeError
+from repro.attrspace.notify import Notification, SubscriptionRegistry
+from repro.util.ids import IdAllocator
+from repro.util.strings import encode_value, validate_attribute_name
+
+#: The context used when daemons do not name one explicitly.
+DEFAULT_CONTEXT = "default"
+
+
+@dataclass
+class StoredValue:
+    """A value plus bookkeeping (who put it, when, how many times updated)."""
+
+    value: str
+    writer: str
+    version: int
+    stored_at: float
+
+
+@dataclass
+class _Context:
+    name: str
+    members: set[str] = field(default_factory=set)
+    data: dict[str, StoredValue] = field(default_factory=dict)
+    #: attr -> list of (waiter_id, callback(value))
+    waiters: dict[str, list[tuple[int, Callable[[str], None]]]] = field(
+        default_factory=dict
+    )
+
+
+class AttributeStore:
+    """Thread-safe multi-context attribute space.
+
+    This is the server-side state of one LASS or CASS; it is also usable
+    directly (in-process) for unit tests and for the simulated programs'
+    local access path.
+    """
+
+    def __init__(self) -> None:
+        self._contexts: dict[str, _Context] = {}
+        self._lock = threading.RLock()
+        self._waiter_ids = IdAllocator()
+        self.subscriptions = SubscriptionRegistry()
+        # Pre-create the default context with a synthetic member so it is
+        # never garbage-collected by detach bookkeeping.
+        ctx = _Context(DEFAULT_CONTEXT)
+        ctx.members.add("<builtin>")
+        self._contexts[DEFAULT_CONTEXT] = ctx
+
+    # -- context lifecycle --------------------------------------------------
+
+    def attach(self, context: str, member: str) -> None:
+        """Join ``member`` to ``context``, creating the context if new.
+
+        Mirrors ``tdp_init(context)``: "A different context parameter is
+        used by the RM in each tdp_init call to create a different space."
+        """
+        with self._lock:
+            ctx = self._contexts.get(context)
+            if ctx is None:
+                ctx = _Context(context)
+                self._contexts[context] = ctx
+            ctx.members.add(member)
+
+    def detach(self, context: str, member: str) -> bool:
+        """Leave a context; destroys it when the last member leaves.
+
+        Returns True when the context was destroyed.  Mirrors
+        ``tdp_exit``: "An Attribute Space ... will be destroyed when the
+        last element using the specific context calls tdp_exit."
+        """
+        with self._lock:
+            ctx = self._contexts.get(context)
+            if ctx is None:
+                raise ContextError(f"unknown context {context!r}")
+            ctx.members.discard(member)
+            if not ctx.members:
+                del self._contexts[context]
+                self.subscriptions.drop_context(context)
+                # Pending blocking gets on a destroyed context never
+                # complete; their registrations die with the context and
+                # channel-level timeouts surface the failure at clients.
+                return True
+            return False
+
+    def contexts(self) -> list[str]:
+        with self._lock:
+            return sorted(self._contexts)
+
+    def members(self, context: str) -> set[str]:
+        with self._lock:
+            return set(self._require(context).members)
+
+    def _require(self, context: str) -> _Context:
+        ctx = self._contexts.get(context)
+        if ctx is None:
+            raise ContextError(f"unknown context {context!r}")
+        return ctx
+
+    # -- data operations ------------------------------------------------------
+
+    def put(self, attribute: str, value: str, *, context: str = DEFAULT_CONTEXT,
+            writer: str = "?") -> StoredValue:
+        """Store (attribute, value); wakes blocking getters and subscribers.
+
+        Re-putting an existing attribute overwrites it (version bumped) —
+        the space is a map, not a multiset; this matches the MPD-style
+        usage in the pilot where e.g. a status attribute is updated.
+        """
+        validate_attribute_name(attribute)
+        encode_value(value)
+        with self._lock:
+            ctx = self._require(context)
+            old = ctx.data.get(attribute)
+            sv = StoredValue(
+                value=value,
+                writer=writer,
+                version=(old.version + 1) if old else 1,
+                stored_at=time.monotonic(),
+            )
+            ctx.data[attribute] = sv
+            callbacks = ctx.waiters.pop(attribute, [])
+        # Outside the lock: wake waiters first (blocking gets), then fan
+        # out notifications.
+        for _wid, cb in callbacks:
+            cb(value)
+        self.subscriptions.publish(
+            Notification(context=context, attribute=attribute, value=value, kind="put")
+        )
+        return sv
+
+    def try_get(self, attribute: str, *, context: str = DEFAULT_CONTEXT) -> str:
+        """Non-blocking get; raises :class:`NoSuchAttributeError` if absent."""
+        validate_attribute_name(attribute)
+        with self._lock:
+            ctx = self._require(context)
+            sv = ctx.data.get(attribute)
+            if sv is None:
+                raise NoSuchAttributeError(attribute, context)
+            return sv.value
+
+    def get_entry(self, attribute: str, *, context: str = DEFAULT_CONTEXT) -> StoredValue:
+        """Full stored record (value + metadata)."""
+        validate_attribute_name(attribute)
+        with self._lock:
+            ctx = self._require(context)
+            sv = ctx.data.get(attribute)
+            if sv is None:
+                raise NoSuchAttributeError(attribute, context)
+            return sv
+
+    def add_waiter(
+        self,
+        attribute: str,
+        callback: Callable[[str], None],
+        *,
+        context: str = DEFAULT_CONTEXT,
+    ) -> int | None:
+        """Register a one-shot callback for the next value of ``attribute``.
+
+        If the attribute already exists the callback fires immediately
+        (from this thread) and ``None`` is returned; otherwise a waiter id
+        usable with :meth:`cancel_waiter` is returned.  This is the
+        primitive beneath both blocking and asynchronous ``tdp_get``.
+        """
+        validate_attribute_name(attribute)
+        with self._lock:
+            ctx = self._require(context)
+            sv = ctx.data.get(attribute)
+            if sv is None:
+                wid = self._waiter_ids.next()
+                ctx.waiters.setdefault(attribute, []).append((wid, callback))
+                return wid
+            value = sv.value
+        callback(value)
+        return None
+
+    def cancel_waiter(self, context: str, attribute: str, waiter_id: int) -> bool:
+        """Remove a pending waiter (client disconnected / timed out)."""
+        with self._lock:
+            ctx = self._contexts.get(context)
+            if ctx is None:
+                return False
+            entries = ctx.waiters.get(attribute, [])
+            for i, (wid, _cb) in enumerate(entries):
+                if wid == waiter_id:
+                    del entries[i]
+                    if not entries:
+                        ctx.waiters.pop(attribute, None)
+                    return True
+            return False
+
+    def get(
+        self,
+        attribute: str,
+        *,
+        context: str = DEFAULT_CONTEXT,
+        timeout: float | None = None,
+    ) -> str:
+        """Blocking get for in-process callers (tests, sim fast path).
+
+        Channel clients implement blocking gets via :meth:`add_waiter`;
+        this convenience wraps the same primitive with a local latch.
+        """
+        from repro.util.sync import Latch
+
+        latch: Latch[str] = Latch()
+        wid = self.add_waiter(attribute, latch.open, context=context)
+        if wid is None:
+            return latch.wait(timeout=0)  # already filled synchronously
+        try:
+            return latch.wait(timeout=timeout)
+        finally:
+            if not latch.is_open():
+                self.cancel_waiter(context, attribute, wid)
+
+    def remove(self, attribute: str, *, context: str = DEFAULT_CONTEXT) -> bool:
+        """Remove an attribute; returns False if it was absent."""
+        validate_attribute_name(attribute)
+        with self._lock:
+            ctx = self._require(context)
+            existed = ctx.data.pop(attribute, None) is not None
+        if existed:
+            self.subscriptions.publish(
+                Notification(context=context, attribute=attribute, value=None, kind="remove")
+            )
+        return existed
+
+    def list_attributes(self, *, context: str = DEFAULT_CONTEXT) -> list[str]:
+        with self._lock:
+            return sorted(self._require(context).data)
+
+    def snapshot(self, *, context: str = DEFAULT_CONTEXT) -> dict[str, str]:
+        """Copy of the whole context as a plain dict (diagnostics)."""
+        with self._lock:
+            return {k: v.value for k, v in self._require(context).data.items()}
+
+    def pending_waiter_count(self, *, context: str = DEFAULT_CONTEXT) -> int:
+        with self._lock:
+            ctx = self._contexts.get(context)
+            if ctx is None:
+                return 0
+            return sum(len(v) for v in ctx.waiters.values())

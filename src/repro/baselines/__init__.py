@@ -1,0 +1,20 @@
+"""Baselines the paper argues against.
+
+* :mod:`~repro.baselines.direct` — a hard-wired, point-solution
+  integration of the tool with the batch system (the "Totalview under
+  MPICH" style the paper cites): functionally equivalent for ONE
+  (RM, RT) pair, but structurally unreusable.
+* :mod:`~repro.baselines.effort` — the m x n vs m + n integration-effort
+  model from the paper's introduction, parameterized by measured
+  adapter sizes from this repository.
+"""
+
+from repro.baselines.direct import DirectIntegration, run_direct_monitored_job
+from repro.baselines.effort import EffortModel, count_adapter_lines
+
+__all__ = [
+    "DirectIntegration",
+    "run_direct_monitored_job",
+    "EffortModel",
+    "count_adapter_lines",
+]

@@ -1,0 +1,94 @@
+"""The non-TDP baseline: a hard-wired tool/batch-system integration.
+
+This is the "point-solution success" the paper concedes exists (such as
+Totalview running under MPICH) and argues does not scale: the tool and
+the job manager know each other's internals directly.  Concretely, this
+integration:
+
+* bypasses the attribute space — the pid is passed through a shared
+  in-process variable;
+* bypasses the RM-owned control service — the tool manipulates the
+  process object directly (the conflicting-control hazard Section 2.3
+  exists to prevent);
+* only works when tool and job manager run in the same address space on
+  the same host — no firewalls, no remote front-end, no second RM.
+
+It exists so benchmarks can show (a) the functional result is the same
+for the one pair it supports and (b) what the TDP indirection costs.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.paradyn.dyninst import DyninstEngine
+from repro.paradyn.metrics import Metric, MetricCollector
+from repro.sim.cluster import SimCluster
+from repro.sim.process import SimProcess
+
+
+@dataclass
+class DirectResult:
+    exit_code: int
+    proc_cpu: float
+    bottleneck_fraction: float | None
+    stdout_lines: list[str]
+
+
+class DirectIntegration:
+    """Tool and mini job-manager fused into one object (the anti-pattern)."""
+
+    def __init__(self, cluster: SimCluster, host: str):
+        self._cluster = cluster
+        self._host = cluster.host(host)
+        self._process: SimProcess | None = None
+        self._collector: MetricCollector | None = None
+
+    def launch_monitored(
+        self, executable: str, argv: list[str], *, profile_function: str | None = None
+    ) -> SimProcess:
+        """Create paused, instrument, continue — all hard-wired."""
+        # "Job manager" part: create the process paused.
+        proc = self._host.create_process(executable, argv, paused=True)
+        self._process = proc
+        # "Tool" part: reaches straight into the process — no attach
+        # protocol, no ownership, no pid exchange.
+        engine = DyninstEngine(proc)
+        self._collector = MetricCollector(engine, self._host.name)
+        self._collector.enable(Metric.PROC_CPU)
+        if profile_function is not None:
+            self._collector.enable(Metric.CPU_FRACTION, profile_function)
+        proc.continue_process()
+        return proc
+
+    def wait_result(self, timeout: float = 60.0) -> DirectResult:
+        assert self._process is not None and self._collector is not None
+        code = self._process.wait_for_exit(timeout=timeout)
+        samples = {s.metric: s.value for s in self._collector.sample_all()}
+        fraction = None
+        for sample in self._collector.sample_all():
+            if sample.metric == Metric.CPU_FRACTION.value:
+                fraction = sample.value
+        return DirectResult(
+            exit_code=code,
+            proc_cpu=samples.get(Metric.PROC_CPU.value, 0.0),
+            bottleneck_fraction=fraction,
+            stdout_lines=list(self._process.stdout_lines),
+        )
+
+
+def run_direct_monitored_job(
+    executable: str = "foo",
+    argv: list[str] | None = None,
+    *,
+    profile_function: str = "compute_b",
+    timeout: float = 60.0,
+) -> DirectResult:
+    """One-call baseline run (mirrors parador.run.run_monitored_job)."""
+    with SimCluster.flat(["node1"]) as cluster:
+        integration = DirectIntegration(cluster, "node1")
+        integration.launch_monitored(
+            executable, list(argv or []), profile_function=profile_function
+        )
+        return integration.wait_result(timeout=timeout)

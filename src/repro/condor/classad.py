@@ -1,0 +1,185 @@
+"""A ClassAd-like attribute/expression language for matchmaking.
+
+Condor's matchmaking pairs *job ads* with *machine ads*: each ad is a
+set of (name, expression) attributes, and two ads match when each ad's
+``Requirements`` expression evaluates true in the context of the other
+ad (``TARGET.x`` refers to the other ad, ``MY.x``/bare names to one's
+own).  ``Rank`` orders acceptable matches.
+
+This is a small, safe expression evaluator — comparison, boolean and
+arithmetic operators over numbers/strings/booleans — built on Python's
+``ast`` with a strict whitelist (no calls, no attribute access beyond
+the MY/TARGET namespaces, no subscripts).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import MatchmakingError
+
+Value = Any  # int | float | str | bool | None
+
+
+@dataclass
+class ClassAd:
+    """One advertisement: a named bag of attribute -> constant or expression.
+
+    Values that are strings starting with ``=`` are treated as
+    expressions (e.g. ``"=TARGET.Memory >= 512"``); everything else is a
+    constant.  This keeps ad authoring compact in Python code.
+    """
+
+    kind: str  # "job" | "machine" | ...
+    attrs: dict[str, Value] = field(default_factory=dict)
+
+    def get(self, name: str, default: Value = None) -> Value:
+        return self.attrs.get(name, default)
+
+    def constant(self, name: str, other: "ClassAd | None" = None) -> Value:
+        """Evaluate attribute ``name`` (expression or constant) to a value."""
+        raw = self.attrs.get(name)
+        if isinstance(raw, str) and raw.startswith("="):
+            return evaluate(raw[1:], my=self, target=other)
+        return raw
+
+    def copy(self) -> "ClassAd":
+        return ClassAd(kind=self.kind, attrs=dict(self.attrs))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.attrs
+
+
+_ALLOWED_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.Mod: lambda a, b: a % b,
+}
+
+_ALLOWED_CMPOPS = {
+    ast.Eq: lambda a, b: a == b,
+    ast.NotEq: lambda a, b: a != b,
+    ast.Lt: lambda a, b: a < b,
+    ast.LtE: lambda a, b: a <= b,
+    ast.Gt: lambda a, b: a > b,
+    ast.GtE: lambda a, b: a >= b,
+}
+
+
+class _Evaluator(ast.NodeVisitor):
+    def __init__(self, my: ClassAd | None, target: ClassAd | None):
+        self.my = my
+        self.target = target
+
+    def _lookup(self, ad: ClassAd | None, name: str, scope: str) -> Value:
+        if ad is None:
+            raise MatchmakingError(f"no {scope} ad in scope for {scope}.{name}")
+        value = ad.constant(name, other=self.target if scope == "MY" else self.my)
+        return value
+
+    def visit(self, node):  # noqa: D102 — dispatch with strict whitelist
+        if isinstance(node, ast.Expression):
+            return self.visit(node.body)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float, str, bool)) or node.value is None:
+                return node.value
+            raise MatchmakingError(f"constant type not allowed: {node.value!r}")
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name in ("True", "False"):
+                return name == "True"
+            # Bare names resolve in MY scope (Condor semantics), falling
+            # back to TARGET — mirroring classad attribute resolution.
+            if self.my is not None and name in self.my:
+                return self._lookup(self.my, name, "MY")
+            if self.target is not None and name in self.target:
+                return self._lookup(self.target, name, "TARGET")
+            return None  # undefined attribute (classad UNDEFINED)
+        if isinstance(node, ast.Attribute):
+            if not isinstance(node.value, ast.Name):
+                raise MatchmakingError("only MY.x / TARGET.x attribute access allowed")
+            scope = node.value.id.upper()
+            if scope == "MY":
+                return self._lookup(self.my, node.attr, "MY")
+            if scope == "TARGET":
+                return self._lookup(self.target, node.attr, "TARGET")
+            raise MatchmakingError(f"unknown scope {node.value.id!r}")
+        if isinstance(node, ast.BoolOp):
+            if isinstance(node.op, ast.And):
+                result = True
+                for v in node.values:
+                    val = self.visit(v)
+                    result = result and bool(val)
+                    if not result:
+                        return False
+                return True
+            if isinstance(node.op, ast.Or):
+                for v in node.values:
+                    if bool(self.visit(v)):
+                        return True
+                return False
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Not):
+                return not bool(self.visit(node.operand))
+            if isinstance(node.op, ast.USub):
+                return -self.visit(node.operand)
+        if isinstance(node, ast.BinOp):
+            op = _ALLOWED_BINOPS.get(type(node.op))
+            if op is None:
+                raise MatchmakingError(f"operator not allowed: {ast.dump(node.op)}")
+            return op(self.visit(node.left), self.visit(node.right))
+        if isinstance(node, ast.Compare):
+            left = self.visit(node.left)
+            for op_node, comparator in zip(node.ops, node.comparators):
+                op = _ALLOWED_CMPOPS.get(type(op_node))
+                if op is None:
+                    raise MatchmakingError(f"comparison not allowed: {ast.dump(op_node)}")
+                right = self.visit(comparator)
+                try:
+                    if left is None or right is None or not op(left, right):
+                        return False
+                except TypeError:
+                    return False
+                left = right
+            return True
+        raise MatchmakingError(f"expression construct not allowed: {ast.dump(node)}")
+
+
+def evaluate(expression: str, *, my: ClassAd | None = None, target: ClassAd | None = None) -> Value:
+    """Evaluate a ClassAd expression string in MY/TARGET context."""
+    try:
+        tree = ast.parse(expression, mode="eval")
+    except SyntaxError as e:
+        raise MatchmakingError(f"malformed expression {expression!r}: {e}") from e
+    return _Evaluator(my, target).visit(tree)
+
+
+def requirements_met(ad: ClassAd, other: ClassAd) -> bool:
+    """Does ``ad``'s Requirements accept ``other``?  Absent => accept all."""
+    requirements = ad.get("Requirements")
+    if requirements is None:
+        return True
+    expr = requirements[1:] if isinstance(requirements, str) and requirements.startswith("=") else str(requirements)
+    return bool(evaluate(expr, my=ad, target=other))
+
+
+def matches(job: ClassAd, machine: ClassAd) -> bool:
+    """Symmetric match: both Requirements accept the other ad."""
+    return requirements_met(job, machine) and requirements_met(machine, job)
+
+
+def rank(ad: ClassAd, other: ClassAd) -> float:
+    """Evaluate ``ad``'s Rank against ``other``; absent/undefined => 0."""
+    raw = ad.get("Rank")
+    if raw is None:
+        return 0.0
+    expr = raw[1:] if isinstance(raw, str) and raw.startswith("=") else str(raw)
+    value = evaluate(expr, my=ad, target=other)
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return 0.0

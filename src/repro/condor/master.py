@@ -1,0 +1,92 @@
+"""condor_master: keeps the other Condor daemons alive.
+
+"There is another condor daemon, called the condor_master that is
+present on both local and remote nodes; its job is to keep track of the
+other Condor daemons" (Section 4.1).  Ours supervises registered
+daemons through a liveness probe and restarts them via a supplied
+factory when the probe fails — enough to demonstrate the supervision
+role in fault-injection tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.util.log import get_logger
+
+_log = get_logger("condor.master")
+
+
+@dataclass
+class Supervised:
+    name: str
+    alive: Callable[[], bool]
+    restart: Callable[[], Any]
+    restarts: int = 0
+
+
+class Master:
+    """Daemon supervisor for one host (or one pool in the simulation)."""
+
+    def __init__(self, *, check_interval: float = 0.05, max_restarts: int = 3):
+        self._interval = check_interval
+        self._max_restarts = max_restarts
+        self._supervised: dict[str, Supervised] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.events: list[str] = []
+
+    def supervise(
+        self, name: str, *, alive: Callable[[], bool], restart: Callable[[], Any]
+    ) -> None:
+        with self._lock:
+            self._supervised[name] = Supervised(name=name, alive=alive, restart=restart)
+        self._ensure_thread()
+
+    def _ensure_thread(self) -> None:
+        with self._lock:
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._watch, name="condor-master", daemon=True
+                )
+                self._thread.start()
+
+    def _watch(self) -> None:
+        while not self._stop.wait(self._interval):
+            with self._lock:
+                entries = list(self._supervised.values())
+            for entry in entries:
+                try:
+                    ok = entry.alive()
+                except Exception:  # noqa: BLE001 — a broken probe means dead
+                    ok = False
+                if ok:
+                    continue
+                if entry.restarts >= self._max_restarts:
+                    self.events.append(f"gave-up:{entry.name}")
+                    with self._lock:
+                        self._supervised.pop(entry.name, None)
+                    _log.warning("master giving up on %s", entry.name)
+                    continue
+                entry.restarts += 1
+                self.events.append(f"restart:{entry.name}")
+                _log.info("master restarting %s (attempt %d)", entry.name, entry.restarts)
+                try:
+                    entry.restart()
+                except Exception as e:  # noqa: BLE001
+                    _log.warning("restart of %s failed: %s", entry.name, e)
+
+    def restart_counts(self) -> dict[str, int]:
+        with self._lock:
+            return {s.name: s.restarts for s in self._supervised.values()}
+
+    def stop(self) -> None:
+        self._stop.set()
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            thread.join(timeout=5.0)

@@ -1,0 +1,280 @@
+"""The Condor MPI universe under TDP (paper Section 4.3).
+
+The paper's flow, reproduced step by step:
+
+1. The job "does not start until a suitable number of machines are
+   allocated by Condor" — the schedd claims ``machine_count`` machines
+   and activates the first; its starter becomes the *master starter*.
+2. "A first process (called 'master process') is started.  In MPI
+   terminology, this process has rank 0.  A paradynd is created
+   afterwards, information is exchanged between starter and paradynd
+   using the LASS, paradynd attaches to the process" — the vanilla
+   create-paused handshake, applied to rank 0.
+3. "Once the user issues the run command, the rest of the processes …
+   are created with a paradynd attached to each one of them.  Processes
+   are created and stopped, paradynds attach to them and, after
+   reporting to the front-end, they immediately issue a run command" —
+   rank 0's ``mpi.init`` (it only happens once the user ran it) triggers
+   the coordinator, which creates each remaining rank paused on its
+   claimed machine, stands up the per-host RM presence, launches a
+   paradynd per rank (``auto_run`` — they immediately continue), and
+   the job completes when every rank has exited.
+
+Simplification (documented): worker-rank creation is performed by this
+coordinator using the claimed machines' hosts and LASSes directly,
+standing in for the per-machine starters that real Condor would run;
+every protocol step they would perform (per-host LASS context, RM-side
+control service, pid publication, paradynd handshake) is preserved.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro import errors
+from repro.condor.submit import SubmitDescription
+from repro.condor.tools import ToolRegistry
+from repro.mpisim.runtime import MpiRuntime, RankInfo
+from repro.net.address import Endpoint, parse_endpoint
+from repro.sim.host import SimHost
+from repro.tdp.api import tdp_create_process, tdp_exit, tdp_init, tdp_put
+from repro.tdp.handle import Role, TdpHandle
+from repro.tdp.process import SimHostBackend
+from repro.tdp.wellknown import Attr, CreateMode
+from repro.transport.base import Transport
+from repro.util.log import TraceRecorder
+from repro.util.strings import join_arguments, split_arguments
+
+
+@dataclass
+class MachineSlot:
+    """One claimed machine: where a rank will run."""
+
+    hostname: str
+    lass_endpoint: Endpoint
+
+
+class MpiUniverseCoordinator:
+    """Runs one MPI-universe job from the master starter's position."""
+
+    def __init__(
+        self,
+        *,
+        transport: Transport,
+        master_host: SimHost,
+        master_lass: Endpoint,
+        job_id: str,
+        description: SubmitDescription,
+        extra_machines: list[MachineSlot],
+        tool_registry: ToolRegistry,
+        trace: TraceRecorder | None = None,
+    ):
+        self._transport = transport
+        self._master_host = master_host
+        self._master_lass = master_lass
+        self.job_id = job_id
+        self._desc = description
+        self._machines = [
+            MachineSlot(master_host.name, master_lass),
+            *extra_machines,
+        ]
+        self._tools = tool_registry
+        self._trace = trace
+        self.size = description.machine_count
+        if len(self._machines) < self.size:
+            raise errors.UniverseError(
+                f"MPI job needs {self.size} machines, got {len(self._machines)}"
+            )
+        self._cluster = master_host.cluster
+        self._runtime = MpiRuntime.ensure(self._cluster)
+        self._rank_handles: dict[int, TdpHandle] = {}
+        self._rank_pids: dict[int, tuple[str, int]] = {}  # rank -> (host, pid)
+        self._tool_handles: list = []
+        self._lock = threading.Lock()
+        self._workers_started = threading.Event()
+        self.master_pid: int | None = None
+
+    def _record(self, action: str, **details) -> None:
+        if self._trace is not None:
+            self._trace.record(f"mpi-coord/{self.job_id}", action, **details)
+
+    # -- environment ------------------------------------------------------------
+
+    def _rank_env(self, rank: int) -> dict[str, str]:
+        return {
+            **self._desc.environment,
+            "MPI_JOB": self.job_id,
+            "MPI_RANK": str(rank),
+            "MPI_SIZE": str(self.size),
+        }
+
+    # -- the flow -----------------------------------------------------------------
+
+    def start_master(self, master_handle: TdpHandle) -> int:
+        """Create rank 0 (paused when monitored) under the starter's handle.
+
+        Returns rank 0's pid.  Worker creation is armed on rank 0's
+        ``mpi.init``; the starter then launches rank 0's paradynd and
+        publishes the pid exactly as in the vanilla path.
+        """
+        self._runtime.create_job(self.job_id, self.size)
+        self._runtime.on_master_init(self.job_id, self._on_master_running)
+        mode = (
+            CreateMode.PAUSED
+            if (self._desc.monitored and self._desc.suspend_job_at_exec)
+            else CreateMode.RUN
+        )
+        self._record("create_master", rank=0, mode=mode.value)
+        info = tdp_create_process(
+            master_handle,
+            self._desc.executable,
+            self._desc.arguments,
+            env=self._rank_env(0),
+            mode=mode,
+        )
+        self.master_pid = info.pid
+        with self._lock:
+            self._rank_pids[0] = (self._master_host.name, info.pid)
+        return info.pid
+
+    def _on_master_running(self, master: RankInfo) -> None:
+        """Rank 0 reached mpi.init: create the remaining ranks.
+
+        Runs on the scheduler thread (service-hook context), so the
+        actual work is handed to a coordinator thread — creating paused
+        processes and doing TDP handshakes must not block the scheduler.
+        """
+        self._record("master_running", pid=master.pid)
+        threading.Thread(
+            target=self._start_workers,
+            name=f"mpi-workers-{self.job_id}",
+            daemon=True,
+        ).start()
+
+    def _start_workers(self) -> None:
+        try:
+            for rank in range(1, self.size):
+                self._start_one_worker(rank)
+        finally:
+            self._workers_started.set()
+
+    def _start_one_worker(self, rank: int) -> None:
+        slot = self._machines[rank]
+        host = self._cluster.host(slot.hostname)
+        context = f"{self.job_id}.r{rank}"
+        # The per-machine RM presence (the starter that machine's startd
+        # would have spawned).
+        self._record("tdp_init", rank=rank, host=slot.hostname, context=context)
+        handle = tdp_init(
+            self._transport,
+            slot.lass_endpoint,
+            member=f"starter/{context}",
+            role=Role.RM,
+            context=context,
+            backend=SimHostBackend(host),
+        )
+        assert handle.control is not None
+        handle.control.serve_tool_requests()
+        handle.start_service_loop()
+        with self._lock:
+            self._rank_handles[rank] = handle
+
+        monitored = self._desc.monitored
+        mode = CreateMode.PAUSED if monitored else CreateMode.RUN
+        self._record(
+            "tdp_create_process", target=f"AP.r{rank}", mode=mode.value,
+            host=slot.hostname,
+        )
+        info = tdp_create_process(
+            handle,
+            self._desc.executable,
+            self._desc.arguments,
+            env=self._rank_env(rank),
+            mode=mode,
+        )
+        with self._lock:
+            self._rank_pids[rank] = (slot.hostname, info.pid)
+
+        if monitored:
+            tool = self._desc.tool_daemon
+            assert tool is not None
+            from repro.condor.tools import ToolLaunchContext
+
+            self._record("tdp_create_process", target=f"RT.r{rank}", mode="run")
+            launcher = self._tools.resolve(tool.cmd)
+            ctx = ToolLaunchContext(
+                transport=self._transport,
+                host=slot.hostname,
+                lass_endpoint=slot.lass_endpoint,
+                context=context,
+                args=split_arguments(tool.args_template),
+                job_id=context,
+                trace=self._trace,
+                # Worker-rank tools run immediately after attach — the
+                # paper's "they immediately issue a run command".
+                extras={"sim_host": host, "force_auto_run": True},
+            )
+            tool_handle = launcher(ctx)
+            with self._lock:
+                self._tool_handles.append(tool_handle)
+            self._record("tdp_put", rank=rank, attribute=Attr.PID, value=str(info.pid))
+            tdp_put(handle, Attr.PID, str(info.pid))
+            tdp_put(handle, Attr.EXECUTABLE_NAME, self._desc.executable)
+            tdp_put(handle, Attr.APP_HOST, slot.hostname)
+            tdp_put(handle, Attr.APP_ARGS, join_arguments(self._desc.arguments))
+            # paradynd will attach and (auto_run) immediately continue —
+            # "they immediately issue a run command".
+
+    # -- completion -----------------------------------------------------------------
+
+    def wait_all_exited(self, master_handle: TdpHandle, timeout: float | None = None) -> int:
+        """Wait for every rank; returns 0 if all clean, else first nonzero."""
+        assert master_handle.control is not None
+        assert self.master_pid is not None
+        codes = [master_handle.control.wait_exit(self.master_pid, timeout=timeout)]
+        # Workers exist only if the master ever ran; after its exit the
+        # worker-creation thread has either run or never will.
+        if self._workers_started.wait(timeout=10.0):
+            with self._lock:
+                workers = [
+                    (rank, self._rank_handles[rank], self._rank_pids[rank][1])
+                    for rank in sorted(self._rank_handles)
+                ]
+            for _rank, handle, pid in workers:
+                assert handle.control is not None
+                codes.append(handle.control.wait_exit(pid, timeout=timeout))
+        self._record("all_ranks_exited", codes=",".join(map(str, codes)))
+        return next((c for c in codes if c != 0), 0)
+
+    def cleanup(self) -> None:
+        for tool_handle in self._tool_handles:
+            try:
+                tool_handle.join(timeout=5.0)
+            except errors.ToolError:
+                pass
+            tool_handle.stop()
+        with self._lock:
+            handles = list(self._rank_handles.values())
+            self._rank_handles.clear()
+        for handle in handles:
+            handle.stop_service_loop()
+            tdp_exit(handle)
+
+
+def machine_slots_from_wire(extra_machines: list[dict]) -> list[MachineSlot]:
+    """Decode the activation message's extra machine list."""
+    slots = []
+    for entry in extra_machines:
+        lass = str(entry.get("lass", ""))
+        if not lass:
+            raise errors.UniverseError(
+                f"claimed machine {entry.get('machine')!r} has no LASS endpoint"
+            )
+        slots.append(
+            MachineSlot(
+                hostname=str(entry["machine"]),
+                lass_endpoint=parse_endpoint(lass),
+            )
+        )
+    return slots

@@ -1,0 +1,374 @@
+"""condor_schedd: the submit-side job queue and claim orchestrator.
+
+"Any submit machine needs to have a condor_schedd running.  Basically,
+condor_schedd takes care of the job until a suitable and available
+resource is found for the job.  The condor_schedd spawns a
+condor_shadow daemon to serve that particular request" (Section 4.1).
+
+Flow per job (the Figure 4 interaction the FIG4 bench traces):
+
+1. ``submit`` queues the job (status IDLE) and wakes the negotiation
+   thread;
+2. the schedd sends the job ad to the **matchmaker** and receives
+   machine matches;
+3. it runs the **claiming protocol** against each matched startd (which
+   may refuse — then the reservation is released and the job retried);
+4. it spawns a **shadow** and sends the startd an activation message
+   naming the shadow and stdio endpoints;
+5. the shadow tracks the job to completion.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import errors
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.condor.job import JobId, JobRecord, JobStatus, job_ad
+from repro.condor.shadow import Shadow
+from repro.condor.startd import description_to_wire
+from repro.condor.submit import SubmitDescription, parse_submit_file
+from repro.net.address import Endpoint, parse_endpoint
+from repro.transport.base import Transport
+from repro.util.ids import IdAllocator, fresh_token
+from repro.util.log import TraceRecorder, get_logger
+
+_log = get_logger("condor.schedd")
+
+
+class Schedd:
+    """The submit-machine queue daemon."""
+
+    #: how long to wait before retrying a job that found no match
+    RETRY_INTERVAL = 0.05
+    #: attempts before a job is marked FAILED
+    MAX_ATTEMPTS = 20
+
+    def __init__(
+        self,
+        transport: Transport,
+        submit_host: str,
+        matchmaker_endpoint: Endpoint,
+        *,
+        submit_fs: dict[str, str] | None = None,
+        trace: TraceRecorder | None = None,
+        start_cass: bool = True,
+    ):
+        self._transport = transport
+        self.submit_host = submit_host
+        self._matchmaker_endpoint = matchmaker_endpoint
+        # "There is also a central attribute space server (CASS) process
+        # on the host running the tool front-end", started by the RM
+        # front-end (paper Section 2.1) — which is this daemon.
+        self.cass: AttributeSpaceServer | None = (
+            AttributeSpaceServer(
+                transport, submit_host, role=ServerRole.CASS,
+                name=f"cass@{submit_host}",
+            )
+            if start_cass
+            else None
+        )
+        self._submit_fs = submit_fs if submit_fs is not None else {}
+        self._trace = trace
+        self._clusters = IdAllocator()
+        self._jobs: dict[str, JobRecord] = {}
+        self._shadows: dict[str, Shadow] = {}
+        # job_id -> [(machine, startd_endpoint, claim_id, lass)] while active
+        self._active_claims: dict[str, list] = {}
+        self._queue: list[JobRecord] = []
+        self._cond = threading.Condition()
+        self._stopped = False
+        self._negotiator = threading.Thread(
+            target=self._negotiation_loop, name="schedd-negotiate", daemon=True
+        )
+        self._negotiator.start()
+
+    def _record(self, action: str, **details) -> None:
+        if self._trace is not None:
+            self._trace.record("schedd", action, **details)
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(self, description: SubmitDescription) -> JobRecord:
+        """Queue one job; returns its record immediately (status IDLE)."""
+        description.validate()
+        cluster = self._clusters.next()
+        record = JobRecord(job_id=JobId(cluster), description=description)
+        with self._cond:
+            self._jobs[str(record.job_id)] = record
+            self._queue.append(record)
+            self._cond.notify()
+        self._record("submit", job=str(record.job_id), executable=description.executable)
+        return record
+
+    def submit_file(self, text: str) -> list[JobRecord]:
+        """Parse a submit description file and queue all its jobs.
+
+        A ``queue N`` statement enqueues N independent copies (Condor's
+        cluster/proc expansion, flattened to separate clusters here).
+        """
+        records = []
+        for desc in parse_submit_file(text):
+            for _ in range(desc.count):
+                records.append(self.submit(desc))
+        return records
+
+    def job(self, job_id: str) -> JobRecord:
+        with self._cond:
+            record = self._jobs.get(job_id)
+        if record is None:
+            raise errors.ResourceManagerError(f"no such job {job_id!r}")
+        return record
+
+    def jobs(self) -> list[JobRecord]:
+        with self._cond:
+            return list(self._jobs.values())
+
+    # -- negotiation / claiming ----------------------------------------------------
+
+    def _negotiation_loop(self) -> None:
+        attempts: dict[str, int] = {}
+        while not self._stopped:
+            with self._cond:
+                while not self._queue and not self._stopped:
+                    self._cond.wait(timeout=0.2)
+                if self._stopped:
+                    return
+                record = self._queue.pop(0)
+            try:
+                placed = self._try_place(record)
+            except errors.TdpError as e:
+                placed = False
+                _log.warning("placement error for %s: %s", record.job_id, e)
+            if placed:
+                attempts.pop(str(record.job_id), None)
+                continue
+            n = attempts.get(str(record.job_id), 0) + 1
+            attempts[str(record.job_id)] = n
+            if n >= self.MAX_ATTEMPTS:
+                record.set_status(
+                    JobStatus.FAILED,
+                    failure_reason="no matching/claimable machines",
+                )
+                self._record("job_unplaceable", job=str(record.job_id))
+                continue
+            # Requeue after a pause (machines may free up).
+            def requeue(rec=record):
+                with self._cond:
+                    if not self._stopped:
+                        self._queue.append(rec)
+                        self._cond.notify()
+
+            timer = threading.Timer(self.RETRY_INTERVAL, requeue)
+            timer.daemon = True
+            timer.start()
+
+    def _matchmaker_rpc(self, message: dict) -> dict:
+        channel = self._transport.connect(
+            self.submit_host, self._matchmaker_endpoint, timeout=10.0
+        )
+        try:
+            return channel.request(message, timeout=10.0)
+        finally:
+            channel.close()
+
+    def _startd_rpc(self, endpoint: Endpoint, message: dict) -> dict:
+        channel = self._transport.connect(self.submit_host, endpoint, timeout=10.0)
+        try:
+            return channel.request(message, timeout=30.0)
+        finally:
+            channel.close()
+
+    def _try_place(self, record: JobRecord) -> bool:
+        """One negotiate+claim+activate attempt.  True when job is running."""
+        ad = job_ad(record)
+        wanted = record.description.machine_count
+        reply = self._matchmaker_rpc(
+            {"op": "negotiate", "job_ad": ad.attrs, "count": wanted}
+        )
+        if not reply.get("ok"):
+            return False
+        matches = reply["matches"]
+        record.set_status(JobStatus.MATCHED)
+        self._record(
+            "match_notification",
+            job=str(record.job_id),
+            machines=",".join(m["machine"] for m in matches),
+        )
+
+        # Claiming protocol against each matched startd.
+        # entries: (machine, startd_endpoint, claim_id, lass_endpoint_str)
+        claims: list[tuple[str, Endpoint, str, str]] = []
+        for m in matches:
+            startd_endpoint = parse_endpoint(str(m["startd"]))
+            claim_id = fresh_token("claim")
+            self._record("claim_request", machine=m["machine"], claim=claim_id)
+            try:
+                answer = self._startd_rpc(
+                    startd_endpoint,
+                    {"op": "claim_request", "claim_id": claim_id, "job_ad": ad.attrs},
+                )
+            except errors.TdpError:
+                answer = {"ok": False}
+            if not answer.get("ok"):
+                # Claim refused: release everything and let the caller retry.
+                self._record("claim_refused", machine=m["machine"], claim=claim_id)
+                for machine, endpoint, cid, _lass in claims:
+                    self._startd_rpc(endpoint, {"op": "release_claim", "claim_id": cid})
+                    self._matchmaker_rpc({"op": "release", "machine": machine})
+                self._matchmaker_rpc({"op": "release", "machine": m["machine"]})
+                record.set_status(JobStatus.IDLE)
+                return False
+            claims.append(
+                (m["machine"], startd_endpoint, claim_id, str(m.get("lass", "")))
+            )
+        record.machines = [c[0] for c in claims]
+        record.set_status(JobStatus.CLAIMED)
+
+        # Spawn the shadow for this request, then activate the claim(s).
+        shadow = Shadow(
+            self._transport,
+            self.submit_host,
+            record,
+            submit_fs=self._submit_fs,
+            trace=self._trace,
+        )
+        self._shadows[str(record.job_id)] = shadow
+        self._record("spawn_shadow", job=str(record.job_id))
+
+        job_wire = description_to_wire(record.description)
+        primary_machine, primary_endpoint, primary_claim, _primary_lass = claims[0]
+        activation = {
+            "op": "activate_claim",
+            "claim_id": primary_claim,
+            "job_id": str(record.job_id),
+            "submit_host": self.submit_host,
+            "cass": str(self.cass.endpoint) if self.cass is not None else "",
+            "job": job_wire,
+            "shadow": str(shadow.endpoint),
+            "stdio": str(shadow.stdio_endpoint),
+            "extra_machines": [
+                {"machine": mach, "startd": str(ep), "claim": cid, "lass": lass}
+                for mach, ep, cid, lass in claims[1:]
+            ],
+        }
+        self._active_claims[str(record.job_id)] = claims
+        self._record("activate_claim", machine=primary_machine, claim=primary_claim)
+        answer = self._startd_rpc(primary_endpoint, activation)
+        if not answer.get("ok"):
+            record.set_status(
+                JobStatus.FAILED, failure_reason=str(answer.get("error"))
+            )
+            return True  # terminal; do not retry
+
+        # Release machinery when the job reaches a terminal state.
+        def releaser() -> None:
+            try:
+                record.wait_terminal(timeout=None)
+            except errors.TdpError:
+                return
+            self._active_claims.pop(str(record.job_id), None)
+            for machine, endpoint, cid, _lass in claims:
+                try:
+                    self._startd_rpc(endpoint, {"op": "release_claim", "claim_id": cid})
+                    self._matchmaker_rpc({"op": "release", "machine": machine})
+                except errors.TdpError:
+                    pass
+            shadow.stop()
+
+        threading.Thread(
+            target=releaser, name=f"schedd-release-{record.job_id}", daemon=True
+        ).start()
+        return True
+
+    # -- user job control (condor_hold / condor_release) ----------------------------
+
+    def _primary_claim(self, job_id: str):
+        claims = self._active_claims.get(job_id)
+        if not claims:
+            raise errors.ResourceManagerError(
+                f"job {job_id!r} has no active claim (not running?)"
+            )
+        return claims[0]
+
+    def hold(self, job_id: str) -> None:
+        """Suspend a running job (the RM pauses it; tools see 'stopped')."""
+        record = self.job(job_id)
+        _machine, endpoint, claim_id, _lass = self._primary_claim(job_id)
+        answer = self._startd_rpc(
+            endpoint, {"op": "suspend_job", "claim_id": claim_id}
+        )
+        if not answer.get("ok"):
+            raise errors.ResourceManagerError(
+                f"hold failed: {answer.get('error')}"
+            )
+        record.set_status(JobStatus.HELD)
+        self._record("job_held", job=job_id)
+
+    def release(self, job_id: str) -> None:
+        """Resume a held job."""
+        record = self.job(job_id)
+        _machine, endpoint, claim_id, _lass = self._primary_claim(job_id)
+        answer = self._startd_rpc(
+            endpoint, {"op": "resume_job", "claim_id": claim_id}
+        )
+        if not answer.get("ok"):
+            raise errors.ResourceManagerError(
+                f"release failed: {answer.get('error')}"
+            )
+        record.set_status(JobStatus.RUNNING)
+        self._record("job_released", job=job_id)
+
+    def attach_tool(
+        self, job_id: str, cmd: str, args: str, *, output: str | None = None
+    ) -> None:
+        """Ask the execution-side RM to attach a run-time tool to a
+        RUNNING job (the Figure 3B flow through the batch system)."""
+        self.job(job_id)  # validates existence
+        _machine, endpoint, claim_id, _lass = self._primary_claim(job_id)
+        answer = self._startd_rpc(
+            endpoint,
+            {"op": "attach_tool", "claim_id": claim_id, "cmd": cmd,
+             "args": args, "output": output},
+        )
+        if not answer.get("ok"):
+            raise errors.ResourceManagerError(
+                f"attach_tool failed: {answer.get('error')}"
+            )
+        self._record("tool_attached", job=job_id, cmd=cmd)
+
+    def remove(self, job_id: str) -> None:
+        """condor_rm: remove a job — dequeue it if idle, kill it if running.
+
+        The terminal status becomes REMOVED either way.
+        """
+        record = self.job(job_id)
+        claims = self._active_claims.get(job_id)
+        if claims:
+            record.removal_requested = True
+            _machine, endpoint, claim_id, _lass = claims[0]
+            answer = self._startd_rpc(
+                endpoint, {"op": "kill_job", "claim_id": claim_id}
+            )
+            if not answer.get("ok"):
+                raise errors.ResourceManagerError(
+                    f"remove failed: {answer.get('error')}"
+                )
+            self._record("job_removed", job=job_id, how="killed")
+            return
+        # Idle/queued: drop it from the queue.
+        with self._cond:
+            self._queue = [r for r in self._queue if str(r.job_id) != job_id]
+        record.set_status(JobStatus.REMOVED)
+        self._record("job_removed", job=job_id, how="dequeued")
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+        for shadow in self._shadows.values():
+            shadow.stop()
+        if self.cass is not None:
+            self.cass.stop()

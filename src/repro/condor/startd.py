@@ -1,0 +1,314 @@
+"""condor_startd: represents one execution machine in the pool.
+
+"The condor_startd runs on each machine … on which you wish to be able
+to execute jobs.  When the condor_startd is ready to execute a Condor
+job, it spawns the condor_starter" (Section 4.1).
+
+The startd also starts the host's LASS at boot — the paper assigns LASS
+startup to the RM ("The LASS's are started by the RM", Section 2.1) and
+the startd is the RM's per-host presence.
+
+Wire protocol (schedd -> startd):
+
+* ``claim_request {claim_id, job_ad}`` — the claiming protocol; the
+  startd re-verifies willingness and may refuse.
+* ``activate_claim {claim_id, job, shadow, stdio}`` — spawn a starter.
+* ``release_claim {claim_id}``
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import errors
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.condor.classad import ClassAd, matches
+from repro.condor.starter import Starter
+from repro.condor.submit import SubmitDescription, ToolDaemonSpec
+from repro.condor.tools import ToolRegistry
+from repro.net.address import Endpoint, parse_endpoint
+from repro.sim.host import SimHost
+from repro.transport.base import Transport
+from repro.util.log import TraceRecorder, get_logger
+from repro.util.strings import split_arguments
+
+_log = get_logger("condor.startd")
+
+
+def default_machine_ad(host: SimHost, *, memory: int = 1024, cpus: int = 1) -> ClassAd:
+    """The machine ad a startd advertises (the resource offer)."""
+    return ClassAd(
+        kind="machine",
+        attrs={
+            "Name": host.name,
+            "Machine": host.name,
+            "Memory": memory,
+            "Cpus": cpus,
+            "Arch": "X86_64",
+            "OpSys": "LINUX",
+            "State": "Unclaimed",
+        },
+    )
+
+
+class Startd:
+    """One startd daemon on one simulated host."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        host: SimHost,
+        tool_registry: ToolRegistry,
+        *,
+        machine_ad: ClassAd | None = None,
+        trace: TraceRecorder | None = None,
+        proxy: Endpoint | None = None,
+    ):
+        self._transport = transport
+        self.host = host
+        self._tools = tool_registry
+        self._trace = trace
+        self._proxy = proxy
+        self.ad = machine_ad if machine_ad is not None else default_machine_ad(host)
+        # The RM starts the LASS on each execution host (Section 2.1).
+        self.lass = AttributeSpaceServer(
+            transport, host.name, role=ServerRole.LASS,
+            name=f"lass@{host.name}", local_only=True,
+        )
+        self._listener = transport.listen(host.name)
+        self._claims: dict[str, dict] = {}  # claim_id -> {"job_ad", "starter"}
+        self._all_starters: list[Starter] = []  # history incl. released claims
+        self._lock = threading.Lock()
+        self._stopped = False
+        threading.Thread(
+            target=self._accept_loop, name=f"startd-{host.name}", daemon=True
+        ).start()
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return self._listener.endpoint
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._listener.close()
+        self.lass.stop()
+
+    def _record(self, action: str, **details) -> None:
+        if self._trace is not None:
+            self._trace.record(f"startd@{self.host.name}", action, **details)
+
+    @property
+    def claimed(self) -> bool:
+        with self._lock:
+            return bool(self._claims)
+
+    def starters(self) -> list[Starter]:
+        """Every starter this startd ever spawned (incl. finished jobs)."""
+        with self._lock:
+            return list(self._all_starters)
+
+    # -- RPC server -------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopped:
+            try:
+                channel = self._listener.accept()
+            except errors.TdpError:
+                return
+            threading.Thread(
+                target=self._serve, args=(channel,), daemon=True,
+                name=f"startd-conn-{self.host.name}",
+            ).start()
+
+    def _serve(self, channel) -> None:
+        try:
+            while True:
+                request = channel.recv()
+                op = request.get("op")
+                if op == "claim_request":
+                    channel.send(self._claim_request(request))
+                elif op == "activate_claim":
+                    channel.send(self._activate_claim(request))
+                elif op == "release_claim":
+                    channel.send(self._release_claim(request))
+                elif op == "suspend_job":
+                    channel.send(self._suspend_resume(request, suspend=True))
+                elif op == "resume_job":
+                    channel.send(self._suspend_resume(request, suspend=False))
+                elif op == "kill_job":
+                    channel.send(self._kill_job(request))
+                elif op == "attach_tool":
+                    channel.send(self._attach_tool(request))
+                else:
+                    channel.send({"ok": False, "error": f"unknown op {op!r}"})
+        except errors.TdpError:
+            pass
+        finally:
+            channel.close()
+
+    # -- claiming protocol ---------------------------------------------------------
+
+    def _claim_request(self, request: dict) -> dict:
+        claim_id = str(request.get("claim_id"))
+        job_ad = ClassAd(kind="job", attrs=dict(request.get("job_ad", {})))
+        # "either party may decide not to complete the allocation": the
+        # startd re-verifies the match before accepting.
+        if not matches(job_ad, self.ad):
+            self._record("claim_refused", claim=claim_id)
+            return {"ok": False, "error": "requirements no longer satisfied"}
+        with self._lock:
+            if self._claims:
+                self._record("claim_refused", claim=claim_id, reason="busy")
+                return {"ok": False, "error": "machine already claimed"}
+            self._claims[claim_id] = {"job_ad": job_ad, "starter": None}
+        self.ad.attrs["State"] = "Claimed"
+        self._record("claim_accepted", claim=claim_id, job=job_ad.get("JobId"))
+        return {"ok": True}
+
+    def _activate_claim(self, request: dict) -> dict:
+        claim_id = str(request.get("claim_id"))
+        with self._lock:
+            claim = self._claims.get(claim_id)
+        if claim is None:
+            return {"ok": False, "error": f"no such claim {claim_id!r}"}
+        try:
+            description = _description_from_wire(dict(request.get("job", {})))
+            shadow = parse_endpoint(str(request["shadow"]))
+            stdio = (
+                parse_endpoint(str(request["stdio"]))
+                if request.get("stdio")
+                else None
+            )
+        except (KeyError, errors.TdpError) as e:
+            return {"ok": False, "error": f"malformed activation: {e}"}
+        starter = Starter(
+            transport=self._transport,
+            host=self.host,
+            lass_endpoint=self.lass.endpoint,
+            job_id=str(request.get("job_id", claim_id)),
+            description=description,
+            shadow_endpoint=shadow,
+            stdio_endpoint=stdio,
+            tool_registry=self._tools,
+            trace=self._trace,
+            proxy=self._proxy,
+            extra_machines=list(request.get("extra_machines", [])),
+            submit_host=str(request.get("submit_host", "")) or None,
+            cass_endpoint=(
+                parse_endpoint(str(request["cass"]))
+                if request.get("cass")
+                else None
+            ),
+        )
+        with self._lock:
+            claim["starter"] = starter
+            self._all_starters.append(starter)
+        self._record("spawn_starter", claim=claim_id, job=request.get("job_id"))
+        starter.start()
+        return {"ok": True}
+
+    def _suspend_resume(self, request: dict, *, suspend: bool) -> dict:
+        claim_id = str(request.get("claim_id"))
+        with self._lock:
+            claim = self._claims.get(claim_id)
+        starter = claim.get("starter") if claim else None
+        if starter is None:
+            return {"ok": False, "error": f"no active starter for {claim_id!r}"}
+        ok = starter.suspend_job() if suspend else starter.resume_job()
+        if not ok:
+            return {"ok": False, "error": "job not in a controllable state"}
+        return {"ok": True}
+
+    def _attach_tool(self, request: dict) -> dict:
+        claim_id = str(request.get("claim_id"))
+        with self._lock:
+            claim = self._claims.get(claim_id)
+        starter = claim.get("starter") if claim else None
+        if starter is None:
+            return {"ok": False, "error": f"no active starter for {claim_id!r}"}
+        ok = starter.attach_tool(
+            str(request.get("cmd", "")),
+            str(request.get("args", "")),
+            request.get("output"),
+        )
+        if not ok:
+            return {"ok": False, "error": "could not attach tool (already monitored?)"}
+        return {"ok": True}
+
+    def _kill_job(self, request: dict) -> dict:
+        claim_id = str(request.get("claim_id"))
+        with self._lock:
+            claim = self._claims.get(claim_id)
+        starter = claim.get("starter") if claim else None
+        if starter is None:
+            return {"ok": False, "error": f"no active starter for {claim_id!r}"}
+        if not starter.kill_job():
+            return {"ok": False, "error": "job not in a killable state"}
+        return {"ok": True}
+
+    def _release_claim(self, request: dict) -> dict:
+        claim_id = str(request.get("claim_id"))
+        with self._lock:
+            self._claims.pop(claim_id, None)
+            busy = bool(self._claims)
+        if not busy:
+            self.ad.attrs["State"] = "Unclaimed"
+        self._record("claim_released", claim=claim_id)
+        return {"ok": True}
+
+
+def _description_from_wire(wire: dict) -> SubmitDescription:
+    """Rebuild a SubmitDescription from its activation-message form."""
+    tool = None
+    if wire.get("tool_daemon"):
+        t = wire["tool_daemon"]
+        tool = ToolDaemonSpec(
+            cmd=str(t["cmd"]),
+            args_template=str(t.get("args_template", "")),
+            output=t.get("output"),
+            error=t.get("error"),
+            input=t.get("input"),
+            transfer_input=list(t.get("transfer_input", [])),
+        )
+    return SubmitDescription(
+        universe=str(wire.get("universe", "vanilla")),
+        executable=str(wire["executable"]),
+        arguments=list(wire.get("arguments", [])),
+        input=wire.get("input"),
+        output=wire.get("output"),
+        error=wire.get("error"),
+        environment=dict(wire.get("environment", {})),
+        machine_count=int(wire.get("machine_count", 1)),
+        transfer_input_files=list(wire.get("transfer_input_files", [])),
+        transfer_output_files=list(wire.get("transfer_output_files", [])),
+        suspend_job_at_exec=bool(wire.get("suspend_job_at_exec", False)),
+        tool_daemon=tool,
+    )
+
+
+def description_to_wire(desc: SubmitDescription) -> dict:
+    """Serialize a SubmitDescription for the activation message."""
+    wire: dict = {
+        "universe": desc.universe,
+        "executable": desc.executable,
+        "arguments": desc.arguments,
+        "input": desc.input,
+        "output": desc.output,
+        "error": desc.error,
+        "environment": desc.environment,
+        "machine_count": desc.machine_count,
+        "transfer_input_files": desc.transfer_input_files,
+        "transfer_output_files": desc.transfer_output_files,
+        "suspend_job_at_exec": desc.suspend_job_at_exec,
+    }
+    if desc.tool_daemon is not None:
+        t = desc.tool_daemon
+        wire["tool_daemon"] = {
+            "cmd": t.cmd,
+            "args_template": t.args_template,
+            "output": t.output,
+            "error": t.error,
+            "input": t.input,
+            "transfer_input": t.transfer_input,
+        }
+    return wire

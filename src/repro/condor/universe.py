@@ -1,0 +1,32 @@
+"""Execution universes (paper Section 4.3).
+
+"Condor defines six different execution environments, called
+'universes', to run applications."  The pilot demonstrated two, which
+are the two we implement:
+
+* **Vanilla** — any sequential job, run as-is; the default path through
+  the starter.
+* **MPI** — MPICH-ch_p4-style parallel jobs: the submit file names a
+  ``machine_count``; rank 0 (the "master process") starts first (paused,
+  monitored), and once the user continues it, the remaining ranks are
+  created — each paused with a tool daemon attached — and continued
+  (Section 4.3's description of the MPI universe flow).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Universe(enum.Enum):
+    VANILLA = "vanilla"
+    MPI = "mpi"
+
+    @classmethod
+    def of(cls, name: str) -> "Universe":
+        try:
+            return cls(name.lower())
+        except ValueError:
+            from repro.errors import UniverseError
+
+            raise UniverseError(f"unsupported universe {name!r}") from None

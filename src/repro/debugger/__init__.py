@@ -1,0 +1,19 @@
+"""A second run-time tool: a gdb-like batch debugger over TDP.
+
+The paper's whole argument is that a standard interface makes tools
+portable across resource managers without per-pair work (m + n instead
+of m x n).  This package is the proof by construction: a *different*
+tool — a debugger, not a profiler — that runs under the same unmodified
+Condor substrate purely by speaking TDP:
+
+* same launch path (``+ToolDaemonCmd = "tdb"`` in the submit file),
+* same pid handshake (blocking ``tdp_get("pid")``),
+* same attach/continue coordination through the RM,
+* its own tool logic (breakpoints, stack capture, watch log).
+
+Nothing in :mod:`repro.condor` knows this tool exists.
+"""
+
+from repro.debugger.daemon import DebuggerDaemon, launch_tdb, register_tdb
+
+__all__ = ["DebuggerDaemon", "launch_tdb", "register_tdb"]

@@ -1,0 +1,22 @@
+"""MPICH-ch_p4-style message passing for simulated programs.
+
+The pilot demonstrated the Condor **MPI universe** with applications
+compiled against MPICH ch_p4 (paper Section 4.3): a master process
+(rank 0) starts first; the remaining ranks are created afterwards, each
+with a paradynd attached before it runs.  This package provides:
+
+* :mod:`~repro.mpisim.runtime` — the per-cluster MPI runtime: rank
+  registration, peer lookup, and job coordination hooks (the ch_p4
+  "procgroup" machinery);
+* :mod:`~repro.mpisim.comm` — generator-side communication helpers for
+  simulated programs: ``send``/``recv``, ``barrier``, ``bcast``,
+  ``reduce``, ``allreduce`` built on the mailbox syscalls;
+* :mod:`~repro.mpisim.programs` — MPI workload programs (ring, pi,
+  imbalanced compute) registered as executables.
+"""
+
+from repro.mpisim.runtime import MpiRuntime, RankInfo
+from repro.mpisim.comm import MpiComm
+from repro.mpisim.programs import register_mpi_programs
+
+__all__ = ["MpiRuntime", "RankInfo", "MpiComm", "register_mpi_programs"]

@@ -1,0 +1,110 @@
+"""MPI workload programs (registered as executables).
+
+* ``mpi_ring`` — a token circulates rank 0 -> 1 -> … -> 0; classic
+  startup/connectivity check.
+* ``mpi_pi`` — the textbook master/worker pi integration (rank 0
+  broadcasts N, all ranks compute partial sums, reduce to rank 0).
+* ``mpi_imbalanced`` — ranks burn CPU proportional to ``rank+1``; the
+  profiling target for multi-process bottleneck experiments.
+"""
+
+from __future__ import annotations
+
+from repro.mpisim.comm import MpiComm
+from repro.sim import syscalls as sc
+from repro.sim.loader import ProgramRegistry, _float_arg, _int_arg
+from repro.sim.syscalls import Program, call
+
+
+def mpi_ring(argv: list[str]) -> Program:
+    """Pass a counter token around the ring ``laps`` times (argv[0])."""
+
+    laps = _int_arg(argv, 0, 1)
+
+    def body():
+        comm = yield from MpiComm.init()
+        nxt = (comm.rank + 1) % comm.size
+        prev = (comm.rank - 1) % comm.size
+        if comm.rank == 0:
+            token = 0
+            for _ in range(laps):
+                yield from comm.send(nxt, token, tag="ring")
+                _src, token = yield from comm.recv(prev, tag="ring")
+                token += 1
+            yield sc.Print(f"token={token}")
+        else:
+            for _ in range(laps):
+                _src, token = yield from comm.recv(prev, tag="ring")
+                yield from comm.send(nxt, token + 1, tag="ring")
+        yield from comm.barrier()
+
+    yield from call("main", body())
+
+
+def mpi_pi(argv: list[str]) -> Program:
+    """Estimate pi by midpoint integration of 4/(1+x^2) over [0,1].
+
+    Rank 0 broadcasts the interval count (argv[0], default 1000), every
+    rank computes its strided partial sum, and a reduce collects the
+    result at rank 0 (which prints it) — the classic MPI tutorial shape.
+    """
+
+    intervals = _int_arg(argv, 0, 1000)
+
+    def compute_partial(comm, n):
+        h = 1.0 / n
+        s = 0.0
+        for k, i in enumerate(range(comm.rank, n, comm.size)):
+            x = h * (i + 0.5)
+            s += 4.0 / (1.0 + x * x)
+            if k % 64 == 0:  # charge virtual CPU every 64 local iterations
+                yield sc.Compute(0.0005)
+        return s * h
+
+    def body():
+        comm = yield from MpiComm.init()
+        n = yield from comm.bcast(intervals if comm.rank == 0 else None, root=0)
+        partial = yield from call("compute_partial", compute_partial(comm, n))
+        total = yield from comm.reduce_sum(partial, root=0)
+        if comm.rank == 0:
+            yield sc.Print(f"pi={total:.6f}")
+
+    yield from call("main", body())
+
+
+def mpi_imbalanced(argv: list[str]) -> Program:
+    """Each rank burns ``base * (rank+1)`` virtual CPU seconds, then all
+    ranks barrier — the highest rank is the planted laggard."""
+
+    base = _float_arg(argv, 0, 0.1)
+
+    def work(comm):
+        total = base * (comm.rank + 1)
+        burned = 0.0
+        while burned < total:
+            step = min(0.01, total - burned)
+            yield sc.Compute(step)
+            burned += step
+
+    def body():
+        comm = yield from MpiComm.init()
+        yield from call("work", work(comm))
+        yield from comm.barrier()
+        if comm.rank == 0:
+            yield sc.Print("imbalanced run complete")
+
+    yield from call("main", body())
+
+
+MPI_EXECUTABLES = {
+    "mpi_ring": (mpi_ring, ["main"]),
+    "mpi_pi": (mpi_pi, ["main", "compute_partial"]),
+    "mpi_imbalanced": (mpi_imbalanced, ["main", "work"]),
+}
+
+
+def register_mpi_programs(registry: ProgramRegistry) -> ProgramRegistry:
+    """Add the MPI workloads to an executable registry."""
+    for name, (factory, functions) in MPI_EXECUTABLES.items():
+        registry.register(name, factory, functions=functions)
+    return registry

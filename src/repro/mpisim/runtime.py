@@ -1,0 +1,144 @@
+"""The simulated MPI runtime: rank registration and peer lookup.
+
+ch_p4-style startup: every process is created with ``MPI_JOB``,
+``MPI_RANK`` and ``MPI_SIZE`` in its environment (the "procgroup"
+knowledge), calls the ``mpi.init`` service to register its (host, pid)
+under its rank, and discovers peers through ``mpi.lookup``.  Service
+handlers run on the scheduler thread and never block; programs poll
+``mpi.lookup`` (with tiny sleeps) until a peer appears — which is
+exactly how ch_p4 startup waits for slow-to-arrive processes.
+
+The runtime also exposes a *master-arrival hook* per job: the Condor
+MPI-universe coordinator registers a callback that fires when rank 0
+calls ``mpi.init``, which is the moment the remaining ranks should be
+created (paper Section 4.3).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import MpiError, RankError
+from repro.sim.cluster import SimCluster
+from repro.sim.process import SimProcess
+
+
+@dataclass(frozen=True)
+class RankInfo:
+    rank: int
+    host: str
+    pid: int
+
+
+class _JobTable:
+    def __init__(self, size: int):
+        self.size = size
+        self.ranks: dict[int, RankInfo] = {}
+        self.master_hooks: list[Callable[[RankInfo], None]] = []
+
+
+class MpiRuntime:
+    """One per cluster; registers the ``mpi.*`` services."""
+
+    _instances: "weakref.WeakKeyDictionary[SimCluster, MpiRuntime]" = (
+        weakref.WeakKeyDictionary()
+    )
+    _instances_lock = threading.Lock()
+
+    @classmethod
+    def ensure(cls, cluster: SimCluster) -> "MpiRuntime":
+        """The cluster's runtime, created on first use (idempotent)."""
+        with cls._instances_lock:
+            runtime = cls._instances.get(cluster)
+            if runtime is None:
+                runtime = cls(cluster)
+                cls._instances[cluster] = runtime
+            return runtime
+
+    def __init__(self, cluster: SimCluster):
+        self._cluster = cluster
+        self._jobs: dict[str, _JobTable] = {}
+        self._lock = threading.Lock()
+        cluster.register_service("mpi.init", self._svc_init)
+        cluster.register_service("mpi.lookup", self._svc_lookup)
+        cluster.register_service("mpi.size", self._svc_size)
+
+    # -- coordinator-facing API ---------------------------------------------------
+
+    def create_job(self, job_id: str, size: int) -> None:
+        if size < 1:
+            raise MpiError(f"job size must be >= 1, got {size}")
+        with self._lock:
+            if job_id in self._jobs:
+                raise MpiError(f"MPI job {job_id!r} already exists")
+            self._jobs[job_id] = _JobTable(size)
+
+    def on_master_init(self, job_id: str, hook: Callable[[RankInfo], None]) -> None:
+        """Register a callback for rank 0's ``mpi.init`` (fires once).
+
+        If rank 0 already registered, the hook fires immediately.
+        """
+        with self._lock:
+            table = self._require(job_id)
+            existing = table.ranks.get(0)
+            if existing is None:
+                table.master_hooks.append(hook)
+                return
+        hook(existing)
+
+    def ranks(self, job_id: str) -> dict[int, RankInfo]:
+        with self._lock:
+            return dict(self._require(job_id).ranks)
+
+    def all_registered(self, job_id: str) -> bool:
+        with self._lock:
+            table = self._require(job_id)
+            return len(table.ranks) == table.size
+
+    def _require(self, job_id: str) -> _JobTable:
+        table = self._jobs.get(job_id)
+        if table is None:
+            raise MpiError(f"unknown MPI job {job_id!r}")
+        return table
+
+    # -- services (scheduler thread; must not block) ----------------------------------
+
+    def _svc_init(self, proc: SimProcess, args: dict) -> dict:
+        job_id = str(args.get("job") or proc.env.get("MPI_JOB", ""))
+        rank_s = args.get("rank", proc.env.get("MPI_RANK"))
+        try:
+            rank = int(rank_s)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise MpiError(f"process {proc!r} has no MPI rank") from None
+        hooks: list[Callable[[RankInfo], None]] = []
+        with self._lock:
+            table = self._require(job_id)
+            if rank < 0 or rank >= table.size:
+                raise RankError(f"rank {rank} out of range for job {job_id!r}")
+            if rank in table.ranks:
+                raise RankError(f"rank {rank} already registered in {job_id!r}")
+            info = RankInfo(rank=rank, host=proc.host.name, pid=proc.pid)
+            table.ranks[rank] = info
+            if rank == 0:
+                hooks, table.master_hooks = table.master_hooks, []
+        for hook in hooks:
+            hook(info)
+        return {"rank": rank, "size": self._jobs[job_id].size}
+
+    def _svc_lookup(self, proc: SimProcess, args: dict) -> dict | None:
+        job_id = str(args.get("job") or proc.env.get("MPI_JOB", ""))
+        rank = int(args.get("rank", -1))
+        with self._lock:
+            table = self._require(job_id)
+            info = table.ranks.get(rank)
+        if info is None:
+            return None  # not yet registered; caller retries
+        return {"rank": info.rank, "host": info.host, "pid": info.pid}
+
+    def _svc_size(self, proc: SimProcess, args: dict) -> int:
+        job_id = str(args.get("job") or proc.env.get("MPI_JOB", ""))
+        with self._lock:
+            return self._require(job_id).size

@@ -1,0 +1,21 @@
+"""Network model: host addresses, private networks, firewall/NAT rules.
+
+This is the substrate for the paper's Figure 1/2 topology: the RM and RT
+front-ends live on a submit-side host, the execution hosts sit behind a
+firewall in a private network, and only the RM's proxy may cross it.
+"""
+
+from repro.net.address import Endpoint, HostAddress, parse_endpoint
+from repro.net.firewall import Firewall, FirewallPolicy, Rule
+from repro.net.topology import Network, NetworkZone
+
+__all__ = [
+    "Endpoint",
+    "HostAddress",
+    "parse_endpoint",
+    "Firewall",
+    "FirewallPolicy",
+    "Rule",
+    "Network",
+    "NetworkZone",
+]

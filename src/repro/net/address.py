@@ -1,0 +1,64 @@
+"""Host and endpoint addressing.
+
+TDP communicates endpoints as host/port pairs (paper Section 2.4: "TDP
+will provide a host/port number pair to the RT to contact its front-end").
+Endpoints therefore have a canonical string form ``"host:port"`` that fits
+in an attribute value, and a parser that recovers them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True, order=True)
+class HostAddress:
+    """A named host in the (simulated or real) network."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or ":" in self.name or "/" in self.name:
+            raise ProtocolError(f"invalid host name {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """A (host, port) pair — the unit TDP publishes in the attribute space."""
+
+    host: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ProtocolError("endpoint host must be non-empty")
+        if not (0 < self.port < 65536):
+            raise ProtocolError(f"endpoint port out of range: {self.port}")
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def address(self) -> HostAddress:
+        return HostAddress(self.host)
+
+
+def parse_endpoint(text: str) -> Endpoint:
+    """Parse ``"host:port"`` back into an :class:`Endpoint`.
+
+    This is the inverse of ``str(endpoint)`` and is what a tool daemon
+    does with the front-end address it fetched from the attribute space.
+    """
+    host, sep, port_s = text.rpartition(":")
+    if not sep or not host:
+        raise ProtocolError(f"malformed endpoint {text!r} (expected host:port)")
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise ProtocolError(f"malformed endpoint port in {text!r}") from None
+    return Endpoint(host=host, port=port)

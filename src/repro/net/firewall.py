@@ -1,0 +1,92 @@
+"""Firewall / NAT model for the simulated network.
+
+The paper motivates the TDP proxy interface with private networks whose
+firewalls block inbound and/or outbound connections between execution
+hosts and the outside (Section 2.4).  We model this with per-zone
+policies plus explicit allow/deny rules, evaluated at *connection
+establishment* time (like a stateful TCP firewall: once a connection is
+allowed, traffic flows both ways).
+"""
+
+from __future__ import annotations
+
+import enum
+import fnmatch
+from dataclasses import dataclass, field
+
+
+class FirewallPolicy(enum.Enum):
+    """Default verdict when no explicit rule matches."""
+
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+class Verdict(enum.Enum):
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One match rule: glob patterns on source/destination host and port.
+
+    ``port=None`` matches any destination port.  Rules are evaluated in
+    insertion order; the first match wins (classic first-match firewall
+    semantics).
+    """
+
+    src: str = "*"
+    dst: str = "*"
+    port: int | None = None
+    verdict: Verdict = Verdict.ALLOW
+
+    def matches(self, src: str, dst: str, port: int) -> bool:
+        if not fnmatch.fnmatchcase(src, self.src):
+            return False
+        if not fnmatch.fnmatchcase(dst, self.dst):
+            return False
+        if self.port is not None and self.port != port:
+            return False
+        return True
+
+
+@dataclass
+class Firewall:
+    """Ordered rule list with a default policy.
+
+    The :class:`~repro.net.topology.Network` consults one firewall for
+    each *zone boundary crossing*; traffic within a zone is never
+    filtered (hosts on one LAN segment see each other).
+    """
+
+    default: FirewallPolicy = FirewallPolicy.DENY
+    rules: list[Rule] = field(default_factory=list)
+
+    def allow(self, src: str = "*", dst: str = "*", port: int | None = None) -> "Firewall":
+        """Append an ALLOW rule; returns self for chaining."""
+        self.rules.append(Rule(src=src, dst=dst, port=port, verdict=Verdict.ALLOW))
+        return self
+
+    def deny(self, src: str = "*", dst: str = "*", port: int | None = None) -> "Firewall":
+        """Append a DENY rule; returns self for chaining."""
+        self.rules.append(Rule(src=src, dst=dst, port=port, verdict=Verdict.DENY))
+        return self
+
+    def permits(self, src: str, dst: str, port: int) -> bool:
+        """First-match evaluation; fall through to the default policy."""
+        for rule in self.rules:
+            if rule.matches(src, dst, port):
+                return rule.verdict is Verdict.ALLOW
+        return self.default is FirewallPolicy.ALLOW
+
+    def explain(self, src: str, dst: str, port: int) -> str:
+        """Human-readable verdict trace (used in error messages)."""
+        for i, rule in enumerate(self.rules):
+            if rule.matches(src, dst, port):
+                return (
+                    f"rule[{i}] ({rule.src}->{rule.dst}"
+                    f"{':' + str(rule.port) if rule.port else ''}) "
+                    f"=> {rule.verdict.value}"
+                )
+        return f"default policy => {self.default.value}"

@@ -1,0 +1,172 @@
+"""Network topology: hosts grouped into zones with firewalled boundaries.
+
+A :class:`Network` answers exactly one question for the transport layer:
+*may host A open a connection to host B on port P, and at what latency?*
+Zones model the paper's split between the user's submit-side network and
+the cluster's private network.  Crossing a zone boundary consults the
+destination zone's inbound firewall and the source zone's outbound
+firewall; intra-zone traffic is unfiltered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FirewallBlockedError, NoSuchHostError
+from repro.net.firewall import Firewall, FirewallPolicy
+
+
+@dataclass
+class NetworkZone:
+    """A LAN segment / administrative domain.
+
+    ``inbound`` filters connections whose destination is in this zone and
+    whose source is outside it; ``outbound`` filters the reverse.  The
+    default zone firewalls allow everything — a *private* zone is built
+    by passing deny-by-default firewalls (see :meth:`Network.add_zone`).
+    """
+
+    name: str
+    inbound: Firewall = field(default_factory=lambda: Firewall(default=FirewallPolicy.ALLOW))
+    outbound: Firewall = field(default_factory=lambda: Firewall(default=FirewallPolicy.ALLOW))
+    #: one-way latency (seconds) added per boundary crossing of this zone
+    boundary_latency: float = 0.0
+    hosts: set[str] = field(default_factory=set)
+
+
+class Network:
+    """Registry of hosts and zones with reachability queries.
+
+    >>> net = Network()
+    >>> _ = net.add_zone("public")
+    >>> _ = net.add_private_zone("cluster")
+    >>> net.add_host("desktop", "public")
+    >>> net.add_host("node1", "cluster")
+    >>> net.permits("node1", "desktop", 7000)   # outbound from private: blocked
+    False
+    """
+
+    #: base one-way latency between any two distinct hosts (seconds)
+    DEFAULT_LINK_LATENCY = 0.0
+
+    def __init__(self, link_latency: float | None = None):
+        self._zones: dict[str, NetworkZone] = {}
+        self._host_zone: dict[str, str] = {}
+        self._link_latency = (
+            link_latency if link_latency is not None else self.DEFAULT_LINK_LATENCY
+        )
+
+    # -- construction ------------------------------------------------------
+
+    def add_zone(self, name: str, zone: NetworkZone | None = None) -> NetworkZone:
+        """Add an open zone (or a caller-constructed one)."""
+        if name in self._zones:
+            raise ValueError(f"zone {name!r} already exists")
+        z = zone if zone is not None else NetworkZone(name=name)
+        if z.name != name:
+            raise ValueError("zone name mismatch")
+        self._zones[name] = z
+        return z
+
+    def add_private_zone(
+        self, name: str, *, allow_outbound: bool = False, boundary_latency: float = 0.0
+    ) -> NetworkZone:
+        """Add a deny-by-default private zone (the paper's firewalled cluster).
+
+        ``allow_outbound=True`` models NAT-style networks where execution
+        hosts may dial out but nothing may dial in; the default models the
+        strict case where even outbound tool traffic needs the RM proxy.
+        """
+        inbound = Firewall(default=FirewallPolicy.DENY)
+        outbound = Firewall(
+            default=FirewallPolicy.ALLOW if allow_outbound else FirewallPolicy.DENY
+        )
+        zone = NetworkZone(
+            name=name,
+            inbound=inbound,
+            outbound=outbound,
+            boundary_latency=boundary_latency,
+        )
+        return self.add_zone(name, zone)
+
+    def add_host(self, hostname: str, zone: str) -> None:
+        if zone not in self._zones:
+            raise ValueError(f"unknown zone {zone!r}")
+        if hostname in self._host_zone:
+            raise ValueError(f"host {hostname!r} already registered")
+        self._host_zone[hostname] = zone
+        self._zones[zone].hosts.add(hostname)
+
+    # -- queries -----------------------------------------------------------
+
+    def zone_of(self, hostname: str) -> NetworkZone:
+        try:
+            return self._zones[self._host_zone[hostname]]
+        except KeyError:
+            raise NoSuchHostError(hostname) from None
+
+    def hosts(self) -> list[str]:
+        return sorted(self._host_zone)
+
+    def zones(self) -> list[NetworkZone]:
+        return list(self._zones.values())
+
+    def permits(self, src: str, dst: str, port: int) -> bool:
+        """May ``src`` open a connection to ``dst:port``?"""
+        src_zone = self.zone_of(src)
+        dst_zone = self.zone_of(dst)
+        if src_zone.name == dst_zone.name:
+            return True
+        if not src_zone.outbound.permits(src, dst, port):
+            return False
+        if not dst_zone.inbound.permits(src, dst, port):
+            return False
+        return True
+
+    def check(self, src: str, dst: str, port: int) -> None:
+        """Raise :class:`FirewallBlockedError` with an explanation if blocked."""
+        src_zone = self.zone_of(src)
+        dst_zone = self.zone_of(dst)
+        if src_zone.name == dst_zone.name:
+            return
+        if not src_zone.outbound.permits(src, dst, port):
+            raise FirewallBlockedError(
+                f"{src} -> {dst}:{port} blocked by zone {src_zone.name!r} outbound: "
+                + src_zone.outbound.explain(src, dst, port)
+            )
+        if not dst_zone.inbound.permits(src, dst, port):
+            raise FirewallBlockedError(
+                f"{src} -> {dst}:{port} blocked by zone {dst_zone.name!r} inbound: "
+                + dst_zone.inbound.explain(src, dst, port)
+            )
+
+    def latency(self, src: str, dst: str) -> float:
+        """One-way latency between two hosts, in seconds."""
+        if src == dst:
+            return 0.0
+        total = self._link_latency
+        src_zone = self.zone_of(src)
+        dst_zone = self.zone_of(dst)
+        if src_zone.name != dst_zone.name:
+            total += src_zone.boundary_latency + dst_zone.boundary_latency
+        return total
+
+    def reachability_matrix(self, port: int) -> dict[tuple[str, str], bool]:
+        """Full (src, dst) -> permitted map for one port.
+
+        The Figure-1 bench prints this matrix to show the blocked direct
+        RT-to-front-end path and the allowed proxied path.
+        """
+        hosts = self.hosts()
+        return {
+            (s, d): self.permits(s, d, port) for s in hosts for d in hosts if s != d
+        }
+
+
+def flat_network(hostnames: list[str]) -> Network:
+    """Convenience: one open zone containing all hosts (no firewalls)."""
+    net = Network()
+    net.add_zone("lan")
+    for h in hostnames:
+        net.add_host(h, "lan")
+    return net

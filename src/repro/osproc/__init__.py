@@ -1,0 +1,12 @@
+"""Real-POSIX process backend.
+
+Demonstrates the TDP process-management interface on genuine operating
+system processes, within the limits Python allows (no ``ptrace``; see
+the module docstring of :mod:`repro.osproc.backend` for the exact
+create-paused substitution).  The simulated backend remains the primary
+substrate for the paper's scenarios.
+"""
+
+from repro.osproc.backend import PosixBackend
+
+__all__ = ["PosixBackend"]

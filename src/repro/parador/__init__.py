@@ -1,0 +1,19 @@
+"""Parador: Paradyn + Condor through TDP (paper Section 4).
+
+This package is the pilot integration: the ~500-modified-lines' worth of
+adapter code that teaches our Condor to launch tool daemons and our
+Paradyn to find its application through the attribute space.  The
+:mod:`~repro.parador.run` module assembles complete scenarios (vanilla
+and MPI universes, firewalled topologies) used by the examples, the
+integration tests, and the figure-regeneration benches.
+"""
+
+from repro.parador.adapters import make_tool_registry, register_paradynd
+from repro.parador.run import ParadorScenario, run_monitored_job
+
+__all__ = [
+    "make_tool_registry",
+    "register_paradynd",
+    "ParadorScenario",
+    "run_monitored_job",
+]

@@ -1,0 +1,35 @@
+"""Paradyn-like parallel performance tool (the pilot's RT, Section 4.2).
+
+"Two of its major technologies are the ability to automatically search
+for performance bottlenecks (Performance Consultant) and dynamically
+inserting and removing instrumentation in the application program at
+run time (Dyninst)."
+
+* :mod:`~repro.paradyn.dyninst` — run-time probe insertion/removal into
+  (simulated) processes: counters, timers, breakpoints.
+* :mod:`~repro.paradyn.metrics` — metric definitions over foci
+  (process, function): CPU time, call counts, fractions.
+* :mod:`~repro.paradyn.daemon` — ``paradynd``, the per-host agent: TDP
+  handshake, symbol parse, instrumentation, sampling, front-end link.
+* :mod:`~repro.paradyn.frontend` — ``paradyn``, the user's process:
+  accepts daemon connections, collects samples, issues commands.
+* :mod:`~repro.paradyn.consultant` — the Performance Consultant's
+  refinement search over live metric data.
+"""
+
+from repro.paradyn.dyninst import DyninstEngine
+from repro.paradyn.metrics import Metric, MetricSample
+from repro.paradyn.daemon import ParadynDaemon, parse_paradynd_args
+from repro.paradyn.frontend import ParadynFrontend
+from repro.paradyn.consultant import PerformanceConsultant, SearchResult
+
+__all__ = [
+    "DyninstEngine",
+    "Metric",
+    "MetricSample",
+    "ParadynDaemon",
+    "parse_paradynd_args",
+    "ParadynFrontend",
+    "PerformanceConsultant",
+    "SearchResult",
+]

@@ -1,0 +1,161 @@
+"""The Performance Consultant: automated bottleneck search.
+
+Paradyn's W3-style search answers *why* a program is slow, then refines
+along the resource hierarchy to *where*.  Our search implements two
+why-axis hypotheses over live metric data:
+
+* **CPUBound** — CPU utilization (process CPU / wall) at or above the
+  CPU threshold: the program is busy computing; refine with per-function
+  ``cpu_fraction``.
+* **ExcessiveBlockingTime** — utilization below the threshold: the
+  program mostly waits (I/O, synchronization); refine with per-function
+  ``io_fraction`` (blocked time attributed to the function where it
+  occurs).
+
+Refinement instrumentation is enabled *through the live daemon* (the
+Dyninst capability).  Against our fast virtual programs, the consultant
+sets the instrumentation up at the pilot's natural stop point — the
+application paused at ``main`` (``auto_run=False``) — and then presses
+RUN on the user's behalf; against an already-running application the
+enables apply mid-run and cover the remainder of the execution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.paradyn.frontend import DaemonSession
+from repro.paradyn.metrics import Metric
+
+
+@dataclass
+class Hypothesis:
+    """One tested (hypothesis, focus) node of the search."""
+
+    name: str
+    focus: str
+    value: float
+    threshold: float
+    confirmed: bool
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one Performance Consultant search."""
+
+    tested: list[Hypothesis] = field(default_factory=list)
+    why: str | None = None  # "CPUBound" | "ExcessiveBlockingTime"
+    bottlenecks: list[str] = field(default_factory=list)  # function names
+    refinement_path: list[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        lines = ["Performance Consultant search:"]
+        for h in self.tested:
+            mark = "TRUE " if h.confirmed else "false"
+            lines.append(
+                f"  [{mark}] {h.name:<22} @ {h.focus:<28} "
+                f"value={h.value:.4f} thresh={h.threshold}"
+            )
+        lines.append(f"  why: {self.why or '(inconclusive)'}")
+        lines.append(f"  bottleneck(s): {', '.join(self.bottlenecks) or '(none)'}")
+        return "\n".join(lines)
+
+
+class PerformanceConsultant:
+    """Runs the why/where search against one connected paradynd session."""
+
+    def __init__(
+        self,
+        session: DaemonSession,
+        *,
+        cpu_fraction_threshold: float = 0.2,
+        io_fraction_threshold: float = 0.2,
+        utilization_threshold: float = 0.5,
+        settle_timeout: float = 20.0,
+    ):
+        self._session = session
+        self.cpu_threshold = cpu_fraction_threshold
+        self.io_threshold = io_fraction_threshold
+        self.utilization_threshold = utilization_threshold
+        self._settle_timeout = settle_timeout
+
+    def search(self, functions: list[str] | None = None) -> SearchResult:
+        """Run the two-level why/where search; returns the result tree."""
+        session = self._session
+        result = SearchResult()
+        candidates = functions if functions is not None else [
+            f for f in session.functions if f != "main"
+        ]
+
+        # Enable both refinement metrics up front (we do not yet know
+        # which why-hypothesis will hold; instrumenting both lenses costs
+        # two timers per function).
+        for function in candidates:
+            session.cmd_enable_metric(Metric.CPU_FRACTION, function)
+            session.cmd_enable_metric(Metric.IO_FRACTION, function)
+        if session.app_state == "at_main":
+            # Wait for the daemon to apply the enables at its safe point,
+            # then press RUN on the user's behalf (the pilot's flow).
+            time.sleep(0.1)
+            session.cmd_run()
+
+        # Let samples settle (ideally until the app exits).
+        deadline = time.monotonic() + self._settle_timeout
+        while time.monotonic() < deadline and session.app_state != "exited":
+            time.sleep(0.01)
+
+        # -- Level 1 (why) -------------------------------------------------
+        utilization = session.latest(Metric.CPU_UTILIZATION.value) or 0.0
+        focus = f"{session.host}:{session.pid}"
+        cpu_bound = utilization >= self.utilization_threshold
+        result.tested.append(
+            Hypothesis(
+                name="CPUBound",
+                focus=focus,
+                value=utilization,
+                threshold=self.utilization_threshold,
+                confirmed=cpu_bound,
+            )
+        )
+        result.tested.append(
+            Hypothesis(
+                name="ExcessiveBlockingTime",
+                focus=focus,
+                value=1.0 - utilization,
+                threshold=1.0 - self.utilization_threshold,
+                confirmed=not cpu_bound and utilization > 0.0,
+            )
+        )
+        if (session.latest(Metric.PROC_CPU.value) or 0.0) <= 0.0:
+            return result  # nothing measurable ran
+        result.why = "CPUBound" if cpu_bound else "ExcessiveBlockingTime"
+        result.refinement_path.append(result.why)
+
+        # -- Level 2 (where) -------------------------------------------------
+        metric, threshold = (
+            (Metric.CPU_FRACTION, self.cpu_threshold)
+            if cpu_bound
+            else (Metric.IO_FRACTION, self.io_threshold)
+        )
+        for function in candidates:
+            value = session.latest(metric.value, function)
+            confirmed = value is not None and value >= threshold
+            result.tested.append(
+                Hypothesis(
+                    name=result.why,
+                    focus=f"{focus}/{function}",
+                    value=value or 0.0,
+                    threshold=threshold,
+                    confirmed=confirmed,
+                )
+            )
+            if confirmed:
+                result.bottlenecks.append(function)
+
+        result.bottlenecks.sort(
+            key=lambda f: -(session.latest(metric.value, f) or 0.0)
+        )
+        if result.bottlenecks:
+            result.refinement_path.append(result.bottlenecks[0])
+        return result

@@ -1,0 +1,374 @@
+"""paradynd: the Paradyn tool daemon (the pilot's RT back-end).
+
+One paradynd runs per application process.  Under TDP (the ``-a%pid``
+argument marks it, Section 4.3) its launch sequence is exactly Figure 6
+steps 3–4:
+
+1. ``tdp_init`` against the host's LASS, in the job's context;
+2. blocking ``tdp_get("pid")`` — parked until the starter's ``tdp_put``;
+3. ``tdp_attach`` (via the RM, which owns control);
+4. initialization while the application is stopped pre-``main``: "load"
+   the runtime library, parse the executable's symbols, insert base
+   instrumentation, connect to the front-end;
+5. ``tdp_continue_process`` — run the application to the start of
+   ``main`` (a breakpoint), report, then (on the user's run command, or
+   immediately with ``auto_run``) continue for real;
+6. sample enabled metrics periodically, stream them to the front-end,
+   and heartbeat until the application exits.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro import errors
+from repro.condor.tools import ThreadToolHandle, ToolLaunchContext
+from repro.net.address import Endpoint
+from repro.paradyn.dyninst import DyninstEngine
+from repro.paradyn.metrics import Metric, MetricCollector
+from repro.tdp.api import (
+    tdp_attach,
+    tdp_continue_process,
+    tdp_exit,
+    tdp_get,
+    tdp_init,
+)
+from repro.tdp.faults import heartbeat
+from repro.tdp.handle import Role, TdpHandle
+from repro.tdp.proxycfg import connect_to_frontend
+from repro.tdp.wellknown import Attr, ProcStatus
+from repro.transport.base import Channel
+from repro.util.log import get_logger
+
+_log = get_logger("paradyn.daemon")
+
+
+@dataclass
+class ParadyndArgs:
+    """Parsed paradynd command line (the Fig. 5B argument set)."""
+
+    flavor: str = "unix"          # -z<flavor>
+    log_level: int = 0            # -l<n>
+    frontend_host: str | None = None  # -m<host>
+    port1: int | None = None      # -p<port>
+    port2: int | None = None      # -P<port>
+    app_ref: str | None = None    # -a<pid or %pid>
+    extras: list[str] = field(default_factory=list)
+
+    @property
+    def tdp_mode(self) -> bool:
+        """``-a%pid`` means: the pid comes from the attribute space."""
+        return self.app_ref is not None and self.app_ref.startswith("%")
+
+    @property
+    def frontend_endpoint(self) -> Endpoint | None:
+        if self.frontend_host and self.port1:
+            return Endpoint(self.frontend_host, self.port1)
+        return None
+
+
+def parse_paradynd_args(args: list[str]) -> ParadyndArgs:
+    """Parse the pilot's paradynd argument conventions."""
+    parsed = ParadyndArgs()
+    for arg in args:
+        if arg.startswith("-z"):
+            parsed.flavor = arg[2:]
+        elif arg.startswith("-l"):
+            try:
+                parsed.log_level = int(arg[2:])
+            except ValueError:
+                raise errors.ToolError(f"bad log level argument {arg!r}") from None
+        elif arg.startswith("-m"):
+            parsed.frontend_host = arg[2:]
+        elif arg.startswith("-p"):
+            parsed.port1 = int(arg[2:])
+        elif arg.startswith("-P"):
+            parsed.port2 = int(arg[2:])
+        elif arg.startswith("-a"):
+            parsed.app_ref = arg[2:]
+        else:
+            parsed.extras.append(arg)
+    return parsed
+
+
+class ParadynDaemon:
+    """One paradynd instance (runs on a tool-registry thread)."""
+
+    SAMPLE_INTERVAL = 0.01  # wall seconds between sample batches
+
+    def __init__(
+        self,
+        ctx: ToolLaunchContext,
+        *,
+        auto_run: bool = True,
+        base_metrics: tuple[Metric, ...] = (
+            Metric.PROC_CPU,
+            Metric.PROC_WALL,
+            Metric.CPU_UTILIZATION,
+        ),
+    ):
+        self.ctx = ctx
+        self.args = parse_paradynd_args(ctx.args)
+        self.auto_run = auto_run
+        self.base_metrics = base_metrics
+        self.handle: TdpHandle | None = None
+        self.engine: DyninstEngine | None = None
+        self.collector: MetricCollector | None = None
+        self.frontend: Channel | None = None
+        self.app_pid: int | None = None
+        self.symbols: list[str] = []
+        self.run_command = threading.Event()
+        self._enable_requests: list[tuple[Metric, str | None]] = []
+        self._req_lock = threading.Lock()
+        self.samples_sent = 0
+
+    # -- trace/report helpers ---------------------------------------------------
+
+    def _record(self, action: str, **details) -> None:
+        if self.ctx.trace is not None:
+            self.ctx.trace.record("paradynd", action, **details)
+        self.ctx.output_sink(f"{action} {details}" if details else action)
+
+    def _send_frontend(self, message: dict) -> None:
+        if self.frontend is None:
+            return
+        try:
+            self.frontend.send(message)
+        except errors.TdpError:
+            self.frontend = None
+
+    # -- the main flow -------------------------------------------------------------
+
+    def run(self, stop_event: threading.Event) -> None:
+        ctx = self.ctx
+        if not self.args.tdp_mode:
+            raise errors.ToolError(
+                "paradynd launched without -a%pid: no application reference "
+                "and no TDP framework to find one in"
+            )
+        # Step 3 (Fig. 6): join the TDP framework and block for the pid.
+        self._record("tdp_init", context=ctx.context)
+        handle = tdp_init(
+            ctx.transport,
+            ctx.lass_endpoint,
+            member=f"paradynd/{ctx.job_id}",
+            role=Role.RT,
+            context=ctx.context,
+            src_host=ctx.host,
+        )
+        self.handle = handle
+        try:
+            self._run_inner(handle, stop_event)
+        finally:
+            if self.collector is not None:
+                try:
+                    self.collector.disable_all()
+                except errors.TdpError:
+                    pass
+            if self.frontend is not None:
+                self._send_frontend({"op": "bye"})
+                self.frontend.close()
+            self._record("tdp_exit")
+            tdp_exit(handle)
+
+    def _run_inner(self, handle: TdpHandle, stop_event: threading.Event) -> None:
+        ctx = self.ctx
+        self._record("tdp_get", attribute=Attr.PID, blocking=True)
+        pid = int(tdp_get(handle, Attr.PID, timeout=60.0))
+        self.app_pid = pid
+        self._record("tdp_get_returned", attribute=Attr.PID, value=pid)
+        executable = tdp_get(handle, Attr.EXECUTABLE_NAME, timeout=10.0)
+
+        # Step 3 continued: attach (the RM performs the stop).
+        self._record("tdp_attach", pid=pid)
+        tdp_attach(handle, pid)
+
+        # Initialization while the application is stopped (Section 4.2):
+        self._record("load_runtime_library", pid=pid)
+        host = ctx.extras.get("sim_host")
+        if host is None:
+            raise errors.ToolError("paradynd needs the sim host for instrumentation")
+        registry = host.cluster.registry
+        try:
+            self.symbols = registry.symbols(executable)
+        except KeyError:
+            self.symbols = ["main"]
+        self._record("parse_symbols", executable=executable, functions=len(self.symbols))
+
+        process = host.get_process(pid)
+        self.engine = DyninstEngine(process)
+        self.collector = MetricCollector(self.engine, ctx.host)
+        for metric in self.base_metrics:
+            self.collector.enable(metric)
+        # Create mode: the application is stopped pre-main, so we can run
+        # it *to* main and stop there (Figure 3A).  Attach mode: it was
+        # already executing — "stopped at some unknown point" (Figure
+        # 3B) — so there is no pre-main window and no run-to-main step.
+        attached_mid_run = process.started
+        main_bp = (
+            None if attached_mid_run
+            else self.engine.insert_breakpoint("main", "entry")
+        )
+
+        # Connect to the front-end (args endpoint, else attribute space).
+        self._connect_frontend(handle)
+        self._send_frontend(
+            {
+                "op": "hello",
+                "job": ctx.job_id,
+                "host": ctx.host,
+                "pid": pid,
+                "executable": executable,
+                "functions": self.symbols,
+            }
+        )
+
+        # Step 3 end: run the application until the beginning of main
+        # (create mode); in attach mode it resumes from the attach stop.
+        if main_bp is not None:
+            self._record("tdp_continue_process", pid=pid, until="main")
+            tdp_continue_process(handle, pid)
+            main_bp.wait_hit(timeout=30.0)
+            self.engine.remove(main_bp)
+            self._send_frontend({"op": "app_state", "state": "at_main"})
+        else:
+            self._record("attached_mid_run", pid=pid, cpu=process.cpu_time)
+            self._send_frontend({"op": "app_state", "state": "attached_running"})
+
+        # Step 4: the user (front-end) is in control; honor the run command.
+        if not self.auto_run:
+            # The pilot's interactive window: the application is stopped
+            # at main; the front-end may set up instrumentation before
+            # issuing the run command.
+            while not self.run_command.wait(timeout=0.02):
+                if stop_event.is_set():
+                    return
+                handle.service_events()
+                self._apply_enable_requests()
+            self._apply_enable_requests()
+        self._record("tdp_continue_process", pid=pid, until="completion")
+        try:
+            tdp_continue_process(handle, pid)
+        except errors.ProcessError:
+            pass  # application may have been stopped/exited under us
+        self._send_frontend({"op": "app_state", "state": "running"})
+
+        # Sampling loop until application exit (status via the space).
+        while not stop_event.is_set():
+            handle.service_events()
+            self._apply_enable_requests()
+            self._emit_samples()
+            heartbeat(handle, f"paradynd/{ctx.job_id}")
+            try:
+                status = handle.attrs.try_get(Attr.proc_status(pid))
+            except errors.NoSuchAttributeError:
+                status = ProcStatus.RUNNING
+            except errors.TdpError:
+                break
+            if ProcStatus.is_exited(status):
+                self._emit_samples(final=True)
+                self._send_frontend(
+                    {"op": "app_exited", "code": ProcStatus.exit_code(status)}
+                )
+                self._record("app_exited", code=ProcStatus.exit_code(status))
+                self._write_trace_file()
+                return
+            stop_event.wait(self.SAMPLE_INTERVAL)
+
+    # -- front-end link ---------------------------------------------------------------
+
+    def _connect_frontend(self, handle: TdpHandle) -> None:
+        endpoint = self.args.frontend_endpoint
+        try:
+            if endpoint is not None:
+                from repro.tdp.proxycfg import proxy_endpoint
+                from repro.transport.proxy import connect_maybe_proxied
+
+                self.frontend = connect_maybe_proxied(
+                    self.ctx.transport, self.ctx.host, endpoint,
+                    proxy_endpoint(handle), timeout=10.0,
+                )
+            else:
+                self.frontend = connect_to_frontend(
+                    handle, self.ctx.transport, self.ctx.host, timeout=5.0
+                )
+        except errors.TdpError as e:
+            # Standalone operation: keep measuring even without a front-end.
+            _log.warning("paradynd %s: no front-end (%s)", self.ctx.job_id, e)
+            self.frontend = None
+            return
+        self._record("frontend_connected", endpoint=str(self.frontend.remote_host))
+        threading.Thread(
+            target=self._command_loop,
+            name=f"paradynd-cmd-{self.ctx.job_id}",
+            daemon=True,
+        ).start()
+
+    def _command_loop(self) -> None:
+        channel = self.frontend
+        if channel is None:
+            return
+        try:
+            while True:
+                message = channel.recv()
+                op = message.get("op")
+                if op == "cmd_run":
+                    self.run_command.set()
+                elif op == "cmd_enable_metric":
+                    metric = Metric(str(message.get("metric")))
+                    function = message.get("function")
+                    with self._req_lock:
+                        self._enable_requests.append((metric, function))
+                elif op == "cmd_kill":
+                    if self.handle is not None and self.app_pid is not None:
+                        from repro.tdp.api import tdp_kill
+
+                        tdp_kill(self.handle, self.app_pid)
+        except errors.TdpError:
+            return
+
+    def _apply_enable_requests(self) -> None:
+        with self._req_lock:
+            requests, self._enable_requests = self._enable_requests, []
+        assert self.collector is not None
+        for metric, function in requests:
+            try:
+                self.collector.enable(metric, function)
+                self._record("enable_metric", metric=metric.value, function=function)
+            except errors.TdpError as e:
+                self._send_frontend({"op": "error", "error": str(e)})
+
+    def _emit_samples(self, final: bool = False) -> None:
+        assert self.collector is not None
+        for sample in self.collector.sample_all():
+            self.samples_sent += 1
+            self._send_frontend(
+                {
+                    "op": "sample",
+                    "metric": sample.metric,
+                    "focus": sample.focus,
+                    "value": sample.value,
+                    "time": sample.time,
+                    "final": final,
+                }
+            )
+
+    def _write_trace_file(self) -> None:
+        """Leave a summary data file behind for TDP's stage-out path."""
+        host = self.ctx.extras.get("sim_host")
+        if host is None or self.collector is None:
+            return
+        lines = [
+            f"{s.metric} {s.focus} {s.value:.6f}"
+            for s in self.collector.sample_all()
+        ]
+        host.filesystem[f"paradyn.{self.ctx.job_id}.trace"] = "\n".join(lines) + "\n"
+
+
+def launch_paradynd(ctx: ToolLaunchContext, **daemon_kwargs) -> ThreadToolHandle:
+    """ToolRegistry launcher for ``paradynd`` (register under that name)."""
+    daemon = ParadynDaemon(ctx, **daemon_kwargs)
+    handle = ThreadToolHandle(f"paradynd-{ctx.job_id}", daemon.run)
+    handle.daemon = daemon  # type: ignore[attr-defined] — exposed for tests
+    return handle

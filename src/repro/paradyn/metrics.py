@@ -1,0 +1,186 @@
+"""Metrics and foci: what Paradyn measures and where.
+
+A *focus* selects a part of the system (here: one process, optionally
+narrowed to one function); a *metric* is a time-varying measurement over
+a focus.  The collector owns the mapping metric-request -> probes, so
+enabling a metric inserts exactly the instrumentation it needs and
+disabling removes it — Paradyn's pay-as-you-go measurement model.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+
+from repro.errors import MetricError
+from repro.paradyn.dyninst import CounterHandle, DyninstEngine, TimerHandle
+
+
+class Metric(enum.Enum):
+    """Built-in metric catalog."""
+
+    CPU_INCLUSIVE = "cpu_inclusive"    # CPU seconds inside a function (incl. callees)
+    WALL_INCLUSIVE = "wall_inclusive"  # wall (virtual) seconds inside a function
+    CALL_COUNT = "call_count"          # completed entries of a function
+    PROC_CPU = "proc_cpu"              # whole-process CPU seconds
+    PROC_WALL = "proc_wall"            # whole-process wall (virtual) seconds
+    CPU_UTILIZATION = "cpu_utilization"  # process CPU / process wall
+    CPU_FRACTION = "cpu_fraction"      # function CPU / process CPU
+    IO_FRACTION = "io_fraction"        # function (wall - CPU) / process wall
+
+
+@dataclass(frozen=True)
+class Focus:
+    """What a measurement is scoped to."""
+
+    host: str
+    pid: int
+    function: str | None = None  # None = whole process
+
+    def __str__(self) -> str:
+        base = f"{self.host}:{self.pid}"
+        return f"{base}/{self.function}" if self.function else base
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    metric: str
+    focus: str
+    value: float
+    time: float  # virtual CPU-clock timestamp of the sample
+
+
+class MetricInstance:
+    """One enabled (metric, focus) pair and its live value."""
+
+    def __init__(
+        self,
+        metric: Metric,
+        focus: Focus,
+        engine: DyninstEngine,
+        *,
+        timer: TimerHandle | None = None,
+        counter: CounterHandle | None = None,
+    ):
+        self.metric = metric
+        self.focus = focus
+        self._engine = engine
+        self._timer = timer
+        self._counter = counter
+
+    def value(self) -> float:
+        proc = self._engine.process
+        if self.metric is Metric.PROC_CPU:
+            return proc.cpu_time
+        if self.metric is Metric.PROC_WALL:
+            return proc.wall_time
+        if self.metric is Metric.CPU_UTILIZATION:
+            wall = proc.wall_time
+            return proc.cpu_time / wall if wall > 0 else 0.0
+        if self.metric is Metric.CPU_INCLUSIVE:
+            assert self._timer is not None
+            return self._timer.inclusive_cpu
+        if self.metric is Metric.WALL_INCLUSIVE:
+            assert self._timer is not None
+            return self._timer.inclusive_wall
+        if self.metric is Metric.CALL_COUNT:
+            assert self._counter is not None
+            return float(self._counter.count)
+        if self.metric is Metric.CPU_FRACTION:
+            assert self._timer is not None
+            total = proc.cpu_time
+            return self._timer.inclusive_cpu / total if total > 0 else 0.0
+        if self.metric is Metric.IO_FRACTION:
+            assert self._timer is not None
+            wall = proc.wall_time
+            blocked = self._timer.inclusive_wall - self._timer.inclusive_cpu
+            return max(0.0, blocked) / wall if wall > 0 else 0.0
+        raise MetricError(f"unhandled metric {self.metric}")
+
+    def sample(self) -> MetricSample:
+        return MetricSample(
+            metric=self.metric.value,
+            focus=str(self.focus),
+            value=self.value(),
+            time=self._engine.process.cpu_time,
+        )
+
+    def disable(self) -> None:
+        if self._timer is not None:
+            self._engine.remove(self._timer)
+            self._timer = None
+        if self._counter is not None:
+            self._engine.remove(self._counter)
+            self._counter = None
+
+
+class MetricCollector:
+    """Manages enabled metric instances over one process."""
+
+    def __init__(self, engine: DyninstEngine, host: str):
+        self._engine = engine
+        self._host = host
+        self._instances: dict[tuple[str, str], MetricInstance] = {}
+        self._lock = threading.Lock()
+
+    def enable(self, metric: Metric, function: str | None = None) -> MetricInstance:
+        """Enable a metric, inserting the probes it needs (idempotent)."""
+        focus = Focus(self._host, self._engine.process.pid, function)
+        key = (metric.value, str(focus))
+        with self._lock:
+            existing = self._instances.get(key)
+            if existing is not None:
+                return existing
+        if metric in (
+            Metric.CPU_INCLUSIVE,
+            Metric.WALL_INCLUSIVE,
+            Metric.CPU_FRACTION,
+            Metric.IO_FRACTION,
+        ):
+            if function is None:
+                raise MetricError(f"{metric.value} requires a function focus")
+            instance = MetricInstance(
+                metric, focus, self._engine,
+                timer=self._engine.insert_timer(function),
+            )
+        elif metric is Metric.CALL_COUNT:
+            if function is None:
+                raise MetricError("call_count requires a function focus")
+            instance = MetricInstance(
+                metric, focus, self._engine,
+                counter=self._engine.insert_counter(function, "exit"),
+            )
+        elif metric in (Metric.PROC_CPU, Metric.PROC_WALL, Metric.CPU_UTILIZATION):
+            instance = MetricInstance(metric, focus, self._engine)
+        else:
+            raise MetricError(f"unknown metric {metric}")
+        with self._lock:
+            self._instances[key] = instance
+        return instance
+
+    def disable(self, metric: Metric, function: str | None = None) -> bool:
+        focus = Focus(self._host, self._engine.process.pid, function)
+        key = (metric.value, str(focus))
+        with self._lock:
+            instance = self._instances.pop(key, None)
+        if instance is None:
+            return False
+        instance.disable()
+        return True
+
+    def sample_all(self) -> list[MetricSample]:
+        with self._lock:
+            instances = list(self._instances.values())
+        return [inst.sample() for inst in instances]
+
+    def enabled(self) -> list[tuple[str, str]]:
+        with self._lock:
+            return sorted(self._instances)
+
+    def disable_all(self) -> None:
+        with self._lock:
+            instances = list(self._instances.values())
+            self._instances.clear()
+        for inst in instances:
+            inst.disable()

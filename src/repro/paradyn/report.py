@@ -1,0 +1,120 @@
+"""Performance-data reporting (Paradyn's table/plot "visis", textual).
+
+Paradyn's front-end offers visualizations of metric/focus time series;
+our equivalent renders the collected series as text tables and compact
+sparkline-style summaries, suitable for terminals and logs.  Works on
+:class:`~repro.paradyn.frontend.DaemonSession` data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.paradyn.frontend import DaemonSession
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: list[float], width: int = 24) -> str:
+    """Compact textual rendering of a series' shape."""
+    if not values:
+        return ""
+    if len(values) > width:
+        # Downsample by taking the max of each bucket (peaks matter).
+        bucket = len(values) / width
+        values = [
+            max(values[int(i * bucket): max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_CHARS[1] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    metric: str
+    focus: str
+    points: int
+    first: float
+    last: float
+    peak: float
+    spark: str
+
+
+def summarize_session(session: DaemonSession) -> list[SeriesSummary]:
+    """One summary row per (metric, focus) series, sorted by focus."""
+    rows: list[SeriesSummary] = []
+    with session.state_changed:
+        series = {k: list(v) for k, v in session.series.items()}
+    for (metric, focus), points in sorted(series.items()):
+        if not points:
+            continue
+        values = [v for _t, v in points]
+        rows.append(
+            SeriesSummary(
+                metric=metric,
+                focus=focus,
+                points=len(values),
+                first=values[0],
+                last=values[-1],
+                peak=max(values),
+                spark=sparkline(values),
+            )
+        )
+    return rows
+
+
+def format_session_report(session: DaemonSession, *, title: str | None = None) -> str:
+    """Human-readable report of everything one paradynd measured."""
+    rows = summarize_session(session)
+    header = title or (
+        f"paradynd #{session.daemon_id}: {session.executable} "
+        f"(pid {session.pid} on {session.host})"
+    )
+    lines = [header, "=" * len(header)]
+    lines.append(
+        f"state: {session.app_state}"
+        + (f", exit code {session.exit_code}" if session.exit_code is not None else "")
+    )
+    if not rows:
+        lines.append("(no samples collected)")
+        return "\n".join(lines)
+    metric_w = max(len(r.metric) for r in rows)
+    focus_w = max(len(r.focus) for r in rows)
+    for r in rows:
+        lines.append(
+            f"  {r.metric.ljust(metric_w)}  {r.focus.ljust(focus_w)}  "
+            f"n={r.points:<4d} last={r.last:<10.4f} peak={r.peak:<10.4f} "
+            f"[{r.spark}]"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(
+    sessions: list[DaemonSession], metric: str = "proc_cpu"
+) -> str:
+    """Cross-daemon comparison of one metric (MPI rank imbalance view)."""
+    lines = [f"cross-process comparison: {metric}"]
+    values = []
+    for session in sessions:
+        value = session.latest(metric) or 0.0
+        values.append((session, value))
+    if not values:
+        return lines[0] + "\n(no sessions)"
+    peak = max(v for _s, v in values) or 1.0
+    for session, value in values:
+        bar = "#" * int(40 * value / peak) if peak > 0 else ""
+        lines.append(
+            f"  {session.host:>10} pid {session.pid:<6d} "
+            f"{value:10.4f}  {bar}"
+        )
+    spread = (max(v for _, v in values) - min(v for _, v in values))
+    lines.append(f"  spread: {spread:.4f}")
+    return "\n".join(lines)

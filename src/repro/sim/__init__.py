@@ -1,0 +1,65 @@
+"""Simulated distributed OS substrate.
+
+This package stands in for the Unix process machinery the paper's C
+library sits on (``fork``/``exec``, ``ptrace``, ``/proc``): simulated
+hosts with pid tables, processes that execute *virtual programs*
+(generator functions yielding syscalls), a round-robin scheduler with a
+virtual CPU clock, message passing, signals, and stdio.
+
+The process state machine reproduces exactly the states TDP's process
+management interface needs (paper Sections 2.2, 3.1):
+
+* **create paused** — stopped "just after the execution of the exec
+  call", before ``main`` runs and before libraries initialize;
+* **attach** — stop an already-running process "at some unknown point in
+  its execution";
+* **continue** — resume a stopped process;
+* run-to-exit with status codes the RM collects (Section 2.3's single
+  point of responsibility).
+"""
+
+from repro.sim.syscalls import (
+    Compute,
+    EnterFunction,
+    ExitFunction,
+    ExitProgram,
+    GetPid,
+    GetArgs,
+    GetEnv,
+    Print,
+    ReadLine,
+    RecvMsg,
+    SendMsg,
+    Service,
+    Sleep,
+    call,
+)
+from repro.sim.process import ProcessState, SimProcess
+from repro.sim.host import SimHost
+from repro.sim.kernel import Scheduler
+from repro.sim.cluster import SimCluster
+from repro.sim.loader import ProgramRegistry, default_registry
+
+__all__ = [
+    "Compute",
+    "EnterFunction",
+    "ExitFunction",
+    "ExitProgram",
+    "GetPid",
+    "GetArgs",
+    "GetEnv",
+    "Print",
+    "ReadLine",
+    "RecvMsg",
+    "SendMsg",
+    "Service",
+    "Sleep",
+    "call",
+    "ProcessState",
+    "SimProcess",
+    "SimHost",
+    "Scheduler",
+    "SimCluster",
+    "ProgramRegistry",
+    "default_registry",
+]

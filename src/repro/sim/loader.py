@@ -1,0 +1,302 @@
+"""Executable registry and the standard library of workload programs.
+
+The Condor-like starter launches jobs by name (``executable = foo`` in a
+submit file); this registry is the simulated filesystem of executables.
+The built-ins cover the workload shapes the paper's scenarios need:
+CPU-bound jobs, a multi-phase program with a deliberate bottleneck (for
+the Performance Consultant), stdio-driven jobs, long-running servers
+(for attach mode), and failure injection.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.sim import syscalls as sc
+from repro.sim.syscalls import Program, call
+
+ProgramFactory = Callable[[list[str]], Program]
+
+
+class ProgramRegistry:
+    """Name -> program factory map (the cluster's executable namespace).
+
+    Each executable may carry a *symbol table* — the list of functions a
+    tool discovers by "parsing the executable" (what paradynd does at
+    initialization).  Factories registered without one get the minimal
+    ``["main"]``.
+    """
+
+    def __init__(self) -> None:
+        self._factories: dict[str, ProgramFactory] = {}
+        self._symbols: dict[str, list[str]] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self,
+        name: str,
+        factory: ProgramFactory,
+        *,
+        functions: list[str] | None = None,
+    ) -> None:
+        with self._lock:
+            if name in self._factories:
+                raise ValueError(f"executable {name!r} already registered")
+            self._factories[name] = factory
+            self._symbols[name] = list(functions) if functions else ["main"]
+
+    def resolve(self, name: str) -> ProgramFactory | None:
+        with self._lock:
+            return self._factories.get(name)
+
+    def symbols(self, name: str) -> list[str]:
+        """The executable's function symbols (tool 'symbol table parse')."""
+        with self._lock:
+            if name not in self._symbols:
+                raise KeyError(f"no such executable {name!r}")
+            return list(self._symbols[name])
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._factories)
+
+
+# ---------------------------------------------------------------------------
+# Standard programs
+# ---------------------------------------------------------------------------
+
+def _float_arg(argv: list[str], index: int, default: float) -> float:
+    try:
+        return float(argv[index])
+    except (IndexError, ValueError):
+        return default
+
+
+def _int_arg(argv: list[str], index: int, default: int) -> int:
+    try:
+        return int(argv[index])
+    except (IndexError, ValueError):
+        return default
+
+
+def hello(argv: list[str]) -> Program:
+    """Print a greeting and exit 0.  ``argv[0]`` customizes the name."""
+
+    def body():
+        who = argv[0] if argv else "world"
+        yield sc.Print(f"hello, {who}")
+        yield sc.Compute(0.01)
+
+    yield from call("main", body())
+
+
+def cpu_burn(argv: list[str]) -> Program:
+    """Burn ``argv[0]`` virtual CPU seconds (default 1.0) in main."""
+
+    def body():
+        total = _float_arg(argv, 0, 1.0)
+        step = 0.01
+        burned = 0.0
+        while burned < total:
+            yield sc.Compute(min(step, total - burned))
+            burned += step
+
+    yield from call("main", body())
+
+
+def spin(argv: list[str]) -> Program:
+    """Run forever (until signalled): the canonical long-running target.
+
+    Virtual CPU is cheap (5 virtual seconds execute in well under a
+    millisecond of wall time), so tests that need a process that is
+    *still running* when a control operation lands must use an unbounded
+    program, not a large ``cpu_burn``.
+    """
+
+    def body():
+        while True:
+            yield sc.Compute(0.001)
+
+    yield from call("main", body())
+
+
+def phases(argv: list[str]) -> Program:
+    """Multi-function program with a deliberate bottleneck in ``compute_b``.
+
+    Structure: main -> init, then ``iterations`` rounds of
+    (compute_a: 10%, compute_b: 80%, write_output: 10%), then finish.
+    The Performance Consultant should localize the bottleneck to
+    ``compute_b``.  argv: [iterations, round_cost].
+    """
+
+    iterations = _int_arg(argv, 0, 10)
+    round_cost = _float_arg(argv, 1, 0.1)
+
+    def init():
+        yield sc.Compute(0.02)
+
+    def compute_a():
+        yield sc.Compute(round_cost * 0.1)
+
+    def compute_b():
+        yield sc.Compute(round_cost * 0.8)
+
+    def write_output(i: int):
+        yield sc.Compute(round_cost * 0.1)
+        yield sc.Print(f"round {i} done")
+
+    def finish():
+        yield sc.Compute(0.02)
+        yield sc.Print("all rounds complete")
+
+    def body():
+        yield from call("init", init())
+        for i in range(iterations):
+            yield from call("compute_a", compute_a())
+            yield from call("compute_b", compute_b())
+            yield from call("write_output", write_output(i))
+        yield from call("finish", finish())
+
+    yield from call("main", body())
+
+
+def io_loop(argv: list[str]) -> Program:
+    """I/O-bound workload: each round mostly *waits* (Sleep = blocked I/O)
+    in ``fetch`` and briefly computes in ``process_data``.
+
+    The Performance Consultant's why-axis target: low CPU utilization,
+    blocking concentrated in ``fetch``.  argv: [rounds, round_wall].
+    """
+
+    rounds = _int_arg(argv, 0, 10)
+    round_wall = _float_arg(argv, 1, 0.1)
+
+    def fetch():
+        # 85% of the round is blocked waiting (disk/network analogue).
+        yield sc.Sleep(round_wall * 0.85)
+        yield sc.Compute(round_wall * 0.03)
+
+    def process_data():
+        yield sc.Compute(round_wall * 0.12)
+
+    def body():
+        for _i in range(rounds):
+            yield from call("fetch", fetch())
+            yield from call("process_data", process_data())
+        yield sc.Print("io_loop complete")
+
+    yield from call("main", body())
+
+
+def echo_stdin(argv: list[str]) -> Program:
+    """Echo stdin lines to stdout until EOF (stdio-management tests)."""
+
+    def body():
+        while True:
+            line = yield sc.ReadLine()
+            if line is None:
+                break
+            yield sc.Print(f"echo: {line}")
+            yield sc.Compute(0.001)
+
+    yield from call("main", body())
+
+
+def server_loop(argv: list[str]) -> Program:
+    """Long-running request server: the attach-mode target.
+
+    Replies to each ``request`` message; exits on a ``shutdown`` message.
+    Computes a little per request so CPU accrues while it runs.
+    """
+
+    def handle(msg):
+        yield sc.Compute(0.02)
+        yield sc.SendMsg(
+            msg.src_host, msg.src_pid, tag="reply", payload=msg.payload
+        )
+
+    def body():
+        served = 0
+        while True:
+            msg = yield sc.RecvMsg()
+            if msg.tag == "shutdown":
+                yield sc.Print(f"served {served} requests")
+                return
+            yield from call("handle_request", handle(msg))
+            served += 1
+
+    yield from call("main", body())
+
+
+def sleeper(argv: list[str]) -> Program:
+    """Sleep (virtual) ``argv[0]`` seconds, then exit (default 1.0)."""
+
+    def body():
+        yield sc.Sleep(_float_arg(argv, 0, 1.0))
+
+    yield from call("main", body())
+
+
+def crasher(argv: list[str]) -> Program:
+    """Compute briefly then raise — fault-injection workload."""
+
+    def body():
+        yield sc.Compute(0.01)
+        raise RuntimeError("injected crash")
+
+    yield from call("main", body())
+
+
+def exiter(argv: list[str]) -> Program:
+    """Exit immediately with code ``argv[0]`` (default 0)."""
+
+    def body():
+        yield sc.Compute(0.001)
+        yield sc.ExitProgram(_int_arg(argv, 0, 0))
+
+    yield from call("main", body())
+
+
+def introspect(argv: list[str]) -> Program:
+    """Print pid/args/env — exercises the info syscalls."""
+
+    def body():
+        pid = yield sc.GetPid()
+        args = yield sc.GetArgs()
+        home = yield sc.GetEnv("HOME")
+        yield sc.Print(f"pid={pid} args={' '.join(args)} home={home}")
+
+    yield from call("main", body())
+
+
+def default_registry() -> ProgramRegistry:
+    """Registry pre-loaded with the standard programs."""
+    registry = ProgramRegistry()
+    for name, factory, functions in [
+        ("hello", hello, ["main"]),
+        ("cpu_burn", cpu_burn, ["main"]),
+        ("spin", spin, ["main"]),
+        (
+            "phases",
+            phases,
+            ["main", "init", "compute_a", "compute_b", "write_output", "finish"],
+        ),
+        ("io_loop", io_loop, ["main", "fetch", "process_data"]),
+        ("echo_stdin", echo_stdin, ["main"]),
+        ("server_loop", server_loop, ["main", "handle_request"]),
+        ("sleeper", sleeper, ["main"]),
+        ("crasher", crasher, ["main"]),
+        ("exiter", exiter, ["main"]),
+        ("introspect", introspect, ["main"]),
+    ]:
+        registry.register(name, factory, functions=functions)
+    # "foo" — the executable name used throughout the paper's examples
+    # (Figure 5B submits "executable = foo"); alias of the multi-phase
+    # workload so monitored pilot runs have something worth profiling.
+    registry.register(
+        "foo",
+        phases,
+        functions=["main", "init", "compute_a", "compute_b", "write_output", "finish"],
+    )
+    return registry

@@ -1,0 +1,168 @@
+"""Syscalls of the simulated OS.
+
+A *virtual program* is a Python generator that yields syscall objects;
+the scheduler executes each syscall and sends its result back into the
+generator.  A syscall that cannot complete (e.g. :class:`RecvMsg` on an
+empty mailbox) leaves the generator un-advanced and blocks the process —
+it is retried when the process wakes, so blocking semantics are exact
+without ever blocking the scheduler thread.
+
+Programs look like::
+
+    def worker(argv):
+        def body():
+            yield Compute(0.5)
+            msg = yield RecvMsg()
+            yield Print(f"got {msg.payload}")
+            yield Compute(1.0)
+        yield from call("main", body())
+
+:func:`call` brackets a body with Enter/ExitFunction so the dynamic
+instrumentation engine (:mod:`repro.paradyn.dyninst`) has probe points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Iterator
+
+
+class SysCall:
+    """Base class for everything a virtual program may yield."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Compute(SysCall):
+    """Burn ``cost`` seconds of virtual CPU, attributed to the current function."""
+
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise ValueError(f"negative compute cost {self.cost}")
+
+
+@dataclass(frozen=True)
+class Sleep(SysCall):
+    """Block for ``seconds`` of *virtual* time without consuming CPU."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class EnterFunction(SysCall):
+    """Mark entry into a named function (an instrumentation point)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ExitFunction(SysCall):
+    """Mark exit from a named function (an instrumentation point)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Print(SysCall):
+    """Write a line to the process's standard output."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class ReadLine(SysCall):
+    """Read one line from standard input; blocks until available.
+
+    Result: the line (str), or ``None`` on EOF.
+    """
+
+
+@dataclass(frozen=True)
+class SendMsg(SysCall):
+    """Send a message to another simulated process (host, pid).
+
+    Payload must be JSON-serializable (same wire discipline as channels).
+    """
+
+    dst_host: str
+    dst_pid: int
+    tag: str = ""
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class RecvMsg(SysCall):
+    """Receive the oldest mailbox message (optionally filtered by tag).
+
+    Blocks until a matching message arrives.  Result: :class:`MsgRecord`.
+    """
+
+    tag: str | None = None
+
+
+@dataclass(frozen=True)
+class MsgRecord:
+    """A delivered message (result of :class:`RecvMsg`)."""
+
+    src_host: str
+    src_pid: int
+    tag: str
+    payload: Any
+
+
+@dataclass(frozen=True)
+class ExitProgram(SysCall):
+    """Terminate the program with an exit code."""
+
+    code: int = 0
+
+
+@dataclass(frozen=True)
+class GetPid(SysCall):
+    """Result: this process's pid (int)."""
+
+
+@dataclass(frozen=True)
+class GetArgs(SysCall):
+    """Result: the argv list the process was created with."""
+
+
+@dataclass(frozen=True)
+class GetEnv(SysCall):
+    """Result: the value of one environment variable, or ``None``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Service(SysCall):
+    """Invoke a cluster-registered service handler (extensibility hook).
+
+    The MPI runtime uses this for rank spawning and communicator setup;
+    handlers run synchronously on the scheduler thread and must not
+    block.  Result: whatever the handler returns (JSON-able).
+    """
+
+    name: str
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+Program = Generator[SysCall, Any, Any]
+
+
+def call(name: str, body: Iterator[SysCall]) -> Program:
+    """Run ``body`` bracketed by Enter/ExitFunction syscalls.
+
+    The ExitFunction is emitted even if the body raises, so function
+    timers balance on program faults (the interpreter additionally
+    force-closes open frames at exit as a backstop).
+    """
+    yield EnterFunction(name)
+    try:
+        result = yield from body
+    finally:
+        yield ExitFunction(name)
+    return result

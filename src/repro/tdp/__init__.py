@@ -1,0 +1,78 @@
+"""The Tool Dæmon Protocol library — the paper's primary contribution.
+
+The API mirrors the C library of the paper (Section 3), grouped exactly
+as the paper groups its services:
+
+* **process management** — ``tdp_create_process`` (run/paused),
+  ``tdp_attach``, ``tdp_continue_process``, ``tdp_pause_process``,
+  ``tdp_kill``; control executes in the RM, requests from tools are
+  forwarded through the attribute space (Section 2.3);
+* **inter-daemon communication** — ``tdp_init``/``tdp_exit``, blocking
+  ``tdp_put``/``tdp_get``, asynchronous ``tdp_async_put``/``tdp_async_get``
+  (Section 3.2);
+* **event notification** — ``tdp_service_events`` at the daemon's safe
+  point, with the event queue as the pollable "descriptor" (Section 3.3).
+
+Plus the supporting services the paper's interface list calls for
+(Section 1): stdio management, proxy-aware tool communication, config
+and data file staging, auxiliary services, and a pragmatic fault model.
+"""
+
+from repro.tdp.wellknown import Attr, CreateMode
+from repro.tdp.handle import TdpHandle
+from repro.tdp.api import (
+    tdp_init,
+    tdp_exit,
+    tdp_put,
+    tdp_get,
+    tdp_try_get,
+    tdp_remove,
+    tdp_async_get,
+    tdp_async_put,
+    tdp_subscribe,
+    tdp_service_events,
+    tdp_poll,
+    tdp_create_process,
+    tdp_attach,
+    tdp_continue_process,
+    tdp_pause_process,
+    tdp_detach,
+    tdp_kill,
+    tdp_process_status,
+    tdp_wait_exit,
+)
+from repro.tdp.process import (
+    ProcessBackend,
+    ProcessControlService,
+    ProcessInfo,
+    SimHostBackend,
+)
+
+__all__ = [
+    "Attr",
+    "CreateMode",
+    "TdpHandle",
+    "tdp_init",
+    "tdp_exit",
+    "tdp_put",
+    "tdp_get",
+    "tdp_try_get",
+    "tdp_remove",
+    "tdp_async_get",
+    "tdp_async_put",
+    "tdp_subscribe",
+    "tdp_service_events",
+    "tdp_poll",
+    "tdp_create_process",
+    "tdp_attach",
+    "tdp_continue_process",
+    "tdp_pause_process",
+    "tdp_detach",
+    "tdp_kill",
+    "tdp_process_status",
+    "tdp_wait_exit",
+    "ProcessBackend",
+    "ProcessControlService",
+    "ProcessInfo",
+    "SimHostBackend",
+]

@@ -1,0 +1,140 @@
+"""Fault detection and notification (extension beyond the paper's scope).
+
+The paper's interface list requires that "the RM must be able to detect
+these failures [AP, RT, AS], respond to them, and perhaps communicate
+their occurrence to the other entities", while noting a full fault model
+is "ongoing work and beyond the scope of this paper".  We ship the
+pragmatic subset that the interface list implies:
+
+* **AP faults** via backend exit listeners (abnormal exit / signal);
+* **RT and AS faults** via heartbeat attributes with deadlines —
+  daemons ``beat()`` periodically; a missed deadline is a fault;
+* **propagation** via ``fault.<entity>`` attributes, so every TDP
+  participant can subscribe to ``fault.*`` and react.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro import errors
+from repro.tdp.handle import TdpHandle
+from repro.tdp.wellknown import Attr, ProcStatus
+from repro.util.log import get_logger
+
+_log = get_logger("tdp.faults")
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    entity_kind: str  # "ap" | "rt" | "as"
+    entity_id: str
+    reason: str
+
+
+def heartbeat(handle: TdpHandle, entity_id: str) -> None:
+    """Daemon-side: record liveness (a monotonically fresh timestamp)."""
+    handle.attrs.put(Attr.heartbeat(entity_id), repr(time.monotonic()))
+
+
+class FaultMonitor:
+    """RM-side watcher: declares faults and publishes them to the space.
+
+    ``watch_process`` covers the AP; ``watch_heartbeat`` covers RT/AS
+    daemons.  Detected faults are published as ``fault.<entity>``
+    attributes and recorded locally for the RM's own response logic.
+    """
+
+    def __init__(self, handle: TdpHandle, *, check_interval: float = 0.05):
+        self._handle = handle
+        self._interval = check_interval
+        self._lock = threading.Lock()
+        self._deadlines: dict[str, tuple[str, float, float]] = {}
+        # entity_id -> (kind, max_silence, last_seen_monotonic)
+        self.faults: list[FaultRecord] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- AP monitoring ----------------------------------------------------------
+
+    def watch_process(self, pid: int) -> None:
+        """Declare a fault if the managed process exits abnormally."""
+        control = self._handle.control
+        if control is None:
+            raise errors.HandleError("watch_process requires an RM handle")
+
+        def on_exit(info) -> None:
+            if info.exit_code not in (0, None):
+                self._declare("ap", str(pid), f"abnormal exit code {info.exit_code}")
+
+        control._backend.on_exit(pid, on_exit)
+
+    # -- heartbeat monitoring ------------------------------------------------------
+
+    def watch_heartbeat(
+        self, entity_kind: str, entity_id: str, max_silence: float
+    ) -> None:
+        """Declare a fault if no heartbeat arrives for ``max_silence`` s."""
+        with self._lock:
+            self._deadlines[entity_id] = (entity_kind, max_silence, time.monotonic())
+        self._ensure_thread()
+
+    def _ensure_thread(self) -> None:
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._thread = threading.Thread(
+                target=self._watch_loop, name="fault-monitor", daemon=True
+            )
+            self._thread.start()
+
+    def _watch_loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            now = time.monotonic()
+            with self._lock:
+                entries = list(self._deadlines.items())
+            for entity_id, (kind, max_silence, last_seen) in entries:
+                # Refresh last_seen from the space.
+                try:
+                    raw = self._handle.attrs.try_get(Attr.heartbeat(entity_id))
+                    seen = float(raw)
+                except (errors.NoSuchAttributeError, ValueError):
+                    seen = last_seen
+                except errors.TdpError:
+                    return  # space gone: monitor dies with the session
+                with self._lock:
+                    if entity_id not in self._deadlines:
+                        continue
+                    self._deadlines[entity_id] = (kind, max_silence, max(seen, last_seen))
+                    effective = self._deadlines[entity_id][2]
+                if now - effective > max_silence:
+                    with self._lock:
+                        self._deadlines.pop(entity_id, None)
+                    self._declare(kind, entity_id, f"no heartbeat for {max_silence}s")
+
+    def unwatch(self, entity_id: str) -> None:
+        """Stop watching (clean shutdown is not a fault)."""
+        with self._lock:
+            self._deadlines.pop(entity_id, None)
+
+    # -- fault declaration -------------------------------------------------------------
+
+    def _declare(self, kind: str, entity_id: str, reason: str) -> None:
+        record = FaultRecord(entity_kind=kind, entity_id=entity_id, reason=reason)
+        with self._lock:
+            self.faults.append(record)
+        _log.warning("fault: %s %s — %s", kind, entity_id, reason)
+        try:
+            self._handle.attrs.put(Attr.fault(entity_id), f"{kind}:{reason}")
+        except errors.TdpError:
+            pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            thread.join(timeout=5.0)

@@ -1,0 +1,233 @@
+"""TdpHandle: the object ``tdp_init`` returns.
+
+"On success, tdp_init will return a tdp handle, which will be used in
+any TDP subsequent action" (Section 3.2).  A handle bundles:
+
+* the daemon's identity (member name, role);
+* its LASS session (an :class:`AttributeSpaceClient` bound to one
+  context) and optionally a CASS session;
+* for RM-role handles, the :class:`ProcessControlService` over the local
+  process backend;
+* the event machinery serviced by ``tdp_service_events``.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+
+from repro import errors
+from repro.attrspace.client import AttributeSpaceClient
+from repro.net.address import Endpoint
+from repro.tdp.process import ProcessBackend, ProcessControlService
+from repro.transport.base import Transport
+from repro.util.log import get_logger
+
+_log = get_logger("tdp.handle")
+
+
+class Role(enum.Enum):
+    """Which kind of daemon holds this handle."""
+
+    RM = "rm"    # resource manager daemon: owns process control
+    RT = "rt"    # run-time tool daemon: requests control via the RM
+    AP = "ap"    # application-side helper (stdio endpoints etc.)
+    AS = "as"    # auxiliary service daemon
+
+
+class TdpHandle:
+    """One daemon's TDP session.  Create via :func:`repro.tdp.api.tdp_init`."""
+
+    def __init__(
+        self,
+        *,
+        member: str,
+        role: Role,
+        context: str,
+        lass: AttributeSpaceClient,
+        cass: AttributeSpaceClient | None = None,
+        backend: ProcessBackend | None = None,
+    ):
+        self.member = member
+        self.role = role
+        self.context = context
+        self.lass = lass
+        self.cass = cass
+        self._closed = False
+        self._lock = threading.Lock()
+        self._service_thread: threading.Thread | None = None
+        self._service_stop = threading.Event()
+
+        self.control: ProcessControlService | None = None
+        if backend is not None:
+            if role is not Role.RM:
+                raise errors.HandleError(
+                    "only RM-role handles may own a process backend "
+                    "(paper Section 2.3: process control belongs to the RM)"
+                )
+            self.control = ProcessControlService(backend, lass)
+
+    # -- attribute space views ----------------------------------------------------
+
+    @property
+    def attrs(self) -> AttributeSpaceClient:
+        """The local space session (every daemon has one)."""
+        return self.lass
+
+    def central(self) -> AttributeSpaceClient:
+        """The central (CASS) session; raises if this daemon has none."""
+        if self.cass is None:
+            raise errors.HandleError(f"{self.member}: no CASS session on this handle")
+        return self.cass
+
+    def _clients(self) -> list[AttributeSpaceClient]:
+        return [c for c in (self.lass, self.cass) if c is not None]
+
+    # -- event servicing -----------------------------------------------------------
+
+    def service_events(self, max_events: int | None = None) -> int:
+        """Run pending callbacks at this (safe) point; returns the count."""
+        self._check_open()
+        count = 0
+        for client in self._clients():
+            budget = None if max_events is None else max_events - count
+            if budget is not None and budget <= 0:
+                break
+            count += client.service_events(max_events=budget)
+        return count
+
+    def has_pending_events(self) -> bool:
+        return any(c.has_pending_events() for c in self._clients())
+
+    def poll(self, timeout: float | None = None) -> bool:
+        """Block until any session has a serviceable event (or timeout)."""
+        clients = self._clients()
+        if len(clients) == 1:
+            # Fast path: wait on the single event queue's condition.
+            return clients[0].wait_event(timeout=timeout)
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self.has_pending_events():
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.001)
+
+    def start_service_loop(self, interval: float = 0.005) -> None:
+        """Run ``service_events`` continuously on a background thread.
+
+        Daemons in this library that have no other main loop (e.g. the
+        Condor starter while a job runs) use this instead of a hand-
+        written poll loop; it preserves the safe-point discipline because
+        all callbacks for this handle run on this single thread.
+        """
+        with self._lock:
+            if self._service_thread is not None:
+                return
+            self._service_stop.clear()
+            self._service_thread = threading.Thread(
+                target=self._service_loop,
+                args=(interval,),
+                name=f"tdp-service-{self.member}",
+                daemon=True,
+            )
+            self._service_thread.start()
+
+    def _service_loop(self, interval: float) -> None:
+        while not self._service_stop.is_set():
+            try:
+                if not self.service_events():
+                    # Wake promptly on event arrival; the interval only
+                    # bounds how often the stop flag is re-checked.
+                    self.poll(timeout=interval)
+            except errors.TdpError:
+                return
+
+    def stop_service_loop(self) -> None:
+        with self._lock:
+            thread = self._service_thread
+            self._service_thread = None
+        if thread is not None:
+            self._service_stop.set()
+            thread.join(timeout=5.0)
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise errors.HandleError(f"handle {self.member} is closed (tdp_exit)")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """``tdp_exit``: leave the context(s) and release resources."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.stop_service_loop()
+        for client in self._clients():
+            client.close()
+
+    def __enter__(self) -> "TdpHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<TdpHandle {self.member} role={self.role.value} "
+            f"context={self.context!r}{' closed' if self._closed else ''}>"
+        )
+
+
+def open_handle(
+    transport: Transport,
+    lass_endpoint: Endpoint,
+    *,
+    member: str,
+    role: Role,
+    context: str = "default",
+    src_host: str | None = None,
+    cass_endpoint: Endpoint | None = None,
+    cass_context: str = "default",
+    backend: ProcessBackend | None = None,
+    connect_timeout: float = 10.0,
+) -> TdpHandle:
+    """Implementation behind ``tdp_init``: connect session(s), build handle.
+
+    ``src_host`` defaults to the backend's host (RM case) and must be
+    given otherwise — it determines which side of the firewall the
+    daemon connects from.  The CASS session joins ``cass_context``
+    (default: the global ``"default"`` context — central attributes like
+    the tool front-end's endpoint are pool-global, not per-job).
+    """
+    if src_host is None:
+        if backend is None:
+            raise errors.HandleError("src_host required when no backend is given")
+        src_host = backend.hostname
+    lass_channel = transport.connect(src_host, lass_endpoint, timeout=connect_timeout)
+    lass = AttributeSpaceClient(lass_channel, context=context, member=member)
+    cass = None
+    if cass_endpoint is not None:
+        try:
+            cass_channel = transport.connect(
+                src_host, cass_endpoint, timeout=connect_timeout
+            )
+        except errors.TdpError:
+            lass.close()
+            raise
+        cass = AttributeSpaceClient(cass_channel, context=cass_context, member=member)
+    return TdpHandle(
+        member=member,
+        role=role,
+        context=context,
+        lass=lass,
+        cass=cass,
+        backend=backend,
+    )

@@ -1,0 +1,71 @@
+"""Tool daemon ↔ front-end communication setup (paper Section 2.4).
+
+"In general, TDP will provide a host/port number pair to the RT to
+contact its front-end … If the private networks block such connections,
+then the host/port number will be that of the RM's proxy."
+
+The front-end publishes its endpoint (``rt.frontend``); the RM publishes
+its proxy endpoint (``rm.proxy``) when one exists; and the tool daemon
+calls :func:`connect_to_frontend`, which hides the direct-vs-proxied
+decision entirely — the paper's transparency requirement.
+"""
+
+from __future__ import annotations
+
+from repro import errors
+from repro.net.address import Endpoint, parse_endpoint
+from repro.tdp.handle import TdpHandle
+from repro.tdp.wellknown import Attr
+from repro.transport.base import Channel, Transport
+from repro.transport.proxy import connect_maybe_proxied
+
+
+def publish_frontend_endpoint(handle: TdpHandle, endpoint: Endpoint) -> None:
+    """Front-end side: advertise where tool daemons should connect.
+
+    In the pilot this information was wired into the submit file
+    (``-p2090 -P2091``); "in a complete TDP framework, port arguments
+    should be published … and disseminated to remote sites as attribute
+    values" (Section 4.3) — which is what this function does.
+    """
+    handle.attrs.put(Attr.RT_FRONTEND, str(endpoint))
+
+
+def publish_proxy_endpoint(handle: TdpHandle, endpoint: Endpoint) -> None:
+    """RM side: advertise the proxy usable for crossing the private network.
+
+    TDP "does not require a new proxy facility …; it merely leverages
+    existing ones (if present)" — the RM names its own here.
+    """
+    handle.attrs.put(Attr.RM_PROXY, str(endpoint))
+
+
+def frontend_endpoint(handle: TdpHandle, timeout: float | None = 30.0) -> Endpoint:
+    """Read the advertised front-end endpoint (blocking until published)."""
+    return parse_endpoint(handle.attrs.get(Attr.RT_FRONTEND, timeout=timeout))
+
+
+def proxy_endpoint(handle: TdpHandle) -> Endpoint | None:
+    """The RM's advertised proxy, or ``None`` when not published."""
+    try:
+        return parse_endpoint(handle.attrs.try_get(Attr.RM_PROXY))
+    except errors.NoSuchAttributeError:
+        return None
+
+
+def connect_to_frontend(
+    handle: TdpHandle,
+    transport: Transport,
+    src_host: str,
+    *,
+    timeout: float | None = 30.0,
+) -> Channel:
+    """Tool-daemon side: open a channel to the front-end, however reachable.
+
+    Tries the direct path; when the firewall refuses it and the RM has
+    published a proxy, tunnels through it.  The caller cannot tell the
+    difference — both return an ordinary channel.
+    """
+    target = frontend_endpoint(handle, timeout=timeout)
+    proxy = proxy_endpoint(handle)
+    return connect_maybe_proxied(transport, src_host, target, proxy, timeout=timeout)

@@ -1,0 +1,161 @@
+"""Standard input/output management (paper Section 1, interface list).
+
+"This operation properly belongs to the RM, but must be coordinated
+with the RT": the RM owns the application's stdio and forwards it to
+wherever the job's owner is — typically the submit-side host.  TDP's
+part is (a) a standard attribute (``stdio.endpoint``) naming where the
+stream goes and (b) a relay that ships lines over a channel, proxy-aware
+like all tool communication.
+
+Wire format: ``{"stream": "stdout", "line": ...}`` frames outbound;
+``{"stream": "stdin", "line": ...}`` and ``{"stream": "stdin",
+"eof": true}`` inbound.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro import errors
+from repro.net.address import Endpoint
+from repro.transport.base import Channel, Listener, Transport
+from repro.transport.proxy import connect_maybe_proxied
+from repro.util.log import get_logger
+from repro.util.sync import WaitableQueue
+
+_log = get_logger("tdp.stdio")
+
+
+class StdioCollector:
+    """Front-end side: listens for one job's stdio relay and collects lines.
+
+    The paper's scenario: the user's desktop shows the application's
+    output "at the same location as the RT's front-end".
+    """
+
+    def __init__(self, transport: Transport, host: str, port: int = 0):
+        self._listener: Listener = transport.listen(host, port)
+        self.lines: list[str] = []
+        self._line_queue: WaitableQueue[str] = WaitableQueue()
+        self._channel: Channel | None = None
+        self._lock = threading.Lock()
+        self._stdin_pending: list[dict] = []
+        self._accepted = threading.Event()
+        threading.Thread(
+            target=self._accept_and_pump, name=f"stdio-collect-{host}", daemon=True
+        ).start()
+
+    @property
+    def endpoint(self) -> Endpoint:
+        """Publish this (as ``Attr.STDIO_ENDPOINT``) for the RM to dial."""
+        return self._listener.endpoint
+
+    def _accept_and_pump(self) -> None:
+        try:
+            channel = self._listener.accept()
+        except errors.TdpError:
+            return
+        with self._lock:
+            self._channel = channel
+            backlog, self._stdin_pending = self._stdin_pending, []
+        for frame in backlog:
+            try:
+                channel.send(frame)
+            except errors.TdpError:
+                return
+        self._accepted.set()
+        try:
+            while True:
+                frame = channel.recv()
+                if frame.get("stream") == "stdout":
+                    line = str(frame.get("line", ""))
+                    self.lines.append(line)
+                    self._line_queue.put(line)
+        except errors.TdpError:
+            pass
+        finally:
+            self._line_queue.close()
+
+    def wait_line(self, timeout: float | None = 10.0) -> str:
+        """Block for the next stdout line from the job."""
+        return self._line_queue.get(timeout=timeout)
+
+    def send_stdin(self, line: str) -> None:
+        """Queue a stdin line for the job (buffered until the relay dials in)."""
+        frame = {"stream": "stdin", "line": line}
+        with self._lock:
+            if self._channel is None:
+                self._stdin_pending.append(frame)
+                return
+            channel = self._channel
+        channel.send(frame)
+
+    def send_eof(self) -> None:
+        frame = {"stream": "stdin", "eof": True}
+        with self._lock:
+            if self._channel is None:
+                self._stdin_pending.append(frame)
+                return
+            channel = self._channel
+        channel.send(frame)
+
+    def close(self) -> None:
+        self._listener.close()
+        with self._lock:
+            if self._channel is not None:
+                self._channel.close()
+
+
+class StdioRelay:
+    """RM side: bridges one application's stdio to the collector endpoint.
+
+    ``attach_stdout`` registers a sink with the process (the sim backend
+    exposes per-process stdout sinks; the POSIX backend pumps pipes into
+    the same call), and inbound stdin frames are pushed through
+    ``feed_stdin``/``close_stdin`` callables supplied by the backend.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        src_host: str,
+        endpoint: Endpoint,
+        *,
+        proxy: Endpoint | None = None,
+        feed_stdin: Callable[[str], None] | None = None,
+        close_stdin: Callable[[], None] | None = None,
+    ):
+        self._channel = connect_maybe_proxied(transport, src_host, endpoint, proxy)
+        self._feed_stdin = feed_stdin
+        self._close_stdin = close_stdin
+        self._send_lock = threading.Lock()
+        threading.Thread(
+            target=self._stdin_pump, name=f"stdio-relay-{src_host}", daemon=True
+        ).start()
+
+    def forward_stdout(self, line: str) -> None:
+        """Ship one application stdout line to the collector."""
+        try:
+            with self._send_lock:
+                self._channel.send({"stream": "stdout", "line": line})
+        except errors.TdpError:
+            _log.warning("stdio relay lost its collector; dropping output")
+
+    def _stdin_pump(self) -> None:
+        try:
+            while True:
+                frame = self._channel.recv()
+                if frame.get("stream") != "stdin":
+                    continue
+                if frame.get("eof"):
+                    if self._close_stdin is not None:
+                        self._close_stdin()
+                    continue
+                if self._feed_stdin is not None:
+                    self._feed_stdin(str(frame.get("line", "")))
+        except errors.TdpError:
+            pass
+
+    def close(self) -> None:
+        self._channel.close()

@@ -1,0 +1,23 @@
+"""Message transport: channels, listeners, in-memory and TCP backends, proxy.
+
+Every daemon-to-daemon conversation in the library (attribute space
+clients to LASS/CASS, tool daemons to their front-end, proxy tunnels)
+runs over the :class:`~repro.transport.base.Channel` abstraction, so the
+same protocol code works on the simulated network (with firewalls and
+latency) and on real localhost TCP sockets.
+"""
+
+from repro.transport.base import Channel, Listener, Transport
+from repro.transport.inmem import InMemoryTransport
+from repro.transport.tcp import TcpTransport
+from repro.transport.proxy import ProxyServer, connect_via_proxy
+
+__all__ = [
+    "Channel",
+    "Listener",
+    "Transport",
+    "InMemoryTransport",
+    "TcpTransport",
+    "ProxyServer",
+    "connect_via_proxy",
+]

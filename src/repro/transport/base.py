@@ -1,0 +1,107 @@
+"""Transport abstraction: Channel / Listener / Transport.
+
+Messages are JSON-serializable dictionaries.  A channel is reliable and
+ordered (TCP-like), and ``close()`` from either side eventually surfaces
+as :class:`~repro.errors.ChannelClosedError` at the peer once queued
+messages drain — the graceful-drain semantics both the attribute space
+server and the proxy forwarder rely on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.net.address import Endpoint
+
+Message = dict[str, Any]
+
+
+class Channel(ABC):
+    """A bidirectional, reliable, ordered message channel."""
+
+    @abstractmethod
+    def send(self, message: Message) -> None:
+        """Send one message; raises ``ChannelClosedError`` if closed."""
+
+    @abstractmethod
+    def recv(self, timeout: float | None = None) -> Message:
+        """Receive the next message.
+
+        Blocks until a message arrives; raises ``GetTimeoutError`` on
+        timeout and ``ChannelClosedError`` once the peer has closed and
+        all in-flight messages are drained.
+        """
+
+    @abstractmethod
+    def close(self) -> None:
+        """Close both directions; idempotent."""
+
+    @property
+    @abstractmethod
+    def closed(self) -> bool: ...
+
+    @property
+    @abstractmethod
+    def local_host(self) -> str:
+        """Host name this end lives on."""
+
+    @property
+    @abstractmethod
+    def remote_host(self) -> str:
+        """Host name of the peer (as known at connect/accept time)."""
+
+    # Convenience request/response helper used by thin RPC clients.
+    def request(self, message: Message, timeout: float | None = None) -> Message:
+        """Send ``message`` and return the next received message."""
+        self.send(message)
+        return self.recv(timeout=timeout)
+
+    def __enter__(self) -> "Channel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Listener(ABC):
+    """A bound, listening endpoint that accepts inbound channels."""
+
+    @property
+    @abstractmethod
+    def endpoint(self) -> Endpoint:
+        """The (host, port) this listener is bound to."""
+
+    @abstractmethod
+    def accept(self, timeout: float | None = None) -> Channel:
+        """Block for the next inbound channel."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Stop accepting; idempotent.  Blocked ``accept`` calls raise."""
+
+    @property
+    @abstractmethod
+    def closed(self) -> bool: ...
+
+    def __enter__(self) -> "Listener":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Transport(ABC):
+    """Factory for listeners and outbound channels on some network."""
+
+    @abstractmethod
+    def listen(self, host: str, port: int = 0) -> Listener:
+        """Bind a listener on ``host``.  ``port=0`` picks a free port."""
+
+    @abstractmethod
+    def connect(self, src_host: str, endpoint: Endpoint, timeout: float | None = None) -> Channel:
+        """Open a channel from ``src_host`` to ``endpoint``.
+
+        Raises ``FirewallBlockedError`` when the network forbids it and
+        ``ConnectError`` when nothing is listening.
+        """

@@ -1,0 +1,90 @@
+"""Wire codec: length-prefixed JSON frames.
+
+Both transports speak the same frame format so a message captured on one
+can be replayed on the other:
+
+* 4-byte big-endian unsigned length, then that many bytes of UTF-8 JSON.
+* The JSON document must be an object (mapping), mirroring the
+  :data:`~repro.transport.base.Message` type.
+
+The in-memory transport also round-trips every message through this
+codec.  That costs a little copying but guarantees that anything that
+works on the simulated network is actually serializable — a class of bug
+that otherwise only shows up when switching to real sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from repro.errors import ProtocolError
+
+_LEN = struct.Struct(">I")
+
+#: Upper bound on one frame; protects servers from a runaway peer.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """Serialize one message to a length-prefixed frame."""
+    if not isinstance(message, dict):
+        raise ProtocolError(f"message must be a dict, got {type(message).__name__}")
+    try:
+        body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as e:
+        raise ProtocolError(f"unserializable message: {e}") from e
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large: {len(body)} bytes")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict[str, Any]:
+    """Deserialize a frame body back into a message dict."""
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as e:
+        raise ProtocolError(f"malformed frame body: {e}") from e
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"frame body must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def roundtrip(message: dict[str, Any]) -> dict[str, Any]:
+    """Encode+decode a message (serializability check for in-mem channels)."""
+    frame = encode_frame(message)
+    return decode_body(frame[_LEN.size :])
+
+
+class FrameReader:
+    """Incremental frame parser for a byte stream (used by the TCP backend).
+
+    Feed it arbitrary chunks; it yields complete messages as they become
+    available.  Keeps at most one partial frame of state.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[dict[str, Any]]:
+        """Append ``data`` and return all now-complete messages."""
+        self._buf.extend(data)
+        out: list[dict[str, Any]] = []
+        while True:
+            if len(self._buf) < _LEN.size:
+                break
+            (length,) = _LEN.unpack_from(self._buf, 0)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(f"peer announced oversized frame: {length} bytes")
+            if len(self._buf) < _LEN.size + length:
+                break
+            body = bytes(self._buf[_LEN.size : _LEN.size + length])
+            del self._buf[: _LEN.size + length]
+            out.append(decode_body(body))
+        return out
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buf)

@@ -1,0 +1,208 @@
+"""In-memory transport over the simulated network.
+
+Channels are queue pairs; ``connect`` consults the
+:class:`~repro.net.topology.Network` firewall rules and (optionally)
+sleeps for the modeled link latency, so timing experiments see zone
+boundaries.  Every message round-trips through the JSON frame codec to
+guarantee wire-serializability (see :mod:`repro.transport.framing`).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import (
+    ChannelClosedError,
+    ConnectError,
+    GetTimeoutError,
+    ProtocolError,
+)
+from repro.net.address import Endpoint
+from repro.net.topology import Network
+from repro.transport import framing
+from repro.transport.base import Channel, Listener, Message, Transport
+from repro.util.sync import WaitableQueue
+
+
+class _InMemChannel(Channel):
+    """One end of a queue-pair channel."""
+
+    def __init__(self, local_host: str, remote_host: str, latency: float):
+        self._local = local_host
+        self._remote = remote_host
+        self._latency = latency
+        self._rx: WaitableQueue[Message] = WaitableQueue()
+        self._peer: _InMemChannel | None = None  # set by _pair()
+        self._closed = False
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def pair(host_a: str, host_b: str, latency: float = 0.0) -> tuple["_InMemChannel", "_InMemChannel"]:
+        """Create a connected channel pair (a on host_a, b on host_b)."""
+        a = _InMemChannel(host_a, host_b, latency)
+        b = _InMemChannel(host_b, host_a, latency)
+        a._peer = b
+        b._peer = a
+        return a, b
+
+    def send(self, message: Message) -> None:
+        message = framing.roundtrip(message)  # enforce serializability
+        with self._lock:
+            if self._closed:
+                raise ChannelClosedError(f"send on closed channel {self._local}->{self._remote}")
+            peer = self._peer
+        assert peer is not None
+        if self._latency > 0:
+            import time
+
+            time.sleep(self._latency)
+        try:
+            peer._rx.put(message)
+        except ChannelClosedError:
+            raise ChannelClosedError(
+                f"peer {self._remote} closed channel from {self._local}"
+            ) from None
+
+    def recv(self, timeout: float | None = None) -> Message:
+        try:
+            return self._rx.get(timeout=timeout)
+        except GetTimeoutError:
+            raise
+        except ChannelClosedError:
+            raise ChannelClosedError(
+                f"channel {self._local}<-{self._remote} closed"
+            ) from None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            peer = self._peer
+        # Close our receive side immediately and the peer's receive side so
+        # its blocked readers wake after draining in-flight messages.
+        self._rx.close()
+        if peer is not None:
+            peer._rx.close()
+            with peer._lock:
+                peer._closed = True
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def local_host(self) -> str:
+        return self._local
+
+    @property
+    def remote_host(self) -> str:
+        return self._remote
+
+
+class _InMemListener(Listener):
+    def __init__(self, transport: "InMemoryTransport", endpoint: Endpoint):
+        self._transport = transport
+        self._endpoint = endpoint
+        self._backlog: WaitableQueue[Channel] = WaitableQueue()
+        self._closed = False
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return self._endpoint
+
+    def accept(self, timeout: float | None = None) -> Channel:
+        try:
+            return self._backlog.get(timeout=timeout)
+        except ChannelClosedError:
+            raise ChannelClosedError(f"listener {self._endpoint} closed") from None
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._transport._unbind(self._endpoint)
+        self._backlog.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _enqueue(self, channel: Channel) -> None:
+        self._backlog.put(channel)
+
+
+class InMemoryTransport(Transport):
+    """Transport over a simulated :class:`Network`.
+
+    Port numbers are per-host; ``listen(host, 0)`` allocates ephemeral
+    ports starting at 30000 (mirroring an OS ephemeral range, and keeping
+    well-known service ports free for explicit binds).
+    """
+
+    EPHEMERAL_BASE = 30000
+
+    def __init__(self, network: Network, apply_latency: bool = False):
+        self._network = network
+        self._apply_latency = apply_latency
+        self._listeners: dict[tuple[str, int], _InMemListener] = {}
+        self._next_port: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    def listen(self, host: str, port: int = 0) -> Listener:
+        # Validates the host exists in the topology.
+        self._network.zone_of(host)
+        with self._lock:
+            if port == 0:
+                port = self._next_port.get(host, self.EPHEMERAL_BASE)
+                while (host, port) in self._listeners:
+                    port += 1
+                self._next_port[host] = port + 1
+            key = (host, port)
+            if key in self._listeners:
+                raise ConnectError(f"address in use: {host}:{port}")
+            listener = _InMemListener(self, Endpoint(host, port))
+            self._listeners[key] = listener
+            return listener
+
+    def connect(self, src_host: str, endpoint: Endpoint, timeout: float | None = None) -> Channel:
+        self._network.check(src_host, endpoint.host, endpoint.port)
+        with self._lock:
+            listener = self._listeners.get((endpoint.host, endpoint.port))
+        if listener is None or listener.closed:
+            raise ConnectError(f"connection refused: nothing listening at {endpoint}")
+        latency = self._network.latency(src_host, endpoint.host) if self._apply_latency else 0.0
+        client_end, server_end = _InMemChannel.pair(src_host, endpoint.host, latency)
+        try:
+            listener._enqueue(server_end)
+        except ChannelClosedError:
+            raise ConnectError(f"connection refused: listener at {endpoint} closed") from None
+        return client_end
+
+    def _unbind(self, endpoint: Endpoint) -> None:
+        with self._lock:
+            self._listeners.pop((endpoint.host, endpoint.port), None)
+
+    def open_listeners(self) -> list[Endpoint]:
+        """Endpoints currently bound (diagnostics/tests)."""
+        with self._lock:
+            return sorted(l.endpoint for l in self._listeners.values())
+
+    def close_all(self) -> None:
+        """Close every listener (scenario teardown)."""
+        with self._lock:
+            listeners = list(self._listeners.values())
+        for l in listeners:
+            l.close()
+
+
+def loopback_transport(hostname: str = "localhost") -> InMemoryTransport:
+    """Single-host in-memory transport (unit-test convenience)."""
+    from repro.net.topology import flat_network
+
+    return InMemoryTransport(flat_network([hostname]))

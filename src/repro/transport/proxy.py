@@ -1,0 +1,179 @@
+"""Proxy tunnel: the RM-provided path across a private network.
+
+Paper Section 2.4: "Process managers, such as Condor and Globus, provide
+proxy mechanisms to forward their connections in and out of a private
+network.  TDP provides a standard interface to these mechanisms."
+
+The :class:`ProxyServer` runs on a gateway host that the firewall lets
+through (in the Condor pilot, the starter's host can reach the submit
+machine).  A client inside the private zone connects to the proxy and
+sends a ``proxy_connect`` preamble naming the real target; the proxy
+dials the target *from its own host* and then pumps frames both ways.
+:func:`connect_via_proxy` wraps this handshake so callers get back an
+ordinary :class:`~repro.transport.base.Channel`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ChannelClosedError, ConnectError, ProxyError, TdpError
+from repro.net.address import Endpoint, parse_endpoint
+from repro.transport.base import Channel, Listener, Message, Transport
+from repro.util.ids import fresh_token
+from repro.util.log import get_logger
+
+_log = get_logger("transport.proxy")
+
+
+class ProxyServer:
+    """Frame-forwarding proxy bound on a gateway host.
+
+    Thread model: one acceptor thread, plus two pump threads per tunnel
+    (one per direction).  ``stop()`` closes the listener and every live
+    tunnel.
+    """
+
+    def __init__(self, transport: Transport, host: str, port: int = 0):
+        self._transport = transport
+        self._host = host
+        self._listener: Listener = transport.listen(host, port)
+        self._tunnels: dict[str, tuple[Channel, Channel]] = {}
+        self._lock = threading.Lock()
+        self._stopped = False
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name=f"proxy-accept-{host}", daemon=True
+        )
+        self._acceptor.start()
+
+    @property
+    def endpoint(self) -> Endpoint:
+        """Where clients must connect to reach this proxy."""
+        return self._listener.endpoint
+
+    @property
+    def tunnel_count(self) -> int:
+        with self._lock:
+            return len(self._tunnels)
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                inbound = self._listener.accept()
+            except TdpError:
+                return  # listener closed
+            threading.Thread(
+                target=self._handshake,
+                args=(inbound,),
+                name=f"proxy-handshake-{self._host}",
+                daemon=True,
+            ).start()
+
+    def _handshake(self, inbound: Channel) -> None:
+        try:
+            first = inbound.recv(timeout=10.0)
+        except TdpError:
+            inbound.close()
+            return
+        target_s = first.get("proxy_connect")
+        if not isinstance(target_s, str):
+            inbound.send({"proxy_error": "expected proxy_connect preamble"})
+            inbound.close()
+            return
+        try:
+            target = parse_endpoint(target_s)
+            outbound = self._transport.connect(self._host, target)
+        except TdpError as e:
+            try:
+                inbound.send({"proxy_error": str(e)})
+            except TdpError:
+                pass
+            inbound.close()
+            return
+        tunnel_id = fresh_token("tunnel")
+        with self._lock:
+            if self._stopped:
+                inbound.close()
+                outbound.close()
+                return
+            self._tunnels[tunnel_id] = (inbound, outbound)
+        inbound.send({"proxy_ok": True, "tunnel": tunnel_id})
+        _log.debug("tunnel %s: %s -> %s", tunnel_id, inbound.remote_host, target)
+        for src, dst, tag in ((inbound, outbound, "in->out"), (outbound, inbound, "out->in")):
+            threading.Thread(
+                target=self._pump,
+                args=(tunnel_id, src, dst),
+                name=f"proxy-pump-{tag}",
+                daemon=True,
+            ).start()
+
+    def _pump(self, tunnel_id: str, src: Channel, dst: Channel) -> None:
+        try:
+            while True:
+                dst.send(src.recv())
+        except TdpError:
+            pass
+        finally:
+            src.close()
+            dst.close()
+            with self._lock:
+                self._tunnels.pop(tunnel_id, None)
+
+    def stop(self) -> None:
+        with self._lock:
+            self._stopped = True
+            tunnels = list(self._tunnels.values())
+            self._tunnels.clear()
+        self._listener.close()
+        for a, b in tunnels:
+            a.close()
+            b.close()
+
+
+def connect_via_proxy(
+    transport: Transport,
+    src_host: str,
+    proxy: Endpoint,
+    target: Endpoint,
+    timeout: float | None = 10.0,
+) -> Channel:
+    """Open a channel to ``target`` tunneled through ``proxy``.
+
+    The returned channel behaves exactly like a direct one; the proxy
+    handshake is consumed here.  Raises :class:`ProxyError` when the
+    proxy cannot reach the target.
+    """
+    channel = transport.connect(src_host, proxy, timeout=timeout)
+    try:
+        channel.send({"proxy_connect": str(target)})
+        reply = channel.recv(timeout=timeout)
+    except ChannelClosedError as e:
+        raise ProxyError(f"proxy {proxy} dropped the handshake: {e}") from e
+    if not reply.get("proxy_ok"):
+        channel.close()
+        raise ProxyError(
+            f"proxy {proxy} could not reach {target}: {reply.get('proxy_error', 'unknown error')}"
+        )
+    return channel
+
+
+def connect_maybe_proxied(
+    transport: Transport,
+    src_host: str,
+    target: Endpoint,
+    proxy: Endpoint | None,
+    timeout: float | None = 10.0,
+) -> Channel:
+    """Connect directly when the network allows it, else via the proxy.
+
+    This is the decision rule the paper assigns to TDP: hand the daemon a
+    host/port that is either the real address or the RM proxy's, without
+    the daemon caring which (Section 2.4).  Here the fallback is dynamic:
+    try direct, and on a firewall block use the proxy if one was given.
+    """
+    try:
+        return transport.connect(src_host, target, timeout=timeout)
+    except ConnectError:
+        if proxy is None:
+            raise
+        return connect_via_proxy(transport, src_host, proxy, target, timeout=timeout)

@@ -1,0 +1,194 @@
+"""Real TCP transport (127.0.0.1).
+
+Demonstrates that the protocol stack is not simulation-bound: the same
+attribute-space server and TDP client code run over genuine sockets.
+Host names are logical labels carried in a small connect preamble (all
+sockets physically bind to loopback), so code written against the
+simulated network runs unchanged.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import ChannelClosedError, ConnectError, GetTimeoutError
+from repro.net.address import Endpoint
+from repro.transport import framing
+from repro.transport.base import Channel, Listener, Message, Transport
+from repro.util.sync import WaitableQueue
+
+_BIND_ADDR = "127.0.0.1"
+
+
+class _TcpChannel(Channel):
+    """Channel over a connected socket with a reader thread.
+
+    A dedicated reader thread keeps ``recv`` timeout semantics identical
+    to the in-memory backend (queue-based), and lets ``close`` wake
+    blocked readers deterministically.
+    """
+
+    def __init__(self, sock: socket.socket, local_host: str, remote_host: str):
+        self._sock = sock
+        self._local = local_host
+        self._remote = remote_host
+        self._rx: WaitableQueue[Message] = WaitableQueue()
+        self._send_lock = threading.Lock()
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"tcp-reader-{local_host}", daemon=True
+        )
+        self._reader.start()
+
+    def _read_loop(self) -> None:
+        reader = framing.FrameReader()
+        try:
+            while True:
+                data = self._sock.recv(65536)
+                if not data:
+                    break
+                for message in reader.feed(data):
+                    self._rx.put(message)
+        except (OSError, ChannelClosedError):
+            pass
+        finally:
+            self._rx.close()
+
+    def send(self, message: Message) -> None:
+        frame = framing.encode_frame(message)
+        with self._send_lock:
+            if self._closed:
+                raise ChannelClosedError(f"send on closed channel {self._local}->{self._remote}")
+            try:
+                self._sock.sendall(frame)
+            except OSError as e:
+                raise ChannelClosedError(f"peer {self._remote} gone: {e}") from e
+
+    def recv(self, timeout: float | None = None) -> Message:
+        try:
+            return self._rx.get(timeout=timeout)
+        except GetTimeoutError:
+            raise
+        except ChannelClosedError:
+            raise ChannelClosedError(f"channel {self._local}<-{self._remote} closed") from None
+
+    def close(self) -> None:
+        with self._send_lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def local_host(self) -> str:
+        return self._local
+
+    @property
+    def remote_host(self) -> str:
+        return self._remote
+
+
+class _TcpListener(Listener):
+    def __init__(self, transport: "TcpTransport", host: str, sock: socket.socket, port: int):
+        self._transport = transport
+        self._host = host
+        self._sock = sock
+        self._endpoint = Endpoint(host, port)
+        self._closed = False
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return self._endpoint
+
+    def accept(self, timeout: float | None = None) -> Channel:
+        self._sock.settimeout(timeout)
+        try:
+            conn, _addr = self._sock.accept()
+        except socket.timeout:
+            raise GetTimeoutError(f"accept timed out after {timeout}s") from None
+        except OSError:
+            raise ChannelClosedError(f"listener {self._endpoint} closed") from None
+        # Preamble: the client announces its logical host name.
+        conn.settimeout(5.0)
+        reader = framing.FrameReader()
+        peer_host = "?"
+        try:
+            while True:
+                data = conn.recv(4096)
+                if not data:
+                    break
+                msgs = reader.feed(data)
+                if msgs:
+                    peer_host = str(msgs[0].get("hello", "?"))
+                    break
+        except OSError:
+            pass
+        conn.settimeout(None)
+        return _TcpChannel(conn, self._host, peer_host)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._transport._unbind(self._endpoint)
+        self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class TcpTransport(Transport):
+    """Transport over real loopback TCP sockets.
+
+    Logical host names map to the single physical loopback interface;
+    port allocation is delegated to the OS (``port=0``).  There is no
+    firewall — the point of this backend is end-to-end realism of the
+    byte protocol, not topology modeling.
+    """
+
+    def __init__(self) -> None:
+        self._bound: dict[Endpoint, int] = {}  # logical endpoint -> real port
+        self._lock = threading.Lock()
+
+    def listen(self, host: str, port: int = 0) -> Listener:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((_BIND_ADDR, 0))
+        sock.listen(64)
+        real_port = sock.getsockname()[1]
+        logical_port = port if port != 0 else real_port
+        listener = _TcpListener(self, host, sock, logical_port)
+        with self._lock:
+            self._bound[Endpoint(host, logical_port)] = real_port
+        return listener
+
+    def connect(self, src_host: str, endpoint: Endpoint, timeout: float | None = None) -> Channel:
+        with self._lock:
+            real_port = self._bound.get(endpoint)
+        if real_port is None:
+            raise ConnectError(f"connection refused: nothing listening at {endpoint}")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(timeout if timeout is not None else 10.0)
+        try:
+            sock.connect((_BIND_ADDR, real_port))
+        except OSError as e:
+            sock.close()
+            raise ConnectError(f"connect to {endpoint} failed: {e}") from e
+        sock.settimeout(None)
+        channel = _TcpChannel(sock, src_host, endpoint.host)
+        channel.send({"hello": src_host})
+        return channel
+
+    def _unbind(self, endpoint: Endpoint) -> None:
+        with self._lock:
+            self._bound.pop(endpoint, None)

@@ -1,0 +1,27 @@
+"""Shared utilities: id generation, clocks, logging, string codecs, sync."""
+
+from repro.util.ids import IdAllocator, fresh_token
+from repro.util.clock import Clock, WallClock, VirtualClock
+from repro.util.strings import (
+    encode_value,
+    decode_value,
+    split_arguments,
+    join_arguments,
+    validate_attribute_name,
+)
+from repro.util.sync import Latch, WaitableQueue
+
+__all__ = [
+    "IdAllocator",
+    "fresh_token",
+    "Clock",
+    "WallClock",
+    "VirtualClock",
+    "encode_value",
+    "decode_value",
+    "split_arguments",
+    "join_arguments",
+    "validate_attribute_name",
+    "Latch",
+    "WaitableQueue",
+]

@@ -1,0 +1,98 @@
+"""Clock abstraction: wall time for real backends, virtual time for the sim.
+
+The simulated cluster charges virtual CPU cost for each program operation
+(see :mod:`repro.sim.kernel`), so performance experiments (Paradyn metrics,
+bottleneck search) are deterministic.  Real-process backends and transport
+latency measurements use wall time.  Code that needs "a clock" takes a
+:class:`Clock` so either can be injected.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Minimal clock interface: a monotonically non-decreasing ``now()``."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (epoch is clock-specific)."""
+
+    def elapsed_since(self, t0: float) -> float:
+        """Seconds elapsed since a previous ``now()`` reading."""
+        return self.now() - t0
+
+
+class WallClock(Clock):
+    """Real monotonic wall-clock time."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class VirtualClock(Clock):
+    """Virtual time advanced explicitly by the simulation kernel.
+
+    Thread-safe: the scheduler thread advances it while daemon threads
+    read it.  Time never goes backwards; ``advance`` with a negative
+    delta raises ``ValueError``.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, delta: float) -> float:
+        """Advance virtual time by ``delta`` seconds; returns the new time."""
+        if delta < 0:
+            raise ValueError(f"cannot advance virtual clock by {delta!r}")
+        with self._lock:
+            self._now += delta
+            return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Advance to absolute time ``t`` if it is in the future."""
+        with self._lock:
+            if t > self._now:
+                self._now = t
+            return self._now
+
+
+class StopwatchResult:
+    """Mutable elapsed-time holder filled in when a Stopwatch exits."""
+
+    def __init__(self) -> None:
+        self.seconds: float = 0.0
+
+    def __repr__(self) -> str:
+        return f"StopwatchResult({self.seconds:.6f}s)"
+
+
+class Stopwatch:
+    """Context manager measuring elapsed time on a given clock.
+
+    >>> clock = WallClock()
+    >>> with Stopwatch(clock) as sw:
+    ...     pass
+    >>> sw.seconds >= 0.0
+    True
+    """
+
+    def __init__(self, clock: Clock | None = None):
+        self._clock = clock if clock is not None else WallClock()
+        self._t0 = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._t0 = self._clock.now()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = self._clock.now() - self._t0

@@ -1,0 +1,53 @@
+"""Deterministic identifier allocation.
+
+Simulated hosts need pid tables, the batch system needs cluster/job ids,
+and the attribute space needs request ids.  All of them use
+:class:`IdAllocator`, which is thread-safe and deterministic (monotonic
+integers), so test runs produce stable ids without seeding a RNG.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+
+class IdAllocator:
+    """Thread-safe monotonically increasing integer allocator.
+
+    Parameters
+    ----------
+    first:
+        The first id handed out.  Pid tables conventionally start at 1
+        (pid 0 is reserved, matching Unix), message ids at 1.
+    """
+
+    def __init__(self, first: int = 1):
+        self._counter = itertools.count(first)
+        self._lock = threading.Lock()
+        self._last: int | None = None
+
+    def next(self) -> int:
+        """Allocate and return the next id."""
+        with self._lock:
+            self._last = next(self._counter)
+            return self._last
+
+    @property
+    def last(self) -> int | None:
+        """The most recently allocated id, or ``None`` if none yet."""
+        with self._lock:
+            return self._last
+
+
+_token_alloc = IdAllocator(first=1)
+
+
+def fresh_token(prefix: str = "tok") -> str:
+    """Return a process-unique string token like ``"tok-17"``.
+
+    Used for TDP handle ids, proxy tunnel ids, and claim ids.  Tokens are
+    unique within one Python process, which is the scope of one simulated
+    cluster.
+    """
+    return f"{prefix}-{_token_alloc.next()}"

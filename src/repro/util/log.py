@@ -1,0 +1,147 @@
+"""Structured event logging.
+
+Two consumers need run-time event records:
+
+* Humans debugging a scenario — handled by the stdlib ``logging`` tree
+  rooted at ``"repro"``.
+* The figure-regeneration benches — the paper's "figures" are protocol
+  traces (Figs. 3 and 6 are call sequences), so :class:`TraceRecorder`
+  captures ordered, queryable event tuples that the benches assert on and
+  pretty-print.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the library's root (``repro.<name>``)."""
+    return logging.getLogger(f"repro.{name}")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One protocol event: who did what, with what details, and when.
+
+    ``seq`` is a recorder-global sequence number so cross-daemon ordering
+    is well-defined even when timestamps tie.
+    """
+
+    seq: int
+    time: float
+    actor: str
+    action: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, actor: str | None = None, action: str | None = None) -> bool:
+        return (actor is None or self.actor == actor) and (
+            action is None or self.action == action
+        )
+
+    def __str__(self) -> str:
+        det = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[{self.seq:4d}] {self.actor:<16} {self.action:<28} {det}"
+
+
+class TraceRecorder:
+    """Thread-safe ordered recorder of :class:`TraceEvent` objects.
+
+    A single recorder is threaded through one scenario (e.g. one Parador
+    run); every daemon that participates records into it.  The benches
+    for Figures 3 and 6 then assert the exact sequences the paper draws.
+    """
+
+    def __init__(self, clock=None):
+        from repro.util.clock import WallClock
+
+        self._clock = clock if clock is not None else WallClock()
+        self._events: list[TraceEvent] = []
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def record(self, actor: str, action: str, **details: Any) -> TraceEvent:
+        """Append one event and return it."""
+        with self._lock:
+            self._seq += 1
+            ev = TraceEvent(
+                seq=self._seq,
+                time=self._clock.now(),
+                actor=actor,
+                action=action,
+                details=dict(details),
+            )
+            self._events.append(ev)
+            return ev
+
+    def events(
+        self, actor: str | None = None, action: str | None = None
+    ) -> list[TraceEvent]:
+        """Snapshot of events, optionally filtered by actor and/or action."""
+        with self._lock:
+            evs = list(self._events)
+        return [e for e in evs if e.matches(actor, action)]
+
+    def actions(self, actor: str | None = None) -> list[str]:
+        """Just the action names, in order (the shape Figures 3/6 show)."""
+        return [e.action for e in self.events(actor=actor)]
+
+    def first(self, action: str) -> TraceEvent | None:
+        for e in self.events():
+            if e.action == action:
+                return e
+        return None
+
+    def index_of(self, action: str, actor: str | None = None) -> int:
+        """Sequence number of the first matching event; -1 if absent."""
+        for e in self.events(actor=actor):
+            if e.action == action:
+                return e.seq
+        return -1
+
+    def assert_order(self, *actions: str) -> None:
+        """Assert the given actions occur in this relative order.
+
+        Other events may interleave; only the relative order of the named
+        actions is checked.  Raises ``AssertionError`` with a readable
+        diff otherwise.
+        """
+        seqs = []
+        for a in actions:
+            idx = self.index_of(a)
+            if idx < 0:
+                raise AssertionError(f"action {a!r} never occurred.\n{self.format()}")
+            seqs.append(idx)
+        if seqs != sorted(seqs):
+            raise AssertionError(
+                "actions out of order: "
+                + ", ".join(f"{a}@{s}" for a, s in zip(actions, seqs))
+                + "\n"
+                + self.format()
+            )
+
+    def format(self, title: str | None = None) -> str:
+        """Human-readable rendering of the whole trace."""
+        lines = []
+        if title:
+            lines.append(title)
+            lines.append("-" * len(title))
+        lines.extend(str(e) for e in self.events())
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class NullRecorder(TraceRecorder):
+    """Recorder that drops everything (default when tracing is off)."""
+
+    def record(self, actor: str, action: str, **details: Any) -> TraceEvent:
+        return TraceEvent(seq=0, time=0.0, actor=actor, action=action, details=details)

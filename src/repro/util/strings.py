@@ -1,0 +1,121 @@
+"""String codecs for the attribute space.
+
+The paper (Section 3.2) constrains both attributes and values to
+null-terminated C strings, and notes that structured values (for example
+an argument vector like ``"-p1500 -P2000"``) are flattened to one string
+with parsing left to the TDP client.  This module provides the standard
+flattening/parsing helpers used across the library:
+
+* :func:`validate_attribute_name` — the well-formedness rule for names.
+* :func:`encode_value` / :func:`decode_value` — lossless round-trip of a
+  Python string through the wire constraint (no NUL bytes).
+* :func:`split_arguments` / :func:`join_arguments` — shell-like argument
+  vector flattening (the paper's ``"-p1500 -P2000"`` case), with quoting
+  so arguments containing spaces survive the round trip.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+
+from repro.errors import AttributeFormatError
+
+# Attribute names: printable, no whitespace, no NUL.  The paper only says
+# "a character string that names data"; we pin the conventional identifier
+# shape used by its examples ("pid", "executable_name").  Dots and slashes
+# allow hierarchical names like "tool.paradynd/0.port".
+_NAME_RE = re.compile(r"^[A-Za-z0-9_.\-/%+]+$")
+
+MAX_ATTRIBUTE_NAME = 255
+#: Generous cap; the pilot exchanged small strings.  A cap exists so a
+#: buggy daemon cannot wedge a LASS with an unbounded value.
+MAX_VALUE_LENGTH = 1 << 20
+
+
+def validate_attribute_name(name: str) -> str:
+    """Validate an attribute name and return it.
+
+    Raises :class:`~repro.errors.AttributeFormatError` for empty names,
+    names with whitespace/NUL, or names longer than ``MAX_ATTRIBUTE_NAME``.
+    """
+    if not isinstance(name, str):
+        raise AttributeFormatError(f"attribute name must be str, got {type(name).__name__}")
+    if not name:
+        raise AttributeFormatError("attribute name must be non-empty")
+    if len(name) > MAX_ATTRIBUTE_NAME:
+        raise AttributeFormatError(f"attribute name too long ({len(name)} > {MAX_ATTRIBUTE_NAME})")
+    if not _NAME_RE.match(name):
+        raise AttributeFormatError(f"invalid attribute name {name!r}")
+    return name
+
+
+def encode_value(value: str) -> str:
+    """Validate a value for the attribute space and return it.
+
+    Values are UTF-8 strings without NUL bytes (the C constraint the paper
+    states).  Everything else — including empty strings and newlines — is
+    legal, so tools may store small configuration blobs.
+    """
+    if not isinstance(value, str):
+        raise AttributeFormatError(f"attribute value must be str, got {type(value).__name__}")
+    if "\x00" in value:
+        raise AttributeFormatError("attribute value may not contain NUL bytes")
+    if len(value) > MAX_VALUE_LENGTH:
+        raise AttributeFormatError(f"attribute value too long ({len(value)} > {MAX_VALUE_LENGTH})")
+    return value
+
+
+def decode_value(value: str) -> str:
+    """Inverse of :func:`encode_value` (identity after validation)."""
+    return encode_value(value)
+
+
+def join_arguments(args: list[str] | tuple[str, ...]) -> str:
+    """Flatten an argument vector to one attribute value.
+
+    The paper's example stores ``-p1500 -P2000`` as a single value and
+    "lets the TDP client handle the parsing"; this helper is that client
+    convention.  Arguments containing whitespace or quotes are quoted so
+    :func:`split_arguments` recovers them exactly.
+    """
+    return " ".join(shlex.quote(a) for a in args)
+
+
+def split_arguments(value: str) -> list[str]:
+    """Parse a flattened argument value back into a vector."""
+    return shlex.split(value)
+
+
+def substitute_percent(template: str, mapping: dict[str, str]) -> str:
+    """Expand ``%name`` references in a ToolDaemonArgs-style template.
+
+    The pilot used ``-a%pid`` in the submit file to mark where the starter
+    should substitute information published in the LASS (paper Section
+    4.3).  ``%%`` escapes a literal percent.  Unknown names raise
+    ``KeyError`` so misspelled directives fail loudly.
+    """
+    out: list[str] = []
+    i = 0
+    n = len(template)
+    while i < n:
+        c = template[i]
+        if c != "%":
+            out.append(c)
+            i += 1
+            continue
+        if i + 1 < n and template[i + 1] == "%":
+            out.append("%")
+            i += 2
+            continue
+        j = i + 1
+        while j < n and (template[j].isalnum() or template[j] == "_"):
+            j += 1
+        name = template[i + 1 : j]
+        if not name:
+            raise KeyError("dangling '%' in template")
+        if name not in mapping:
+            raise KeyError(f"unknown %-substitution {name!r}")
+        out.append(mapping[name])
+        i = j
+    return "".join(out)

@@ -1,0 +1,178 @@
+"""Synchronization helpers shared by daemons, servers, and the sim kernel.
+
+The library is deliberately thread-based (daemons are threads, simulated
+application processes run on a scheduler thread), so correctness rests on
+a small set of audited primitives rather than ad-hoc sleeps:
+
+* :class:`Latch` — a one-shot level-triggered gate with a payload.
+* :class:`WaitableQueue` — an unbounded FIFO whose ``close()`` wakes
+  blocked readers, used for channel receive queues and event queues.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Any, Generic, Iterable, TypeVar
+
+from repro.errors import ChannelClosedError, GetTimeoutError
+
+T = TypeVar("T")
+
+
+class Latch(Generic[T]):
+    """One-shot gate: ``open(value)`` releases every ``wait()``.
+
+    Re-opening is idempotent (the first value wins), so racing producers
+    are safe.  ``wait`` raises :class:`~repro.errors.GetTimeoutError` on
+    timeout, matching the blocking-get semantics it usually backs.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: T | None = None
+        self._lock = threading.Lock()
+
+    def open(self, value: T) -> bool:
+        """Open the latch with ``value``; returns False if already open."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._value = value
+            self._event.set()
+            return True
+
+    def is_open(self) -> bool:
+        return self._event.is_set()
+
+    def peek(self) -> T | None:
+        """The latched value, or None if not yet open."""
+        with self._lock:
+            return self._value if self._event.is_set() else None
+
+    def wait(self, timeout: float | None = None) -> T:
+        """Block until open; return the latched value."""
+        if not self._event.wait(timeout):
+            raise GetTimeoutError(f"latch wait timed out after {timeout}s")
+        assert self._event.is_set()
+        return self._value  # type: ignore[return-value]
+
+
+class WaitableQueue(Generic[T]):
+    """Unbounded FIFO with close semantics.
+
+    Unlike :class:`queue.Queue`, ``close()`` wakes every blocked reader
+    with :class:`~repro.errors.ChannelClosedError` once the queue drains,
+    which is what a channel receive loop needs on disconnect.  Items
+    queued before close are still delivered (graceful drain).
+    """
+
+    def __init__(self) -> None:
+        self._items: collections.deque[T] = collections.deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def put(self, item: T) -> None:
+        with self._cond:
+            if self._closed:
+                raise ChannelClosedError("put on closed queue")
+            self._items.append(item)
+            self._cond.notify()
+
+    def get(self, timeout: float | None = None) -> T:
+        """Pop the oldest item, blocking until one arrives.
+
+        Raises ``ChannelClosedError`` when the queue is closed and empty,
+        ``GetTimeoutError`` on timeout.
+        """
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._items or self._closed, timeout):
+                raise GetTimeoutError(f"queue get timed out after {timeout}s")
+            if self._items:
+                return self._items.popleft()
+            raise ChannelClosedError("queue closed")
+
+    def get_nowait(self) -> T:
+        """Pop immediately; raises ``IndexError`` if empty (closed or not)."""
+        with self._cond:
+            if not self._items:
+                if self._closed:
+                    raise ChannelClosedError("queue closed")
+                raise IndexError("queue empty")
+            return self._items.popleft()
+
+    def wait_nonempty(self, timeout: float | None = None) -> bool:
+        """Block until an item is queued (without consuming it).
+
+        Returns True when an item is available, False on timeout or when
+        the queue closed empty.
+        """
+        with self._cond:
+            self._cond.wait_for(lambda: self._items or self._closed, timeout)
+            return bool(self._items)
+
+    def drain(self) -> list[T]:
+        """Atomically remove and return all currently queued items."""
+        with self._cond:
+            items = list(self._items)
+            self._items.clear()
+            return items
+
+    def close(self) -> None:
+        """Close the queue; idempotent."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def extend(self, items: Iterable[T]) -> None:
+        with self._cond:
+            if self._closed:
+                raise ChannelClosedError("extend on closed queue")
+            self._items.extend(items)
+            self._cond.notify_all()
+
+
+def join_all(threads: Iterable[threading.Thread], timeout: float = 10.0) -> None:
+    """Join each thread with a shared deadline; raise if any is still alive.
+
+    Tests use this to guarantee daemon threads exit — a hung daemon is a
+    bug, not something to leak past the test.
+    """
+    import time
+
+    deadline = time.monotonic() + timeout
+    stuck: list[str] = []
+    for t in threads:
+        remaining = deadline - time.monotonic()
+        t.join(max(0.0, remaining))
+        if t.is_alive():
+            stuck.append(t.name)
+    if stuck:
+        raise RuntimeError(f"threads did not exit: {stuck}")
+
+
+class AtomicCounter:
+    """Thread-safe integer counter (used for statistics)."""
+
+    def __init__(self, initial: int = 0):
+        self._value = initial
+        self._lock = threading.Lock()
+
+    def increment(self, delta: int = 1) -> int:
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value

@@ -1,0 +1,295 @@
+"""Client/server integration tests for the attribute space, on both transports."""
+
+import threading
+
+import pytest
+
+from repro.errors import GetTimeoutError, NoSuchAttributeError, SpaceClosedError
+from repro.attrspace.client import AttributeSpaceClient
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.net.topology import flat_network
+from repro.transport.inmem import InMemoryTransport
+from repro.transport.tcp import TcpTransport
+
+
+@pytest.fixture(params=["inmem", "tcp"])
+def transport(request):
+    if request.param == "inmem":
+        return InMemoryTransport(flat_network(["node1", "submit"]))
+    return TcpTransport()
+
+
+@pytest.fixture
+def server(transport):
+    srv = AttributeSpaceServer(transport, "node1", role=ServerRole.LASS)
+    yield srv
+    srv.stop()
+
+
+def make_client(transport, server, *, context="default", member="test"):
+    channel = transport.connect("submit", server.endpoint, timeout=5.0)
+    return AttributeSpaceClient(channel, context=context, member=member)
+
+
+class TestBlockingOps:
+    def test_put_get_roundtrip(self, transport, server):
+        with make_client(transport, server) as client:
+            client.put("pid", "4711")
+            assert client.get("pid", timeout=5.0) == "4711"
+
+    def test_try_get_missing(self, transport, server):
+        with make_client(transport, server) as client:
+            with pytest.raises(NoSuchAttributeError):
+                client.try_get("ghost")
+
+    def test_blocking_get_across_clients(self, transport, server):
+        """The Section 4.3 pattern: paradynd blocks on get(pid) until the
+        starter puts it."""
+        starter = make_client(transport, server, member="starter")
+        paradynd = make_client(transport, server, member="paradynd")
+        result = {}
+
+        def tool():
+            result["pid"] = paradynd.get("pid", timeout=10.0)
+
+        t = threading.Thread(target=tool)
+        t.start()
+        # Wait until the server has parked the blocking get.
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while server.store.pending_waiter_count() == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert server.store.pending_waiter_count() == 1
+        starter.put("pid", "31337")
+        t.join(timeout=10.0)
+        assert result["pid"] == "31337"
+        starter.close()
+        paradynd.close()
+
+    def test_get_timeout_propagates(self, transport, server):
+        with make_client(transport, server) as client:
+            with pytest.raises(GetTimeoutError):
+                client.get("never", timeout=0.05)
+
+    def test_remove_and_list(self, transport, server):
+        with make_client(transport, server) as client:
+            client.put("a", "1")
+            client.put("b", "2")
+            assert client.list_attributes() == ["a", "b"]
+            assert client.remove("a") is True
+            assert client.list_attributes() == ["b"]
+
+    def test_snapshot(self, transport, server):
+        with make_client(transport, server) as client:
+            client.put("x", "1")
+            client.put("y", "2")
+            assert client.snapshot() == {"x": "1", "y": "2"}
+
+    def test_ping_reports_role(self, transport, server):
+        with make_client(transport, server) as client:
+            info = client.ping()
+            assert info["role"] == "lass"
+
+    def test_value_with_spaces_roundtrips(self, transport, server):
+        # The paper's structured-value example.
+        with make_client(transport, server) as client:
+            client.put("args", "-p1500 -P2000")
+            assert client.get("args", timeout=5.0) == "-p1500 -P2000"
+
+
+class TestContextsOverWire:
+    def test_contexts_isolated_between_clients(self, transport, server):
+        c1 = make_client(transport, server, context="rt-1", member="a")
+        c2 = make_client(transport, server, context="rt-2", member="b")
+        c1.put("pid", "1")
+        c2.put("pid", "2")
+        assert c1.get("pid", timeout=5.0) == "1"
+        assert c2.get("pid", timeout=5.0) == "2"
+        c1.close()
+        c2.close()
+
+    def test_close_detaches_and_destroys_context(self, transport, server):
+        client = make_client(transport, server, context="solo", member="only")
+        assert "solo" in server.store.contexts()
+        client.close()
+        assert "solo" not in server.store.contexts()
+
+    def test_shared_context_survives_one_close(self, transport, server):
+        c1 = make_client(transport, server, context="shared", member="rm")
+        c2 = make_client(transport, server, context="shared", member="rt")
+        c1.close()
+        assert "shared" in server.store.contexts()
+        c2.put("k", "v")
+        c2.close()
+        assert "shared" not in server.store.contexts()
+
+
+class TestAsyncOps:
+    def test_async_get_serviced_in_caller_thread(self, transport, server):
+        with make_client(transport, server) as client:
+            client.put("executable_name", "foo")
+            calls = []
+            caller_thread = threading.current_thread()
+
+            def callback(value, error, arg):
+                calls.append((value, error, arg, threading.current_thread()))
+
+            client.async_get("executable_name", callback, "my-arg")
+            assert client.wait_event(timeout=5.0)
+            # Callback MUST NOT have run yet (safe-point delivery).
+            assert calls == []
+            assert client.service_events() == 1
+            value, error, arg, thread = calls[0]
+            assert value == "foo" and error is None and arg == "my-arg"
+            assert thread is caller_thread
+
+    def test_async_get_blocks_until_put(self, transport, server):
+        with make_client(transport, server) as client:
+            calls = []
+            client.async_get("late", lambda v, e, a: calls.append(v), None)
+            assert not client.has_pending_events()
+            client.put("late", "now")
+            assert client.wait_event(timeout=5.0)
+            client.service_events()
+            assert calls == ["now"]
+
+    def test_async_put_completion(self, transport, server):
+        with make_client(transport, server) as client:
+            calls = []
+            client.async_put("k", "v", lambda v, e, a: calls.append((e, a)), 7)
+            assert client.wait_event(timeout=5.0)
+            client.service_events()
+            assert calls == [(None, 7)]
+            assert client.try_get("k") == "v"
+
+    def test_two_async_gets_distinct_callbacks(self, transport, server):
+        """The paper's pseudo-code: two async_gets, service dispatches each
+        to its own registered callback."""
+        with make_client(transport, server) as client:
+            client.put("pid", "10")
+            client.put("executable_name", "a.out")
+            seen = {}
+            client.async_get("pid", lambda v, e, a: seen.__setitem__("cb1", v), None)
+            client.async_get(
+                "executable_name", lambda v, e, a: seen.__setitem__("cb2", v), None
+            )
+            import time
+
+            deadline = time.monotonic() + 5.0
+            total = 0
+            while total < 2 and time.monotonic() < deadline:
+                client.wait_event(timeout=1.0)
+                total += client.service_events()
+            assert seen == {"cb1": "10", "cb2": "a.out"}
+
+    def test_service_events_max_events(self, transport, server):
+        with make_client(transport, server) as client:
+            for i in range(3):
+                client.put(f"k{i}", str(i))
+                client.async_get(f"k{i}", lambda v, e, a: None, None)
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while len(client.events) < 3 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert client.service_events(max_events=2) == 2
+            assert client.service_events() == 1
+
+
+class TestSubscriptions:
+    def test_notification_on_put(self, transport, server):
+        with make_client(transport, server) as client:
+            notes = []
+            client.subscribe("status*", lambda n, a: notes.append(n), None)
+            client.put("status.ap", "running")
+            assert client.wait_event(timeout=5.0)
+            client.service_events()
+            assert len(notes) == 1
+            assert notes[0].attribute == "status.ap"
+            assert notes[0].value == "running"
+            assert notes[0].kind == "put"
+
+    def test_notification_on_remove(self, transport, server):
+        with make_client(transport, server) as client:
+            notes = []
+            client.put("status", "x")
+            client.subscribe("status", lambda n, a: notes.append(n), None)
+            client.remove("status")
+            assert client.wait_event(timeout=5.0)
+            client.service_events()
+            assert notes[0].kind == "remove" and notes[0].value is None
+
+    def test_pattern_filters(self, transport, server):
+        with make_client(transport, server) as client:
+            notes = []
+            client.subscribe("proc.*", lambda n, a: notes.append(n.attribute), None)
+            client.put("proc.pid", "1")
+            client.put("other", "2")
+            client.put("proc.state", "stopped")
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while len(notes) < 2 and time.monotonic() < deadline:
+                client.wait_event(timeout=0.5)
+                client.service_events()
+            assert notes == ["proc.pid", "proc.state"]
+
+    def test_cross_client_notification(self, transport, server):
+        rm = make_client(transport, server, member="rm")
+        rt = make_client(transport, server, member="rt")
+        notes = []
+        rt.subscribe("ap.status", lambda n, a: notes.append(n.value), None)
+        rm.put("ap.status", "exited:0")
+        assert rt.wait_event(timeout=5.0)
+        rt.service_events()
+        assert notes == ["exited:0"]
+        rm.close()
+        rt.close()
+
+    def test_unsubscribe_stops_delivery(self, transport, server):
+        with make_client(transport, server) as client:
+            notes = []
+            sub = client.subscribe("k", lambda n, a: notes.append(n), None)
+            assert client.unsubscribe(sub) is True
+            client.put("k", "v")
+            client.wait_event(timeout=0.2)
+            client.service_events()
+            assert notes == []
+
+
+class TestFailureModes:
+    def test_server_stop_fails_clients(self, transport, server):
+        client = make_client(transport, server)
+        client.put("a", "1")
+        server.stop()
+        with pytest.raises(SpaceClosedError):
+            for _ in range(100):
+                client.put("b", "2")
+        client.close(detach=False)
+
+    def test_client_disconnect_cleans_waiters(self, transport, server):
+        client = make_client(transport, server)
+
+        t = threading.Thread(
+            target=lambda: pytest.raises(Exception, client.get, "never"), daemon=True
+        )
+        t.start()
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while server.store.pending_waiter_count() == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert server.store.pending_waiter_count() == 1
+        client.close(detach=False)
+        deadline = time.monotonic() + 5.0
+        while server.store.pending_waiter_count() > 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert server.store.pending_waiter_count() == 0
+
+    def test_stats_counting(self, transport, server):
+        with make_client(transport, server) as client:
+            client.put("a", "1")
+            client.get("a", timeout=5.0)
+            assert server.stats["puts"].value == 1
+            assert server.stats["gets"].value >= 1

@@ -1,0 +1,67 @@
+"""Unit tests for the subscription registry and notification records."""
+
+from repro.attrspace.notify import Notification, SubscriptionRegistry
+
+
+def make_registry_with_sink():
+    registry = SubscriptionRegistry()
+    delivered = []
+    deliver = lambda sub_id, n: delivered.append((sub_id, n))  # noqa: E731
+    return registry, delivered, deliver
+
+
+class TestSubscriptionRegistry:
+    def test_exact_match_delivery(self):
+        registry, delivered, deliver = make_registry_with_sink()
+        registry.subscribe("ctx", "pid", deliver)
+        n = Notification(context="ctx", attribute="pid", value="1", kind="put")
+        assert registry.publish(n) == 1
+        assert delivered == [(1, n)]
+
+    def test_pattern_match(self):
+        registry, delivered, deliver = make_registry_with_sink()
+        registry.subscribe("ctx", "proc.*.status", deliver)
+        hit = Notification("ctx", "proc.7.status", "running", "put")
+        miss = Notification("ctx", "proc.7.exit_code", "0", "put")
+        assert registry.publish(hit) == 1
+        assert registry.publish(miss) == 0
+
+    def test_context_isolation(self):
+        registry, delivered, deliver = make_registry_with_sink()
+        registry.subscribe("ctx-a", "*", deliver)
+        n = Notification("ctx-b", "k", "v", "put")
+        assert registry.publish(n) == 0
+
+    def test_unsubscribe(self):
+        registry, delivered, deliver = make_registry_with_sink()
+        sub = registry.subscribe("ctx", "*", deliver)
+        assert registry.unsubscribe(sub) is True
+        assert registry.unsubscribe(sub) is False
+        assert registry.publish(Notification("ctx", "k", "v", "put")) == 0
+
+    def test_drop_context_removes_all(self):
+        registry, delivered, deliver = make_registry_with_sink()
+        registry.subscribe("ctx", "a*", deliver)
+        registry.subscribe("ctx", "b*", deliver)
+        registry.subscribe("other", "*", deliver)
+        assert registry.drop_context("ctx") == 2
+        assert len(registry) == 1
+
+    def test_multiple_subscribers_fanout(self):
+        registry, delivered, deliver = make_registry_with_sink()
+        for _ in range(3):
+            registry.subscribe("ctx", "k", deliver)
+        assert registry.publish(Notification("ctx", "k", "v", "put")) == 3
+        assert len(delivered) == 3
+
+
+class TestNotificationWire:
+    def test_roundtrip(self):
+        n = Notification("ctx", "attr", "value", "put")
+        assert Notification.from_wire(n.to_wire()) == n
+
+    def test_remove_has_none_value(self):
+        n = Notification("ctx", "attr", None, "remove")
+        wire = n.to_wire()
+        assert wire["value"] is None
+        assert Notification.from_wire(wire) == n

@@ -1,0 +1,99 @@
+"""Attribute-space server robustness: malformed and hostile requests."""
+
+import pytest
+
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.sim.cluster import SimCluster
+
+
+@pytest.fixture
+def world():
+    with SimCluster.flat(["node1"]) as cluster:
+        server = AttributeSpaceServer(cluster.transport, "node1")
+        channel = cluster.transport.connect("node1", server.endpoint)
+        yield cluster, server, channel
+        channel.close()
+        server.stop()
+
+
+class TestMalformedRequests:
+    def test_missing_req_id(self, world):
+        _cluster, _server, channel = world
+        channel.send({"op": "put", "attribute": "a", "value": "1"})
+        reply = channel.recv(timeout=5.0)
+        assert reply["ok"] is False
+        assert "malformed" in reply["error"]
+
+    def test_unknown_op(self, world):
+        _cluster, _server, channel = world
+        reply = channel.request({"op": "frobnicate", "req": 1}, timeout=5.0)
+        assert reply["ok"] is False and "unknown op" in reply["error"]
+
+    def test_non_string_value_rejected(self, world):
+        _cluster, _server, channel = world
+        reply = channel.request(
+            {"op": "put", "req": 2, "attribute": "a", "value": 42}, timeout=5.0
+        )
+        assert reply["ok"] is False
+        assert reply["error_type"] == "attribute_format"
+
+    def test_bad_attribute_name_rejected(self, world):
+        _cluster, _server, channel = world
+        reply = channel.request(
+            {"op": "put", "req": 3, "attribute": "two words", "value": "v"},
+            timeout=5.0,
+        )
+        assert reply["ok"] is False
+        assert reply["error_type"] == "attribute_format"
+
+    def test_bad_context_field(self, world):
+        _cluster, _server, channel = world
+        reply = channel.request(
+            {"op": "put", "req": 4, "context": 17, "attribute": "a", "value": "v"},
+            timeout=5.0,
+        )
+        assert reply["ok"] is False
+
+    def test_unknown_context_errors(self, world):
+        _cluster, _server, channel = world
+        reply = channel.request(
+            {"op": "put", "req": 5, "context": "never-attached",
+             "attribute": "a", "value": "v"},
+            timeout=5.0,
+        )
+        assert reply["ok"] is False
+        assert reply["error_type"] == "context"
+
+    def test_server_survives_garbage_stream(self, world):
+        """A misbehaving client must not take the server down for others."""
+        cluster, server, channel = world
+        for i in range(10):
+            channel.send({"op": i, "req": "nope", "x": [1, {"y": None}]})
+        # New, well-behaved clients still work.
+        from repro.attrspace.client import AttributeSpaceClient
+
+        chan2 = cluster.transport.connect("node1", server.endpoint)
+        client = AttributeSpaceClient(chan2, member="good-citizen")
+        client.put("still", "alive")
+        assert client.get("still", timeout=5.0) == "alive"
+        client.close()
+
+
+class TestConnectionChurn:
+    def test_many_short_lived_connections(self, world):
+        cluster, server, _channel = world
+        from repro.attrspace.client import AttributeSpaceClient
+
+        for i in range(30):
+            chan = cluster.transport.connect("node1", server.endpoint)
+            client = AttributeSpaceClient(chan, member=f"churn-{i}")
+            client.put(f"k{i}", str(i))
+            client.close()
+        assert server.stats["puts"].value == 30
+        # All churned connections were reaped.
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while server.connection_count > 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert server.connection_count <= 1  # just the fixture's channel

@@ -1,0 +1,207 @@
+"""Unit tests for the attribute store (contexts, put/get, waiters)."""
+
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import (
+    AttributeFormatError,
+    ContextError,
+    GetTimeoutError,
+    NoSuchAttributeError,
+)
+from repro.attrspace.store import DEFAULT_CONTEXT, AttributeStore
+
+
+@pytest.fixture
+def store():
+    return AttributeStore()
+
+
+class TestPutGet:
+    def test_put_then_try_get(self, store):
+        store.put("pid", "4711")
+        assert store.try_get("pid") == "4711"
+
+    def test_try_get_missing_raises(self, store):
+        with pytest.raises(NoSuchAttributeError):
+            store.try_get("absent")
+
+    def test_overwrite_bumps_version(self, store):
+        assert store.put("status", "running").version == 1
+        assert store.put("status", "stopped").version == 2
+        assert store.try_get("status") == "stopped"
+
+    def test_entry_metadata(self, store):
+        store.put("pid", "1", writer="starter")
+        entry = store.get_entry("pid")
+        assert entry.writer == "starter"
+        assert entry.version == 1
+
+    def test_invalid_name_rejected(self, store):
+        with pytest.raises(AttributeFormatError):
+            store.put("two words", "v")
+
+    def test_invalid_value_rejected(self, store):
+        with pytest.raises(AttributeFormatError):
+            store.put("a", "v\x00v")
+
+    def test_empty_value_allowed(self, store):
+        store.put("flag", "")
+        assert store.try_get("flag") == ""
+
+    def test_list_attributes_sorted(self, store):
+        for name in ["zeta", "alpha", "mid"]:
+            store.put(name, "x")
+        assert store.list_attributes() == ["alpha", "mid", "zeta"]
+
+    def test_snapshot(self, store):
+        store.put("a", "1")
+        store.put("b", "2")
+        assert store.snapshot() == {"a": "1", "b": "2"}
+
+    def test_remove(self, store):
+        store.put("a", "1")
+        assert store.remove("a") is True
+        assert store.remove("a") is False
+        with pytest.raises(NoSuchAttributeError):
+            store.try_get("a")
+
+
+class TestBlockingGet:
+    def test_blocking_get_waits_for_put(self, store):
+        result = {}
+
+        def getter():
+            result["value"] = store.get("pid", timeout=5.0)
+
+        t = threading.Thread(target=getter)
+        t.start()
+        # Ensure the getter registered its waiter before we put.
+        deadline = 50
+        while store.pending_waiter_count() == 0 and deadline:
+            deadline -= 1
+            threading.Event().wait(0.01)
+        store.put("pid", "9999")
+        t.join(timeout=5.0)
+        assert result["value"] == "9999"
+
+    def test_blocking_get_immediate_when_present(self, store):
+        store.put("pid", "1")
+        assert store.get("pid", timeout=0.1) == "1"
+
+    def test_blocking_get_timeout(self, store):
+        with pytest.raises(GetTimeoutError):
+            store.get("never", timeout=0.02)
+        # The waiter must be cleaned up after timeout.
+        assert store.pending_waiter_count() == 0
+
+    def test_multiple_waiters_all_woken(self, store):
+        values = []
+        lock = threading.Lock()
+
+        def getter():
+            v = store.get("broadcast", timeout=5.0)
+            with lock:
+                values.append(v)
+
+        threads = [threading.Thread(target=getter) for _ in range(5)]
+        for t in threads:
+            t.start()
+        while store.pending_waiter_count() < 5:
+            threading.Event().wait(0.005)
+        store.put("broadcast", "go")
+        for t in threads:
+            t.join(timeout=5.0)
+        assert values == ["go"] * 5
+
+    def test_waiter_fires_once_not_on_second_put(self, store):
+        seen = []
+        wid = store.add_waiter("x", seen.append)
+        assert wid is not None
+        store.put("x", "first")
+        store.put("x", "second")
+        assert seen == ["first"]
+
+    def test_cancel_waiter(self, store):
+        seen = []
+        wid = store.add_waiter("x", seen.append)
+        assert store.cancel_waiter(DEFAULT_CONTEXT, "x", wid)
+        store.put("x", "v")
+        assert seen == []
+
+    def test_cancel_unknown_waiter_false(self, store):
+        assert not store.cancel_waiter(DEFAULT_CONTEXT, "x", 424242)
+
+
+class TestContexts:
+    def test_attach_creates_context(self, store):
+        store.attach("rt-1", "starter")
+        assert "rt-1" in store.contexts()
+
+    def test_contexts_isolated(self, store):
+        store.attach("rt-1", "a")
+        store.attach("rt-2", "a")
+        store.put("pid", "1", context="rt-1")
+        store.put("pid", "2", context="rt-2")
+        assert store.try_get("pid", context="rt-1") == "1"
+        assert store.try_get("pid", context="rt-2") == "2"
+        with pytest.raises(NoSuchAttributeError):
+            store.try_get("pid")  # default context untouched
+
+    def test_unknown_context_raises(self, store):
+        with pytest.raises(ContextError):
+            store.put("a", "1", context="ghost")
+        with pytest.raises(ContextError):
+            store.try_get("a", context="ghost")
+
+    def test_last_detach_destroys_context(self, store):
+        store.attach("ctx", "rm")
+        store.attach("ctx", "tool")
+        store.put("k", "v", context="ctx")
+        assert store.detach("ctx", "rm") is False
+        assert store.detach("ctx", "tool") is True
+        assert "ctx" not in store.contexts()
+
+    def test_detach_unknown_context_raises(self, store):
+        with pytest.raises(ContextError):
+            store.detach("ghost", "x")
+
+    def test_shared_context_multiple_tools(self, store):
+        # "Multiple tools can share the same space with the RM by using
+        # the same context" (Section 3.2).
+        store.attach("shared", "rm")
+        store.attach("shared", "tool-a")
+        store.attach("shared", "tool-b")
+        assert store.members("shared") == {"rm", "tool-a", "tool-b"}
+
+    def test_default_context_never_destroyed(self, store):
+        store.attach(DEFAULT_CONTEXT, "x")
+        store.detach(DEFAULT_CONTEXT, "x")
+        assert DEFAULT_CONTEXT in store.contexts()
+        store.put("still-works", "1")
+
+
+class TestStoreProperties:
+    @given(
+        st.dictionaries(
+            st.from_regex(r"[A-Za-z0-9_.\-/]{1,20}", fullmatch=True),
+            st.text(max_size=50).filter(lambda s: "\x00" not in s),
+            max_size=10,
+        )
+    )
+    def test_snapshot_reflects_all_puts(self, mapping):
+        store = AttributeStore()
+        for k, v in mapping.items():
+            store.put(k, v)
+        assert store.snapshot() == mapping
+
+    @given(st.lists(st.text(alphabet="ab", min_size=1, max_size=3), min_size=1, max_size=20))
+    def test_last_put_wins(self, values):
+        store = AttributeStore()
+        for v in values:
+            store.put("attr", v)
+        assert store.try_get("attr") == values[-1]
+        assert store.get_entry("attr").version == len(values)

@@ -1,0 +1,94 @@
+"""Baseline tests: direct integration parity and the effort model."""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.direct import run_direct_monitored_job
+from repro.baselines.effort import (
+    EffortModel,
+    count_adapter_lines,
+    count_source_lines,
+    measured_model,
+)
+
+
+class TestDirectIntegration:
+    def test_runs_and_profiles(self):
+        result = run_direct_monitored_job("foo", ["4", "0.1"])
+        assert result.exit_code == 0
+        assert result.proc_cpu > 0.3
+        assert result.bottleneck_fraction == pytest.approx(0.8, rel=0.15)
+
+    def test_matches_tdp_functional_result(self):
+        """Same workload through the baseline and through Parador: same
+        exit code and same bottleneck localization."""
+        from repro.paradyn.metrics import Metric
+        from repro.parador.run import run_monitored_job
+
+        direct = run_direct_monitored_job("foo", ["3", "0.1"])
+        parador = run_monitored_job("foo", "3 0.1")
+        assert direct.exit_code == 0
+        assert parador.job.exit_code == 0
+        tdp_cpu = parador.session.latest(Metric.PROC_CPU.value)
+        assert tdp_cpu == pytest.approx(direct.proc_cpu, rel=0.05)
+
+
+class TestLineCounting:
+    def test_counts_ignore_comments_and_docstrings(self, tmp_path):
+        f = tmp_path / "x.py"
+        f.write_text(
+            '"""Module docstring\nspanning lines."""\n'
+            "# comment\n\n"
+            "def f():\n"
+            '    """doc"""\n'
+            "    return 1\n"
+        )
+        assert count_source_lines(f) == 2  # the def line and the return line
+
+    def test_adapter_lines_measured_and_small(self):
+        sizes = count_adapter_lines()
+        assert sizes["total"] > 0
+        # The paper's claim, checked against our own pilot integration.
+        assert sizes["total"] < 500
+
+
+class TestEffortModel:
+    def test_paper_shape(self):
+        model = EffortModel(port_cost=500, tool_adapter_cost=250, rm_adapter_cost=250)
+        assert model.without_tdp(3, 4) == 6000
+        assert model.with_tdp(3, 4) == 1750
+        assert model.savings_factor(3, 4) > 3
+
+    def test_crossover_exists(self):
+        model = EffortModel(port_cost=500, tool_adapter_cost=400, rm_adapter_cost=400)
+        crossover = model.crossover()
+        assert crossover is not None
+        m, n = crossover
+        assert model.with_tdp(m, n) < model.without_tdp(m, n)
+
+    def test_measured_model_favors_tdp_at_scale(self):
+        model = measured_model()
+        assert model.savings_factor(5, 5) > 1.0
+        assert model.savings_factor(10, 10) > model.savings_factor(5, 5)
+
+    def test_table_rows(self):
+        model = EffortModel(port_cost=100, tool_adapter_cost=50, rm_adapter_cost=50)
+        rows = model.table([1, 2, 4])
+        assert [r["m=n"] for r in rows] == [1, 2, 4]
+        assert rows[2]["without_tdp"] == 1600
+        assert rows[2]["with_tdp"] == 400
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=2000),
+    )
+    def test_quadratic_vs_linear_property(self, m, n, port):
+        """For any adapter cost <= port cost, TDP never loses once
+        m, n >= 2 (the paper's structural argument)."""
+        model = EffortModel(port_cost=port, tool_adapter_cost=port, rm_adapter_cost=port)
+        if m >= 2 and n >= 2:
+            assert model.with_tdp(m, n) <= model.without_tdp(m, n)

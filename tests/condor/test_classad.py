@@ -1,0 +1,104 @@
+"""ClassAd expression and matchmaking-predicate tests."""
+
+import pytest
+
+from repro.errors import MatchmakingError
+from repro.condor.classad import ClassAd, evaluate, matches, rank, requirements_met
+
+
+def machine(name="m1", memory=1024, cpus=2, **extra):
+    return ClassAd(
+        kind="machine",
+        attrs={"Name": name, "Memory": memory, "Cpus": cpus,
+               "Arch": "X86_64", "OpSys": "LINUX", **extra},
+    )
+
+
+def job(**extra):
+    return ClassAd(kind="job", attrs={"JobId": "1.0", "Cmd": "foo", **extra})
+
+
+class TestEvaluate:
+    def test_constants(self):
+        assert evaluate("42") == 42
+        assert evaluate("'abc'") == "abc"
+        assert evaluate("True") is True
+
+    def test_arithmetic(self):
+        assert evaluate("2 + 3 * 4") == 14
+        assert evaluate("10 / 4") == 2.5
+        assert evaluate("-5 + 2") == -3
+
+    def test_comparison_chain(self):
+        assert evaluate("1 < 2 < 3") is True
+        assert evaluate("1 < 2 > 5") is False
+
+    def test_my_and_target_scopes(self):
+        my = ClassAd(kind="job", attrs={"Wants": 512})
+        target = ClassAd(kind="machine", attrs={"Memory": 1024})
+        assert evaluate("TARGET.Memory >= MY.Wants", my=my, target=target) is True
+        assert evaluate("TARGET.Memory >= 2048", my=my, target=target) is False
+
+    def test_bare_name_resolves_my_then_target(self):
+        my = ClassAd(kind="job", attrs={"X": 1})
+        target = ClassAd(kind="machine", attrs={"Y": 2})
+        assert evaluate("X + Y", my=my, target=target) == 3
+
+    def test_undefined_attribute_is_none(self):
+        assert evaluate("Nothing", my=ClassAd(kind="job")) is None
+
+    def test_comparison_with_undefined_is_false(self):
+        my = ClassAd(kind="job")
+        assert evaluate("Missing > 5", my=my) is False
+
+    def test_boolean_operators(self):
+        assert evaluate("1 < 2 and 3 < 4") is True
+        assert evaluate("1 > 2 or 3 < 4") is True
+        assert evaluate("not (1 < 2)") is False
+
+    def test_calls_forbidden(self):
+        with pytest.raises(MatchmakingError):
+            evaluate("__import__('os')")
+
+    def test_subscript_forbidden(self):
+        with pytest.raises(MatchmakingError):
+            evaluate("a[0]")
+
+    def test_malformed_raises(self):
+        with pytest.raises(MatchmakingError):
+            evaluate("1 +")
+
+    def test_nested_expression_attribute(self):
+        # An ad attribute can itself be an expression ("=...").
+        ad = ClassAd(kind="machine", attrs={"Memory": 1024, "HalfMem": "=Memory / 2"})
+        assert ad.constant("HalfMem") == 512
+
+
+class TestMatching:
+    def test_symmetric_match(self):
+        j = job(Requirements="TARGET.Memory >= 512")
+        m = machine(memory=1024)
+        assert matches(j, m)
+
+    def test_job_requirements_fail(self):
+        j = job(Requirements="TARGET.Memory >= 2048")
+        assert not matches(j, machine(memory=1024))
+
+    def test_machine_requirements_fail(self):
+        j = job(Owner="user")
+        m = machine(Requirements="TARGET.Owner == 'admin'")
+        assert not matches(j, m)
+
+    def test_absent_requirements_accepts_all(self):
+        assert requirements_met(job(), machine())
+
+    def test_rank_orders_machines(self):
+        j = job(Rank="TARGET.Memory")
+        assert rank(j, machine(memory=2048)) > rank(j, machine(memory=512))
+
+    def test_rank_absent_is_zero(self):
+        assert rank(job(), machine()) == 0.0
+
+    def test_rank_non_numeric_is_zero(self):
+        j = job(Rank="'not-a-number'")
+        assert rank(j, machine()) == 0.0

@@ -1,0 +1,128 @@
+"""condor_master supervision tests."""
+
+import threading
+import time
+
+import pytest
+
+from repro.condor.master import Master
+
+
+class _FakeDaemon:
+    def __init__(self):
+        self.alive_flag = True
+        self.restarted = 0
+
+    def alive(self) -> bool:
+        return self.alive_flag
+
+    def restart(self) -> None:
+        self.restarted += 1
+        self.alive_flag = True
+
+
+class TestMaster:
+    def test_healthy_daemon_untouched(self):
+        master = Master(check_interval=0.01)
+        daemon = _FakeDaemon()
+        master.supervise("d", alive=daemon.alive, restart=daemon.restart)
+        time.sleep(0.1)
+        master.stop()
+        assert daemon.restarted == 0
+
+    def test_dead_daemon_restarted(self):
+        master = Master(check_interval=0.01)
+        daemon = _FakeDaemon()
+        master.supervise("d", alive=daemon.alive, restart=daemon.restart)
+        daemon.alive_flag = False
+        deadline = time.monotonic() + 5.0
+        while daemon.restarted == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        master.stop()
+        assert daemon.restarted >= 1
+        assert "restart:d" in master.events
+
+    def test_gives_up_after_max_restarts(self):
+        master = Master(check_interval=0.01, max_restarts=2)
+
+        class Hopeless:
+            restarts = 0
+
+            def alive(self):
+                return False
+
+            def restart(self):
+                self.restarts += 1
+
+        daemon = Hopeless()
+        master.supervise("h", alive=daemon.alive, restart=daemon.restart)
+        deadline = time.monotonic() + 5.0
+        while "gave-up:h" not in master.events and time.monotonic() < deadline:
+            time.sleep(0.01)
+        master.stop()
+        assert daemon.restarts == 2
+        assert "gave-up:h" in master.events
+
+    def test_broken_probe_counts_as_dead(self):
+        master = Master(check_interval=0.01)
+        restarted = threading.Event()
+
+        def bad_probe():
+            raise RuntimeError("probe broke")
+
+        master.supervise("b", alive=bad_probe, restart=restarted.set)
+        assert restarted.wait(timeout=5.0)
+        master.stop()
+
+    def test_failed_restart_does_not_kill_master(self):
+        master = Master(check_interval=0.01, max_restarts=3)
+        attempts = []
+
+        def failing_restart():
+            attempts.append(1)
+            raise RuntimeError("cannot restart")
+
+        master.supervise("f", alive=lambda: False, restart=failing_restart)
+        deadline = time.monotonic() + 5.0
+        while len(attempts) < 3 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        master.stop()
+        assert len(attempts) == 3
+
+
+class TestPoolSupervision:
+    def test_killed_startd_restarted_and_pool_still_works(self):
+        """The Figure 4 supervision role: kill a startd; the master
+        resurrects it and jobs keep flowing."""
+        from repro.condor.job import JobStatus
+        from repro.condor.pool import CondorPool
+        from repro.condor.submit import SubmitDescription
+        from repro.sim.cluster import SimCluster
+
+        with SimCluster.flat(["submit", "node1"]) as cluster:
+            pool = CondorPool(
+                cluster, submit_host="submit", execute_hosts=["node1"],
+                supervise=True,
+            )
+            try:
+                job = pool.submit_description(SubmitDescription(executable="hello"))
+                assert job.wait_terminal(timeout=30.0) is JobStatus.COMPLETED
+
+                # Murder the startd.
+                pool.startds["node1"].stop()
+                deadline = time.monotonic() + 10.0
+                while (
+                    pool.startds["node1"]._stopped
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.02)
+                assert not pool.startds["node1"]._stopped, "master did not restart it"
+                assert any(e.startswith("restart:startd") for e in pool.master.events)
+
+                # The pool still runs jobs through the resurrected startd.
+                job2 = pool.submit_description(
+                    SubmitDescription(executable="hello")
+                )
+                assert job2.wait_terminal(timeout=30.0) is JobStatus.COMPLETED
+            finally:
+                pool.stop()

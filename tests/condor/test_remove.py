@@ -1,0 +1,73 @@
+"""condor_rm tests: removing queued and running jobs."""
+
+import time
+
+import pytest
+
+from repro.condor.job import JobStatus
+from repro.condor.pool import CondorPool
+from repro.condor.submit import SubmitDescription
+from repro.sim.cluster import SimCluster
+
+
+@pytest.fixture
+def world():
+    with SimCluster.flat(["submit", "node1"]) as cluster:
+        pool = CondorPool(cluster, submit_host="submit", execute_hosts=["node1"])
+        yield cluster, pool
+        pool.stop()
+
+
+class TestRemove:
+    def test_remove_running_job(self, world):
+        cluster, pool = world
+        job = pool.submit_description(SubmitDescription(executable="spin"))
+        job.wait_for(JobStatus.RUNNING, timeout=30.0)
+        deadline = time.monotonic() + 10.0
+        while job.app_pid is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        pool.schedd.remove(str(job.job_id))
+        assert job.wait_terminal(timeout=30.0) is JobStatus.REMOVED
+        proc = cluster.host("node1").get_process(job.app_pid)
+        assert not proc.alive
+
+    def test_remove_idle_job(self, world):
+        _cluster, pool = world
+        pool.schedd.RETRY_INTERVAL = 1.0
+        job = pool.submit_description(
+            SubmitDescription(executable="hello",
+                              requirements="TARGET.Memory >= 10**9")
+        )
+        # Give the first (failing) placement attempt a moment.
+        time.sleep(0.05)
+        pool.schedd.remove(str(job.job_id))
+        assert job.status is JobStatus.REMOVED
+
+    def test_machine_released_after_remove(self, world):
+        _cluster, pool = world
+        job = pool.submit_description(SubmitDescription(executable="spin"))
+        job.wait_for(JobStatus.RUNNING, timeout=30.0)
+        deadline = time.monotonic() + 10.0
+        while job.app_pid is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        pool.schedd.remove(str(job.job_id))
+        job.wait_terminal(timeout=30.0)
+        deadline = time.monotonic() + 10.0
+        while pool.matchmaker.reserved_count() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert pool.matchmaker.reserved_count() == 0
+        # The freed machine accepts the next job.
+        job2 = pool.submit_description(SubmitDescription(executable="hello"))
+        assert job2.wait_terminal(timeout=30.0) is JobStatus.COMPLETED
+
+    def test_remove_monitored_job_tool_observes_kill(self):
+        from repro.parador.run import ParadorScenario
+
+        with ParadorScenario(execute_hosts=["node1"]) as scenario:
+            run = scenario.submit_monitored("spin", "")
+            run.job.wait_for(JobStatus.RUNNING, timeout=30.0)
+            run.session.wait_state("running", timeout=30.0)
+            scenario.pool.schedd.remove(str(run.job.job_id))
+            assert run.job.wait_terminal(timeout=30.0) is JobStatus.REMOVED
+            run.session.wait_state("exited", timeout=30.0)
+            assert run.session.exit_code == 128 + 15  # the tool saw the kill

@@ -1,0 +1,138 @@
+"""Submit description file parser tests, incl. the verbatim Figure 5B file."""
+
+import pytest
+
+from repro.errors import SubmitError
+from repro.condor.submit import (
+    FIG5B_SUBMIT_FILE,
+    SubmitDescription,
+    ToolDaemonSpec,
+    parse_submit_file,
+)
+
+
+class TestBasicParsing:
+    def test_minimal(self):
+        jobs = parse_submit_file("executable = foo\nqueue\n")
+        assert len(jobs) == 1
+        assert jobs[0].executable == "foo"
+        assert jobs[0].universe == "vanilla"
+
+    def test_arguments_split(self):
+        jobs = parse_submit_file("executable = foo\narguments = 1 2 3\nqueue\n")
+        assert jobs[0].arguments == ["1", "2", "3"]
+
+    def test_comments_and_blanks(self):
+        text = "# job\n\nexecutable = foo\n# more\nqueue\n"
+        assert parse_submit_file(text)[0].executable == "foo"
+
+    def test_queue_count(self):
+        jobs = parse_submit_file("executable = foo\nqueue 3\n")
+        assert jobs[0].count == 3
+
+    def test_multiple_queue_sections_inherit(self):
+        text = "executable = foo\nqueue\narguments = x\nqueue\n"
+        jobs = parse_submit_file(text)
+        assert len(jobs) == 2
+        assert jobs[0].arguments == []
+        assert jobs[1].executable == "foo"
+        assert jobs[1].arguments == ["x"]
+
+    def test_environment(self):
+        text = "executable = foo\nenvironment = A=1; B=two\nqueue\n"
+        assert parse_submit_file(text)[0].environment == {"A": "1", "B": "two"}
+
+    def test_mpi_universe_with_count(self):
+        text = "universe = MPI\nexecutable = ring\nmachine_count = 4\nqueue\n"
+        job = parse_submit_file(text)[0]
+        assert job.universe == "mpi"
+        assert job.machine_count == 4
+
+    def test_requirements_and_rank(self):
+        text = (
+            "executable = foo\nrequirements = TARGET.Memory >= 512\n"
+            "rank = TARGET.Memory\nqueue\n"
+        )
+        job = parse_submit_file(text)[0]
+        assert job.requirements == "TARGET.Memory >= 512"
+        assert job.rank == "TARGET.Memory"
+
+
+class TestErrors:
+    def test_missing_queue(self):
+        with pytest.raises(SubmitError, match="queue"):
+            parse_submit_file("executable = foo\n")
+
+    def test_missing_executable(self):
+        with pytest.raises(SubmitError, match="executable"):
+            parse_submit_file("arguments = 1\nqueue\n")
+
+    def test_unknown_key(self):
+        with pytest.raises(SubmitError, match="unknown submit key"):
+            parse_submit_file("executible = foo\nqueue\n")
+
+    def test_unknown_extension(self):
+        with pytest.raises(SubmitError, match="unknown extension"):
+            parse_submit_file("executable = foo\n+Bogus = 1\nqueue\n")
+
+    def test_bad_queue_count(self):
+        with pytest.raises(SubmitError):
+            parse_submit_file("executable = foo\nqueue nope\n")
+
+    def test_bad_universe(self):
+        with pytest.raises(SubmitError, match="universe"):
+            parse_submit_file("universe = standard\nexecutable = foo\nqueue\n")
+
+    def test_suspend_without_tool_daemon(self):
+        with pytest.raises(SubmitError, match="hang"):
+            parse_submit_file(
+                "executable = foo\n+SuspendJobAtExec = True\nqueue\n"
+            )
+
+    def test_bad_boolean(self):
+        with pytest.raises(SubmitError, match="boolean"):
+            parse_submit_file(
+                "executable = foo\n+SuspendJobAtExec = maybe\n"
+                '+ToolDaemonCmd = "t"\nqueue\n'
+            )
+
+
+class TestFig5B:
+    """The exact submit file of paper Figure 5B must parse."""
+
+    def test_parses(self):
+        jobs = parse_submit_file(FIG5B_SUBMIT_FILE)
+        assert len(jobs) == 1
+
+    def test_job_fields(self):
+        job = parse_submit_file(FIG5B_SUBMIT_FILE)[0]
+        assert job.universe == "vanilla"
+        assert job.executable == "foo"
+        assert job.input == "infile"
+        assert job.output == "outfile"
+        assert job.arguments == ["1", "2", "3"]
+
+    def test_parador_extensions(self):
+        job = parse_submit_file(FIG5B_SUBMIT_FILE)[0]
+        assert job.suspend_job_at_exec is True
+        assert job.monitored
+        tool = job.tool_daemon
+        assert isinstance(tool, ToolDaemonSpec)
+        assert tool.cmd == "paradynd"
+        assert "-a%pid" in tool.args_template
+        assert "-p2090" in tool.args_template
+        assert tool.output == "daemon.out"
+        assert tool.error == "daemon.err"
+
+    def test_paper_typo_accepted(self):
+        # Fig. 5B literally says "tranfer_input_files"; we honor it.
+        job = parse_submit_file(FIG5B_SUBMIT_FILE)[0]
+        assert job.transfer_input_files == ["paradynd"]
+
+
+class TestValidate:
+    def test_direct_construction_validation(self):
+        with pytest.raises(SubmitError):
+            SubmitDescription(executable="").validate()
+        with pytest.raises(SubmitError):
+            SubmitDescription(executable="x", machine_count=0).validate()

@@ -1,0 +1,11 @@
+"""Root test configuration.
+
+CPython 3.11's ast.parse occasionally fails with "AST constructor
+recursion depth mismatch" when pytest's assertion rewriter parses large
+files close to the default recursion limit; raising the limit avoids the
+mismatch (upstream cpython issue; harmless for these tests).
+"""
+
+import sys
+
+sys.setrecursionlimit(100_000)

@@ -1,0 +1,138 @@
+"""Stress/soak tests: many concurrent jobs, tools, and control operations.
+
+These shake out lock-ordering and lifecycle races that single-job tests
+cannot reach.  Kept at sizes that run in seconds.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.condor.job import JobStatus
+from repro.condor.submit import SubmitDescription
+from repro.parador.run import ParadorScenario
+
+
+class TestManyMonitoredJobs:
+    def test_sequence_of_monitored_jobs_one_machine(self):
+        """Back-to-back monitored jobs reuse the startd/LASS cleanly:
+        contexts are created and destroyed per job."""
+        with ParadorScenario(execute_hosts=["node1"]) as scenario:
+            for i in range(6):
+                run = scenario.submit_monitored("foo", "2 0.02")
+                assert run.job.wait_terminal(timeout=60.0) is JobStatus.COMPLETED
+                run.session.wait_state("exited", timeout=30.0)
+            lass = scenario.pool.startds["node1"].lass
+            # All per-job contexts were destroyed at tdp_exit...
+            deadline = time.monotonic() + 10.0
+            while len(lass.store.contexts()) > 1 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert lass.store.contexts() == ["default"]
+
+    def test_parallel_monitored_jobs_many_machines(self):
+        hosts = [f"node{i}" for i in range(6)]
+        with ParadorScenario(execute_hosts=hosts) as scenario:
+            jobs = []
+            for _ in range(6):
+                text = (
+                    "universe = Vanilla\nexecutable = foo\narguments = 3 0.05\n"
+                    "output = outfile\n+SuspendJobAtExec = True\n"
+                    '+ToolDaemonCmd = "paradynd"\n'
+                    f'+ToolDaemonArgs = "-zunix -l3 -m{scenario.submit_host} '
+                    f'-p{scenario.port1} -P{scenario.port2} -a%pid"\n'
+                    "queue\n"
+                )
+                jobs.append(scenario.pool.submit_file(text)[0])
+            for job in jobs:
+                assert job.wait_terminal(timeout=120.0) is JobStatus.COMPLETED
+            sessions = scenario.frontend.wait_for_daemons(6, timeout=60.0)
+            for session in sessions:
+                session.wait_state("exited", timeout=60.0)
+                assert session.exit_code == 0
+
+
+class TestControlStorm:
+    def test_hammering_pause_continue(self):
+        """Concurrent pause/continue storms from RM and tool sides must
+        never wedge or crash; the process ends in a coherent state."""
+        from repro.attrspace.server import AttributeSpaceServer
+        from repro.sim.cluster import SimCluster
+        from repro.tdp.api import (
+            tdp_create_process, tdp_init, tdp_kill,
+        )
+        from repro.tdp.handle import Role
+        from repro.tdp.process import SimHostBackend, submit_tool_request
+
+        with SimCluster.flat(["node1"]) as cluster:
+            lass = AttributeSpaceServer(cluster.transport, "node1")
+            rm = tdp_init(cluster.transport, lass.endpoint, member="rm",
+                          role=Role.RM, backend=SimHostBackend(cluster.host("node1")))
+            rm.control.serve_tool_requests()
+            rm.start_service_loop()
+            rt = tdp_init(cluster.transport, lass.endpoint, member="rt",
+                          role=Role.RT, src_host="node1")
+            info = tdp_create_process(rm, "spin")
+            failures = []
+
+            def storm(actor):
+                for _ in range(15):
+                    try:
+                        if actor == "rm":
+                            rm.control.pause(info.pid)
+                            rm.control.continue_process(info.pid)
+                        else:
+                            submit_tool_request(rt.attrs, "pause", info.pid)
+                            submit_tool_request(rt.attrs, "continue", info.pid)
+                    except Exception as e:  # noqa: BLE001
+                        # Crossing continues legitimately race ("continue
+                        # on runnable"); anything else is a bug.
+                        if "continue on runnable" not in str(e) and (
+                            "continue on blocked" not in str(e)
+                        ):
+                            failures.append(e)
+
+            threads = [
+                threading.Thread(target=storm, args=("rm",)),
+                threading.Thread(target=storm, args=("rt",)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60.0)
+            assert failures == []
+            tdp_kill(rm, info.pid)
+            assert rm.control.wait_exit(info.pid, timeout=10.0) == 128 + 15
+            rm.stop_service_loop()
+            rt.close()
+            rm.close()
+            lass.stop()
+
+
+class TestAttributeSpaceSoak:
+    def test_many_contexts_lifecycle(self):
+        from repro.attrspace.client import AttributeSpaceClient
+        from repro.attrspace.server import AttributeSpaceServer
+        from repro.sim.cluster import SimCluster
+
+        with SimCluster.flat(["node1"]) as cluster:
+            server = AttributeSpaceServer(cluster.transport, "node1")
+            for batch in range(5):
+                clients = []
+                for i in range(20):
+                    chan = cluster.transport.connect("node1", server.endpoint)
+                    client = AttributeSpaceClient(
+                        chan, context=f"c{batch}.{i}", member=f"m{i}"
+                    )
+                    client.put("x", str(i))
+                    clients.append(client)
+                assert len(server.store.contexts()) == 21  # 20 + default
+                for client in clients:
+                    client.close()
+                deadline = time.monotonic() + 10.0
+                while len(server.store.contexts()) > 1 and (
+                    time.monotonic() < deadline
+                ):
+                    time.sleep(0.01)
+                assert server.store.contexts() == ["default"]
+            server.stop()

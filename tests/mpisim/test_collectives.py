@@ -1,0 +1,163 @@
+"""Direct tests of the MPI collective helpers (bcast/gather/reduce/barrier)."""
+
+import pytest
+
+from repro.mpisim.comm import MpiComm
+from repro.mpisim.runtime import MpiRuntime
+from repro.sim import syscalls as sc
+from repro.sim.cluster import SimCluster
+from repro.sim.syscalls import call
+
+
+@pytest.fixture
+def world():
+    with SimCluster.flat(["n0", "n1"]) as cluster:
+        runtime = MpiRuntime.ensure(cluster)
+        yield cluster, runtime
+
+
+def launch_ranks(cluster, runtime, job_id, size, body_factory):
+    """Run `body_factory(comm)` as main on every rank; returns processes."""
+    runtime.create_job(job_id, size)
+
+    def program(argv):
+        def body():
+            comm = yield from MpiComm.init()
+            yield from body_factory(comm)
+
+        yield from call("main", body())
+
+    procs = []
+    for rank in range(size):
+        host = cluster.host(f"n{rank % 2}")
+        procs.append(
+            host.create_process(
+                program, [],
+                env={"MPI_JOB": job_id, "MPI_RANK": str(rank),
+                     "MPI_SIZE": str(size)},
+            )
+        )
+    return procs
+
+
+class TestCollectives:
+    def test_bcast_delivers_to_all(self, world):
+        cluster, runtime = world
+
+        def body(comm):
+            value = yield from comm.bcast("payload" if comm.rank == 0 else None)
+            yield sc.Print(f"r{comm.rank}={value}")
+
+        procs = launch_ranks(cluster, runtime, "bc", 4, body)
+        for p in procs:
+            assert p.wait_for_exit(timeout=30.0) == 0
+        for rank, p in enumerate(procs):
+            assert p.stdout_lines == [f"r{rank}=payload"]
+
+    def test_gather_collects_by_rank(self, world):
+        cluster, runtime = world
+
+        def body(comm):
+            values = yield from comm.gather(comm.rank * 10)
+            if comm.rank == 0:
+                yield sc.Print(",".join(map(str, values)))
+
+        procs = launch_ranks(cluster, runtime, "ga", 4, body)
+        for p in procs:
+            assert p.wait_for_exit(timeout=30.0) == 0
+        assert procs[0].stdout_lines == ["0,10,20,30"]
+
+    def test_reduce_sum(self, world):
+        cluster, runtime = world
+
+        def body(comm):
+            total = yield from comm.reduce_sum(float(comm.rank + 1))
+            if comm.rank == 0:
+                yield sc.Print(f"sum={total}")
+            else:
+                assert total is None
+
+        procs = launch_ranks(cluster, runtime, "rs", 3, body)
+        for p in procs:
+            assert p.wait_for_exit(timeout=30.0) == 0
+        assert procs[0].stdout_lines == ["sum=6.0"]
+
+    def test_allreduce_everyone_gets_total(self, world):
+        cluster, runtime = world
+
+        def body(comm):
+            total = yield from comm.allreduce_sum(1.0)
+            yield sc.Print(f"t={total}")
+
+        procs = launch_ranks(cluster, runtime, "ar", 3, body)
+        for p in procs:
+            assert p.wait_for_exit(timeout=30.0) == 0
+        for p in procs:
+            assert p.stdout_lines == ["t=3.0"]
+
+    def test_barrier_orders_phases(self, world):
+        cluster, runtime = world
+        observed = []
+
+        def body(comm):
+            yield sc.Compute(0.001 * (comm.rank + 1))
+            observed.append(("pre", comm.rank))
+            yield from comm.barrier()
+            observed.append(("post", comm.rank))
+
+        procs = launch_ranks(cluster, runtime, "bar", 3, body)
+        for p in procs:
+            assert p.wait_for_exit(timeout=30.0) == 0
+        # Every 'pre' sighting happens before any 'post' sighting.
+        first_post = next(i for i, (k, _r) in enumerate(observed) if k == "post")
+        assert all(k == "pre" for k, _r in observed[:first_post])
+        assert {r for k, r in observed if k == "pre"} == {0, 1, 2}
+
+    def test_repeated_collectives_do_not_cross(self, world):
+        cluster, runtime = world
+
+        def body(comm):
+            for i in range(5):
+                value = yield from comm.bcast(i if comm.rank == 0 else None)
+                assert value == i
+                total = yield from comm.allreduce_sum(1.0)
+                assert total == comm.size
+            yield sc.Print("ok")
+
+        procs = launch_ranks(cluster, runtime, "rep", 3, body)
+        for p in procs:
+            assert p.wait_for_exit(timeout=30.0) == 0
+            assert p.stdout_lines == ["ok"]
+
+    def test_single_rank_collectives_trivial(self, world):
+        cluster, runtime = world
+
+        def body(comm):
+            v = yield from comm.bcast("x")
+            t = yield from comm.reduce_sum(5.0)
+            yield from comm.barrier()
+            yield sc.Print(f"{v}/{t}")
+
+        procs = launch_ranks(cluster, runtime, "solo", 1, body)
+        assert procs[0].wait_for_exit(timeout=30.0) == 0
+        assert procs[0].stdout_lines == ["x/5.0"]
+
+
+class TestPointToPoint:
+    def test_send_recv_any_source(self, world):
+        cluster, runtime = world
+
+        def body(comm):
+            if comm.rank == 0:
+                got = set()
+                for _ in range(2):
+                    src, payload = yield from comm.recv()
+                    got.add((src, payload))
+                yield sc.Print(str(sorted(got)))
+            else:
+                yield from comm.send(0, f"hi-from-{comm.rank}")
+
+        procs = launch_ranks(cluster, runtime, "any", 3, body)
+        for p in procs:
+            assert p.wait_for_exit(timeout=30.0) == 0
+        assert procs[0].stdout_lines == ["[(1, 'hi-from-1'), (2, 'hi-from-2')]"]

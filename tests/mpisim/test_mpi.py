@@ -1,0 +1,154 @@
+"""Simulated-MPI tests: runtime, collectives, workloads."""
+
+import math
+
+import pytest
+
+from repro.errors import MpiError, RankError
+from repro.mpisim.programs import register_mpi_programs
+from repro.mpisim.runtime import MpiRuntime
+from repro.sim.cluster import SimCluster
+
+
+def launch_job(cluster, runtime, job_id, executable, size, argv=None, hosts=None):
+    """Create all ranks of one MPI job directly (no batch system)."""
+    runtime.create_job(job_id, size)
+    hosts = hosts or [f"n{i % len(cluster.hosts())}" for i in range(size)]
+    procs = []
+    for rank in range(size):
+        host = cluster.host(hosts[rank % len(hosts)])
+        procs.append(
+            host.create_process(
+                executable,
+                argv or [],
+                env={"MPI_JOB": job_id, "MPI_RANK": str(rank), "MPI_SIZE": str(size)},
+            )
+        )
+    return procs
+
+
+@pytest.fixture
+def world():
+    with SimCluster.flat([f"n{i}" for i in range(4)]) as cluster:
+        register_mpi_programs(cluster.registry)
+        runtime = MpiRuntime(cluster)
+        yield cluster, runtime
+
+
+class TestRuntime:
+    def test_rank_registration(self, world):
+        cluster, runtime = world
+        procs = launch_job(cluster, runtime, "j1", "mpi_ring", 3, ["1"])
+        for p in procs:
+            assert p.wait_for_exit(timeout=30.0) == 0
+        ranks = runtime.ranks("j1")
+        assert sorted(ranks) == [0, 1, 2]
+        assert runtime.all_registered("j1")
+
+    def test_duplicate_job_rejected(self, world):
+        _cluster, runtime = world
+        runtime.create_job("dup", 2)
+        with pytest.raises(MpiError):
+            runtime.create_job("dup", 2)
+
+    def test_unknown_job_rejected(self, world):
+        _cluster, runtime = world
+        with pytest.raises(MpiError):
+            runtime.ranks("ghost")
+
+    def test_master_hook_fires_on_rank0_init(self, world):
+        cluster, runtime = world
+        events = []
+        runtime.create_job("j2", 2)
+        runtime.on_master_init("j2", lambda info: events.append(info.rank))
+        host = cluster.host("n0")
+        env = {"MPI_JOB": "j2", "MPI_RANK": "0", "MPI_SIZE": "2"}
+        # rank 1 first: hook must NOT fire
+        host.create_process(
+            "mpi_ring", ["1"], env={**env, "MPI_RANK": "1"}
+        )
+        import time
+
+        time.sleep(0.05)
+        assert events == []
+        master = host.create_process("mpi_ring", ["1"], env=env)
+        deadline = time.monotonic() + 10.0
+        while not events and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert events == [0]
+        for p in host.processes():
+            p.wait_for_exit(timeout=30.0)
+
+    def test_master_hook_after_registration_fires_immediately(self, world):
+        cluster, runtime = world
+        procs = launch_job(cluster, runtime, "j3", "mpi_ring", 2, ["1"])
+        for p in procs:
+            p.wait_for_exit(timeout=30.0)
+        events = []
+        runtime.on_master_init("j3", lambda info: events.append(info.rank))
+        assert events == [0]
+
+
+class TestWorkloads:
+    def test_ring_token_count(self, world):
+        cluster, runtime = world
+        procs = launch_job(cluster, runtime, "ring", "mpi_ring", 4, ["3"])
+        for p in procs:
+            assert p.wait_for_exit(timeout=30.0) == 0
+        # 3 laps around 4 ranks: token incremented 4 times per lap.
+        assert procs[0].stdout_lines == ["token=12"]
+
+    def test_pi_estimate(self, world):
+        cluster, runtime = world
+        procs = launch_job(cluster, runtime, "pi", "mpi_pi", 4, ["2000"])
+        for p in procs:
+            assert p.wait_for_exit(timeout=60.0) == 0
+        [line] = procs[0].stdout_lines
+        value = float(line.split("=")[1])
+        assert value == pytest.approx(math.pi, abs=1e-3)
+
+    def test_pi_single_rank(self, world):
+        cluster, runtime = world
+        procs = launch_job(cluster, runtime, "pi1", "mpi_pi", 1, ["500"])
+        procs[0].wait_for_exit(timeout=30.0)
+        value = float(procs[0].stdout_lines[0].split("=")[1])
+        assert value == pytest.approx(math.pi, abs=1e-2)
+
+    def test_imbalanced_cpu_pattern(self, world):
+        cluster, runtime = world
+        procs = launch_job(cluster, runtime, "imb", "mpi_imbalanced", 3, ["0.1"])
+        for p in procs:
+            assert p.wait_for_exit(timeout=60.0) == 0
+        cpus = [p.cpu_time for p in procs]
+        # CPU grows with rank: 0.1, 0.2, 0.3 (plus epsilon syscall costs).
+        assert cpus[0] < cpus[1] < cpus[2]
+        assert cpus[2] == pytest.approx(0.3, rel=0.2)
+
+    def test_ranks_spread_across_hosts(self, world):
+        cluster, runtime = world
+        hosts = ["n0", "n1", "n2", "n3"]
+        launch_job(cluster, runtime, "spread", "mpi_ring", 4, ["1"], hosts=hosts)
+        for host in hosts:
+            for p in cluster.host(host).processes():
+                assert p.wait_for_exit(timeout=30.0) == 0
+        ranks = runtime.ranks("spread")
+        assert {info.host for info in ranks.values()} == set(hosts)
+
+
+class TestErrors:
+    def test_rank_out_of_range_faults(self, world):
+        cluster, runtime = world
+        runtime.create_job("bad", 2)
+        proc = cluster.host("n0").create_process(
+            "mpi_ring", ["1"],
+            env={"MPI_JOB": "bad", "MPI_RANK": "7", "MPI_SIZE": "2"},
+        )
+        assert proc.wait_for_exit(timeout=30.0) == 139
+
+    def test_missing_rank_env_faults(self, world):
+        cluster, runtime = world
+        runtime.create_job("noenv", 1)
+        proc = cluster.host("n0").create_process(
+            "mpi_ring", ["1"], env={"MPI_JOB": "noenv"}
+        )
+        assert proc.wait_for_exit(timeout=30.0) == 139

@@ -1,0 +1,71 @@
+"""Unit tests for endpoint addressing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.net.address import Endpoint, HostAddress, parse_endpoint
+
+
+class TestHostAddress:
+    def test_plain_name(self):
+        assert str(HostAddress("node1")) == "node1"
+
+    def test_rejects_colon(self):
+        with pytest.raises(ProtocolError):
+            HostAddress("a:b")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ProtocolError):
+            HostAddress("")
+
+    def test_ordering(self):
+        assert HostAddress("a") < HostAddress("b")
+
+
+class TestEndpoint:
+    def test_string_form(self):
+        assert str(Endpoint("pinguino.cs.wisc.edu", 2090)) == "pinguino.cs.wisc.edu:2090"
+
+    def test_port_bounds(self):
+        with pytest.raises(ProtocolError):
+            Endpoint("h", 0)
+        with pytest.raises(ProtocolError):
+            Endpoint("h", 65536)
+        Endpoint("h", 1)
+        Endpoint("h", 65535)
+
+    def test_empty_host_rejected(self):
+        with pytest.raises(ProtocolError):
+            Endpoint("", 80)
+
+    def test_hashable_equality(self):
+        assert Endpoint("h", 80) == Endpoint("h", 80)
+        assert len({Endpoint("h", 80), Endpoint("h", 80)}) == 1
+
+
+class TestParseEndpoint:
+    def test_roundtrip(self):
+        ep = Endpoint("front-end.example.org", 2091)
+        assert parse_endpoint(str(ep)) == ep
+
+    def test_missing_port(self):
+        with pytest.raises(ProtocolError):
+            parse_endpoint("hostonly")
+
+    def test_bad_port(self):
+        with pytest.raises(ProtocolError):
+            parse_endpoint("h:notaport")
+
+    def test_missing_host(self):
+        with pytest.raises(ProtocolError):
+            parse_endpoint(":80")
+
+    @given(
+        host=st.from_regex(r"[a-z][a-z0-9.\-]{0,30}", fullmatch=True),
+        port=st.integers(min_value=1, max_value=65535),
+    )
+    def test_roundtrip_property(self, host, port):
+        ep = Endpoint(host, port)
+        assert parse_endpoint(str(ep)) == ep

@@ -1,0 +1,59 @@
+"""Unit tests for the firewall rule engine."""
+
+from repro.net.firewall import Firewall, FirewallPolicy, Rule, Verdict
+
+
+class TestRuleMatching:
+    def test_wildcard_matches_anything(self):
+        r = Rule()
+        assert r.matches("a", "b", 80)
+
+    def test_glob_on_src(self):
+        r = Rule(src="node*")
+        assert r.matches("node7", "x", 1)
+        assert not r.matches("desktop", "x", 1)
+
+    def test_glob_on_dst(self):
+        r = Rule(dst="*.cs.wisc.edu")
+        assert r.matches("x", "pinguino.cs.wisc.edu", 1)
+        assert not r.matches("x", "pinguino.example.org", 1)
+
+    def test_port_pinning(self):
+        r = Rule(port=2090)
+        assert r.matches("a", "b", 2090)
+        assert not r.matches("a", "b", 2091)
+
+
+class TestFirewallEvaluation:
+    def test_default_deny(self):
+        fw = Firewall(default=FirewallPolicy.DENY)
+        assert not fw.permits("a", "b", 80)
+
+    def test_default_allow(self):
+        fw = Firewall(default=FirewallPolicy.ALLOW)
+        assert fw.permits("a", "b", 80)
+
+    def test_first_match_wins(self):
+        fw = Firewall(default=FirewallPolicy.DENY)
+        fw.deny(src="node1").allow(src="node*")
+        assert not fw.permits("node1", "x", 1)
+        assert fw.permits("node2", "x", 1)
+
+    def test_allow_specific_port_only(self):
+        fw = Firewall(default=FirewallPolicy.DENY)
+        fw.allow(dst="gateway", port=9000)
+        assert fw.permits("inside", "gateway", 9000)
+        assert not fw.permits("inside", "gateway", 9001)
+        assert not fw.permits("inside", "elsewhere", 9000)
+
+    def test_explain_names_matching_rule(self):
+        fw = Firewall(default=FirewallPolicy.DENY)
+        fw.allow(dst="gw")
+        assert "allow" in fw.explain("a", "gw", 1)
+        assert "default" in fw.explain("a", "other", 1)
+
+    def test_chaining_returns_self(self):
+        fw = Firewall()
+        assert fw.allow() is fw
+        assert fw.deny() is fw
+        assert [r.verdict for r in fw.rules] == [Verdict.ALLOW, Verdict.DENY]

@@ -1,0 +1,103 @@
+"""Unit tests for the network topology (Figure 1's firewalled world)."""
+
+import pytest
+
+from repro.errors import FirewallBlockedError, NoSuchHostError
+from repro.net.topology import Network, flat_network
+
+
+def paper_topology() -> Network:
+    """The Figure 1 layout: submit side public, execution side private."""
+    net = Network()
+    net.add_zone("campus")
+    net.add_private_zone("cluster")
+    net.add_host("submit", "campus")
+    net.add_host("node1", "cluster")
+    net.add_host("node2", "cluster")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_zone_rejected(self):
+        net = Network()
+        net.add_zone("z")
+        with pytest.raises(ValueError):
+            net.add_zone("z")
+
+    def test_duplicate_host_rejected(self):
+        net = flat_network(["a"])
+        with pytest.raises(ValueError):
+            net.add_host("a", "lan")
+
+    def test_host_in_unknown_zone_rejected(self):
+        with pytest.raises(ValueError):
+            Network().add_host("h", "nowhere")
+
+    def test_unknown_host_queries_raise(self):
+        net = flat_network(["a"])
+        with pytest.raises(NoSuchHostError):
+            net.zone_of("ghost")
+
+
+class TestReachability:
+    def test_intra_zone_always_allowed(self):
+        net = paper_topology()
+        assert net.permits("node1", "node2", 1234)
+
+    def test_private_zone_blocks_inbound(self):
+        net = paper_topology()
+        assert not net.permits("submit", "node1", 7000)
+
+    def test_private_zone_blocks_outbound_by_default(self):
+        net = paper_topology()
+        assert not net.permits("node1", "submit", 7000)
+
+    def test_nat_style_allows_outbound(self):
+        net = Network()
+        net.add_zone("campus")
+        net.add_private_zone("cluster", allow_outbound=True)
+        net.add_host("submit", "campus")
+        net.add_host("node1", "cluster")
+        assert net.permits("node1", "submit", 7000)
+        assert not net.permits("submit", "node1", 7000)
+
+    def test_pinhole_rule_opens_proxy_path(self):
+        net = paper_topology()
+        # RM opens its proxy port for cluster nodes (what Condor's gateway does).
+        net.zone_of("node1").outbound.allow(dst="submit", port=9000)
+        net.zone_of("submit").inbound.allow(src="node*", dst="submit", port=9000)
+        assert net.permits("node1", "submit", 9000)
+        assert not net.permits("node1", "submit", 9001)
+
+    def test_check_raises_with_explanation(self):
+        net = paper_topology()
+        with pytest.raises(FirewallBlockedError, match="blocked by zone"):
+            net.check("submit", "node1", 7000)
+
+    def test_check_passes_for_intra_zone(self):
+        paper_topology().check("node1", "node2", 1)
+
+
+class TestLatency:
+    def test_same_host_zero(self):
+        net = paper_topology()
+        assert net.latency("node1", "node1") == 0.0
+
+    def test_boundary_latency_added(self):
+        net = Network(link_latency=0.001)
+        net.add_zone("campus")
+        net.add_private_zone("cluster", allow_outbound=True, boundary_latency=0.004)
+        net.add_host("submit", "campus")
+        net.add_host("node1", "cluster")
+        assert net.latency("node1", "submit") == pytest.approx(0.005)
+        assert net.latency("node1", "node1") == 0.0
+
+
+class TestReachabilityMatrix:
+    def test_matrix_shape_and_content(self):
+        net = paper_topology()
+        m = net.reachability_matrix(7000)
+        assert len(m) == 6  # 3 hosts, ordered pairs, no self-pairs
+        assert m[("node1", "node2")] is True
+        assert m[("submit", "node1")] is False
+        assert m[("node1", "submit")] is False

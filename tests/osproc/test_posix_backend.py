@@ -1,0 +1,160 @@
+"""Real-process backend tests (Linux only; skipped elsewhere)."""
+
+import os
+import sys
+import time
+
+import pytest
+
+from repro.errors import AttachError, ExecutableNotFoundError, NoSuchProcessError
+from repro.osproc.backend import PosixBackend
+from repro.tdp.wellknown import CreateMode, ProcStatus
+
+pytestmark = pytest.mark.skipif(
+    not sys.platform.startswith("linux") or not os.path.isdir("/proc"),
+    reason="requires Linux /proc",
+)
+
+SH = "/bin/sh"
+
+
+@pytest.fixture
+def backend():
+    return PosixBackend()
+
+
+class TestCreate:
+    def test_create_run(self, backend):
+        info = backend.create(SH, ["-c", "echo out; exit 0"])
+        assert backend.wait_exit(info.pid, timeout=10.0) == 0
+
+    def test_exit_code(self, backend):
+        info = backend.create(SH, ["-c", "exit 4"])
+        assert backend.wait_exit(info.pid, timeout=10.0) == 4
+
+    def test_create_paused_holds(self, backend):
+        info = backend.create(SH, ["-c", "echo ran"], mode=CreateMode.PAUSED)
+        assert info.status == ProcStatus.CREATED
+        lines = []
+        backend.add_stdout_sink(info.pid, lines.append)
+        time.sleep(0.1)
+        assert lines == []  # truly held before exec/main
+        backend.continue_process(info.pid)
+        assert backend.wait_exit(info.pid, timeout=10.0) == 0
+        deadline = time.monotonic() + 5.0
+        while not lines and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert lines == ["ran"]
+
+    def test_unknown_executable(self, backend):
+        with pytest.raises(ExecutableNotFoundError):
+            backend.create("/no/such/binary", [])
+
+    def test_unknown_pid(self, backend):
+        with pytest.raises(NoSuchProcessError):
+            backend.status(999999)
+
+
+class TestControl:
+    def test_pause_resume(self, backend):
+        info = backend.create(SH, ["-c", "sleep 30"])
+        backend.pause(info.pid)
+        assert backend.status(info.pid).status == ProcStatus.STOPPED
+        backend.continue_process(info.pid)
+        deadline = time.monotonic() + 5.0
+        while (
+            backend.status(info.pid).status != ProcStatus.RUNNING
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert backend.status(info.pid).status == ProcStatus.RUNNING
+        backend.kill(info.pid, 9)
+        backend.wait_exit(info.pid, timeout=10.0)
+
+    def test_attach_stops(self, backend):
+        info = backend.create(SH, ["-c", "sleep 30"])
+        backend.attach(info.pid, "tool")
+        assert backend.status(info.pid).status == ProcStatus.STOPPED
+        with pytest.raises(AttachError):
+            backend.attach(info.pid, "other")
+        backend.detach(info.pid, resume=True)
+        backend.kill(info.pid, 9)
+        backend.wait_exit(info.pid, timeout=10.0)
+
+    def test_kill_stopped_process(self, backend):
+        info = backend.create(SH, ["-c", "sleep 30"])
+        backend.pause(info.pid)
+        backend.kill(info.pid, 15)
+        code = backend.wait_exit(info.pid, timeout=10.0)
+        assert code == 128 + 15
+
+    def test_exit_listener(self, backend):
+        events = []
+        info = backend.create(SH, ["-c", "exit 0"])
+        backend.on_exit(info.pid, lambda i: events.append(i.exit_code))
+        backend.wait_exit(info.pid, timeout=10.0)
+        deadline = time.monotonic() + 5.0
+        while not events and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert events == [0]
+
+
+class TestStdio:
+    def test_stdin_roundtrip(self, backend):
+        info = backend.create(SH, ["-c", "while read l; do echo got:$l; done"])
+        lines = []
+        backend.add_stdout_sink(info.pid, lines.append)
+        backend.feed_stdin(info.pid, "abc")
+        deadline = time.monotonic() + 5.0
+        while not lines and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert lines == ["got:abc"]
+        backend.close_stdin(info.pid)
+        assert backend.wait_exit(info.pid, timeout=10.0) == 0
+
+
+class TestTdpIntegrationOnRealProcesses:
+    """The Fig. 3A dance on real OS processes (localhost TCP transport)."""
+
+    def test_create_paused_publish_attach_continue(self):
+        from repro.attrspace.server import AttributeSpaceServer
+        from repro.tdp.api import (
+            tdp_attach,
+            tdp_continue_process,
+            tdp_create_process,
+            tdp_exit,
+            tdp_get,
+            tdp_init,
+            tdp_put,
+            tdp_wait_exit,
+        )
+        from repro.tdp.handle import Role
+        from repro.transport.tcp import TcpTransport
+
+        transport = TcpTransport()
+        lass = AttributeSpaceServer(transport, "localhost")
+        rm = tdp_init(
+            transport, lass.endpoint, member="starter", role=Role.RM,
+            backend=PosixBackend(),
+        )
+        rt = tdp_init(
+            transport, lass.endpoint, member="paradynd", role=Role.RT,
+            src_host="localhost",
+        )
+        rm.control.serve_tool_requests()
+        rm.start_service_loop()
+
+        info = tdp_create_process(
+            rm, SH, ["-c", "echo real-fig3a"], mode=CreateMode.PAUSED
+        )
+        tdp_put(rm, "pid", str(info.pid))
+
+        pid = int(tdp_get(rt, "pid", timeout=10.0))
+        tdp_attach(rt, pid)
+        tdp_continue_process(rt, pid)
+        assert tdp_wait_exit(rt, pid, timeout=15.0) == 0
+
+        rm.stop_service_loop()
+        tdp_exit(rt)
+        tdp_exit(rm)
+        lass.stop()

@@ -1,0 +1,110 @@
+"""Parador MPI universe: N-rank jobs, one paradynd per rank (Section 4.3)."""
+
+import pytest
+
+from repro.condor.job import JobStatus
+from repro.parador.run import ParadorScenario
+
+
+def mpi_submit_text(scenario, executable, machine_count, arguments=""):
+    return (
+        f"universe = MPI\n"
+        f"executable = {executable}\n"
+        f"arguments = {arguments}\n"
+        f"machine_count = {machine_count}\n"
+        f"output = outfile\n"
+        f"+SuspendJobAtExec = True\n"
+        f'+ToolDaemonCmd = "paradynd"\n'
+        f'+ToolDaemonArgs = "-zunix -l3 -m{scenario.submit_host} '
+        f'-p{scenario.port1} -P{scenario.port2} -a%pid"\n'
+        f"queue\n"
+    )
+
+
+@pytest.fixture
+def scenario():
+    with ParadorScenario(execute_hosts=["node1", "node2", "node3"]) as s:
+        yield s
+
+
+class TestMonitoredMpiJob:
+    def test_ring_job_completes(self, scenario):
+        job = scenario.pool.submit_file(
+            mpi_submit_text(scenario, "mpi_ring", 3, "2")
+        )[0]
+        assert job.wait_terminal(timeout=90.0) is JobStatus.COMPLETED
+        assert job.exit_code == 0
+
+    def test_one_paradynd_per_rank(self, scenario):
+        job = scenario.pool.submit_file(
+            mpi_submit_text(scenario, "mpi_ring", 3, "1")
+        )[0]
+        sessions = scenario.frontend.wait_for_daemons(3, timeout=90.0)
+        assert job.wait_terminal(timeout=90.0) is JobStatus.COMPLETED
+        assert len(sessions) == 3
+        # Each daemon monitors a distinct process, spread over the pool.
+        pids = {(s.host, s.pid) for s in sessions}
+        assert len(pids) == 3
+        hosts = {s.host for s in sessions}
+        assert hosts == {"node1", "node2", "node3"}
+
+    def test_every_rank_attached_before_running(self, scenario):
+        """All ranks are created paused and attached by a paradynd before
+        they execute — the tool observes every rank from its start."""
+        job = scenario.pool.submit_file(
+            mpi_submit_text(scenario, "mpi_pi", 3, "1500")
+        )[0]
+        sessions = scenario.frontend.wait_for_daemons(3, timeout=90.0)
+        assert job.wait_terminal(timeout=90.0) is JobStatus.COMPLETED
+        for session in sessions:
+            session.wait_state("exited", timeout=60.0)
+            # The daemon's base instrumentation saw the whole run.
+            cpu = session.latest("proc_cpu")
+            assert cpu is not None and cpu > 0.0
+
+    def test_pi_result_correct_under_monitoring(self, scenario):
+        import math, time
+
+        job = scenario.pool.submit_file(
+            mpi_submit_text(scenario, "mpi_pi", 3, "3000")
+        )[0]
+        assert job.wait_terminal(timeout=90.0) is JobStatus.COMPLETED
+        deadline = time.monotonic() + 10.0
+        while not job.stdout_lines and time.monotonic() < deadline:
+            time.sleep(0.01)
+        value = float(job.stdout_lines[0].split("=")[1])
+        assert value == pytest.approx(math.pi, abs=1e-3)
+
+    def test_mpi_trace_has_per_rank_launch_steps(self, scenario):
+        job = scenario.pool.submit_file(
+            mpi_submit_text(scenario, "mpi_ring", 3, "1")
+        )[0]
+        assert job.wait_terminal(timeout=90.0) is JobStatus.COMPLETED
+        trace = scenario.trace
+        assert trace.first("mpi_master_create") is not None
+        assert trace.first("master_running") is not None
+        coord = f"mpi-coord/{job.job_id}"
+        creates = [
+            e for e in trace.events(actor=coord, action="tdp_create_process")
+            if str(e.details.get("target", "")).startswith("AP.r")
+        ]
+        assert len(creates) == 2  # ranks 1 and 2
+
+
+class TestUnmonitoredMpiJob:
+    def test_plain_mpi_job(self, scenario):
+        text = (
+            "universe = MPI\nexecutable = mpi_ring\narguments = 2\n"
+            "machine_count = 3\nqueue\n"
+        )
+        job = scenario.pool.submit_file(text)[0]
+        assert job.wait_terminal(timeout=90.0) is JobStatus.COMPLETED
+
+    def test_insufficient_machines_fails(self, scenario):
+        scenario.pool.schedd.RETRY_INTERVAL = 0.01
+        text = (
+            "universe = MPI\nexecutable = mpi_ring\narguments = 1\n"
+            "machine_count = 9\nqueue\n"
+        )
+        job = scenario.pool.submit_file(text)[0]
+        assert job.wait_terminal(timeout=60.0) is JobStatus.FAILED

@@ -1,0 +1,75 @@
+"""Unit tests for paradynd argument parsing and standalone behavior."""
+
+import pytest
+
+from repro.errors import ToolError
+from repro.net.address import Endpoint
+from repro.paradyn.daemon import ParadyndArgs, parse_paradynd_args
+
+
+class TestParseParadyndArgs:
+    def test_fig5b_argument_set(self):
+        # The exact ToolDaemonArgs from the paper's Figure 5B.
+        args = parse_paradynd_args(
+            ["-zunix", "-l3", "-mpinguino.cs.wisc.edu", "-p2090", "-P2091", "-a%pid"]
+        )
+        assert args.flavor == "unix"
+        assert args.log_level == 3
+        assert args.frontend_host == "pinguino.cs.wisc.edu"
+        assert args.port1 == 2090
+        assert args.port2 == 2091
+        assert args.app_ref == "%pid"
+
+    def test_tdp_mode_detection(self):
+        assert parse_paradynd_args(["-a%pid"]).tdp_mode is True
+        assert parse_paradynd_args(["-a4711"]).tdp_mode is False
+        assert parse_paradynd_args([]).tdp_mode is False
+
+    def test_frontend_endpoint_built(self):
+        args = parse_paradynd_args(["-mhost1", "-p2090"])
+        assert args.frontend_endpoint == Endpoint("host1", 2090)
+
+    def test_no_frontend_when_port_missing(self):
+        assert parse_paradynd_args(["-mhost1"]).frontend_endpoint is None
+        assert parse_paradynd_args(["-p2090"]).frontend_endpoint is None
+
+    def test_unknown_args_collected(self):
+        args = parse_paradynd_args(["-zunix", "--weird", "thing"])
+        assert args.extras == ["--weird", "thing"]
+
+    def test_bad_log_level(self):
+        with pytest.raises(ToolError):
+            parse_paradynd_args(["-lhigh"])
+
+    def test_defaults(self):
+        args = ParadyndArgs()
+        assert args.flavor == "unix"
+        assert args.log_level == 0
+        assert not args.tdp_mode
+
+
+class TestDaemonRequiresTdpMode:
+    def test_non_tdp_launch_rejected(self):
+        """Our paradynd only implements the TDP path; launching without
+        -a%pid must fail loudly (not hang)."""
+        import threading
+
+        from repro.attrspace.server import AttributeSpaceServer
+        from repro.condor.tools import ToolLaunchContext
+        from repro.paradyn.daemon import ParadynDaemon
+        from repro.sim.cluster import SimCluster
+
+        with SimCluster.flat(["node1"]) as cluster:
+            lass = AttributeSpaceServer(cluster.transport, "node1")
+            ctx = ToolLaunchContext(
+                transport=cluster.transport,
+                host="node1",
+                lass_endpoint=lass.endpoint,
+                context="j",
+                args=["-zunix"],  # no -a%pid
+                job_id="j",
+            )
+            daemon = ParadynDaemon(ctx)
+            with pytest.raises(ToolError, match="-a%pid"):
+                daemon.run(threading.Event())
+            lass.stop()

@@ -1,0 +1,137 @@
+"""Folding time-histogram tests (Paradyn's constant-memory series store)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paradyn.histogram import TimeHistogram
+
+
+class TestBasics:
+    def test_sum_accumulation(self):
+        h = TimeHistogram(bins=4, initial_bin_width=1.0)
+        h.add(0.5, 2.0)
+        h.add(0.7, 3.0)
+        h.add(2.1, 1.0)
+        assert h.value_at(0.0) == 5.0
+        assert h.value_at(2.5) == 1.0
+        assert h.total() == 6.0
+
+    def test_last_mode_keeps_latest(self):
+        h = TimeHistogram(bins=4, initial_bin_width=1.0, mode="last")
+        h.add(0.1, 1.0)
+        h.add(0.9, 7.0)
+        assert h.value_at(0.5) == 7.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TimeHistogram(bins=3, initial_bin_width=1.0)  # odd
+        with pytest.raises(ValueError):
+            TimeHistogram(bins=4, initial_bin_width=0.0)
+        with pytest.raises(ValueError):
+            TimeHistogram(bins=4, initial_bin_width=1.0, mode="avg")
+
+    def test_negative_time_rejected(self):
+        h = TimeHistogram(bins=4, initial_bin_width=1.0)
+        with pytest.raises(ValueError):
+            h.add(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            h.value_at(-0.1)
+
+
+class TestFolding:
+    def test_fold_doubles_width(self):
+        h = TimeHistogram(bins=4, initial_bin_width=1.0)
+        h.add(5.0, 1.0)  # beyond 4s span: one fold to width 2
+        assert h.bin_width == 2.0
+        assert h.folds == 1
+        assert h.span == 8.0
+
+    def test_fold_merges_adjacent_sums(self):
+        h = TimeHistogram(bins=4, initial_bin_width=1.0)
+        for t, v in [(0.5, 1.0), (1.5, 2.0), (2.5, 3.0), (3.5, 4.0)]:
+            h.add(t, v)
+        h.add(7.9, 10.0)  # triggers fold
+        # After folding: [1+2, 3+4, 0, 0] then 10 lands in bin 3 ([6,8)).
+        assert h.series() == [3.0, 7.0, 0.0, 10.0]
+
+    def test_multiple_folds_for_far_future(self):
+        h = TimeHistogram(bins=4, initial_bin_width=1.0)
+        h.add(100.0, 1.0)  # needs span >= 100: folds to width 32 (span 128)
+        assert h.bin_width == 32.0
+        assert h.folds == 5
+
+    def test_last_mode_fold_prefers_later_bin(self):
+        h = TimeHistogram(bins=4, initial_bin_width=1.0, mode="last")
+        h.add(0.5, 1.0)   # bin 0
+        h.add(1.5, 2.0)   # bin 1
+        h.add(7.0, 9.0)   # fold: bins 0+1 merge, later (2.0) wins
+        assert h.value_at(0.0) == 2.0
+
+    def test_last_mode_fold_keeps_earlier_if_later_empty(self):
+        h = TimeHistogram(bins=4, initial_bin_width=1.0, mode="last")
+        h.add(0.5, 1.0)   # bin 0; bin 1 empty
+        h.add(7.0, 9.0)   # fold
+        assert h.value_at(0.0) == 1.0
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+                st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+            ),
+            max_size=50,
+        )
+    )
+    def test_fold_preserves_total(self, points):
+        """The defining invariant: folding never loses mass (sum mode)."""
+        h = TimeHistogram(bins=8, initial_bin_width=0.5)
+        expected = 0.0
+        for t, v in points:
+            h.add(t, v)
+            expected += v
+        assert h.total() == pytest.approx(expected, abs=1e-9)
+        assert h.sample_count == len(points)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10000.0, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_memory_constant_regardless_of_duration(self, times):
+        h = TimeHistogram(bins=8, initial_bin_width=0.001)
+        for t in times:
+            h.add(t, 1.0)
+        assert len(h.series()) == 8  # never grows
+        assert max(times) < h.span  # and the span always covers the data
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=300))
+    def test_uniform_stream_stays_roughly_uniform(self, n):
+        h = TimeHistogram(bins=8, initial_bin_width=0.125)
+        for i in range(n):
+            h.add(i * 0.1, 1.0)
+        assert h.total() == float(n)
+
+
+class TestFromPoints:
+    def test_builds_from_session_series(self):
+        points = [(float(t), float(t) * 0.5) for t in range(10)]
+        h = TimeHistogram.from_points(points, bins=4, mode="last")
+        assert h.sample_count == 10
+        assert h.folds == 0  # width sized to the data
+        assert h.value_at(9.0) == 4.5
+
+    def test_empty_points(self):
+        h = TimeHistogram.from_points([], bins=4)
+        assert h.total() == 0.0
+
+    def test_single_point_at_zero(self):
+        h = TimeHistogram.from_points([(0.0, 5.0)], bins=4, mode="last")
+        assert h.value_at(0.0) == 5.0

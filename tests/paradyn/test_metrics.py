@@ -1,0 +1,88 @@
+"""Metric collector tests."""
+
+import pytest
+
+from repro.errors import MetricError
+from repro.paradyn.dyninst import DyninstEngine
+from repro.paradyn.metrics import Metric, MetricCollector
+from repro.sim.cluster import SimCluster
+
+
+@pytest.fixture
+def cluster():
+    with SimCluster.flat(["node1"]) as c:
+        yield c
+
+
+@pytest.fixture
+def collected(cluster):
+    proc = cluster.host("node1").create_process("phases", ["4", "0.1"], paused=True)
+    engine = DyninstEngine(proc)
+    return proc, MetricCollector(engine, "node1")
+
+
+class TestEnableSample:
+    def test_proc_cpu(self, collected):
+        proc, collector = collected
+        collector.enable(Metric.PROC_CPU)
+        proc.continue_process()
+        proc.wait_for_exit(timeout=20.0)
+        samples = collector.sample_all()
+        assert len(samples) == 1
+        assert samples[0].value == pytest.approx(proc.cpu_time)
+
+    def test_cpu_inclusive_per_function(self, collected):
+        proc, collector = collected
+        collector.enable(Metric.CPU_INCLUSIVE, "compute_b")
+        proc.continue_process()
+        proc.wait_for_exit(timeout=20.0)
+        [sample] = collector.sample_all()
+        assert sample.value == pytest.approx(0.32, rel=0.1)  # 4 * 0.08
+        assert sample.focus.endswith("/compute_b")
+
+    def test_call_count(self, collected):
+        proc, collector = collected
+        collector.enable(Metric.CALL_COUNT, "write_output")
+        proc.continue_process()
+        proc.wait_for_exit(timeout=20.0)
+        [sample] = collector.sample_all()
+        assert sample.value == 4.0
+
+    def test_cpu_fraction(self, collected):
+        proc, collector = collected
+        collector.enable(Metric.CPU_FRACTION, "compute_b")
+        proc.continue_process()
+        proc.wait_for_exit(timeout=20.0)
+        [sample] = collector.sample_all()
+        assert sample.value == pytest.approx(0.8, rel=0.15)
+
+    def test_function_required(self, collected):
+        _proc, collector = collected
+        with pytest.raises(MetricError):
+            collector.enable(Metric.CPU_INCLUSIVE)
+        with pytest.raises(MetricError):
+            collector.enable(Metric.CALL_COUNT)
+
+    def test_enable_idempotent(self, collected):
+        _proc, collector = collected
+        a = collector.enable(Metric.CALL_COUNT, "compute_a")
+        b = collector.enable(Metric.CALL_COUNT, "compute_a")
+        assert a is b
+        assert len(collector.enabled()) == 1
+
+    def test_disable(self, collected):
+        proc, collector = collected
+        collector.enable(Metric.CALL_COUNT, "compute_a")
+        assert collector.disable(Metric.CALL_COUNT, "compute_a") is True
+        assert collector.disable(Metric.CALL_COUNT, "compute_a") is False
+        assert collector.enabled() == []
+        assert proc.probes == {}
+
+    def test_disable_all(self, collected):
+        proc, collector = collected
+        collector.enable(Metric.PROC_CPU)
+        collector.enable(Metric.CALL_COUNT, "compute_a")
+        collector.enable(Metric.CPU_INCLUSIVE, "compute_b")
+        collector.disable_all()
+        assert collector.enabled() == []
+        assert proc.probes == {}

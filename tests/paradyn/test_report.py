@@ -1,0 +1,101 @@
+"""Tests for the textual performance-report renderer."""
+
+import pytest
+
+from repro.paradyn.report import (
+    format_comparison,
+    format_session_report,
+    sparkline,
+    summarize_session,
+)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        assert set(sparkline([5.0, 5.0, 5.0])) == {"."}
+
+    def test_rising_series_rises(self):
+        s = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert s[0] < s[-1]  # character ramp is ordered
+
+    def test_downsampling_bounds_width(self):
+        s = sparkline([float(i) for i in range(1000)], width=24)
+        assert len(s) == 24
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1.0, 2.0])) == 2
+
+
+def make_session(**series):
+    """A DaemonSession-shaped stub with preloaded series."""
+    from repro.paradyn.frontend import DaemonSession
+
+    class _NullChannel:
+        def send(self, m):
+            pass
+
+        def close(self):
+            pass
+
+    session = DaemonSession(
+        daemon_id=1, job="1.0", host="node1", pid=1000, executable="foo",
+        functions=["main"], channel=_NullChannel(),
+    )
+    for key, points in series.items():
+        metric, _, func = key.partition("__")
+        focus = f"node1:1000/{func}" if func else "node1:1000"
+        session.series[(metric, focus)] = points
+    return session
+
+
+class TestSummaries:
+    def test_summarize_rows(self):
+        session = make_session(
+            proc_cpu=[(0.0, 0.0), (1.0, 0.5), (2.0, 1.0)],
+            cpu_fraction__compute_b=[(2.0, 0.8)],
+        )
+        rows = summarize_session(session)
+        assert len(rows) == 2
+        by_metric = {r.metric: r for r in rows}
+        assert by_metric["proc_cpu"].last == 1.0
+        assert by_metric["proc_cpu"].peak == 1.0
+        assert by_metric["cpu_fraction"].focus.endswith("/compute_b")
+
+    def test_empty_series_skipped(self):
+        session = make_session(proc_cpu=[])
+        assert summarize_session(session) == []
+
+    def test_report_renders(self):
+        session = make_session(proc_cpu=[(0.0, 0.1), (1.0, 0.9)])
+        text = format_session_report(session)
+        assert "paradynd #1" in text and "proc_cpu" in text and "peak=" in text
+
+    def test_report_no_samples(self):
+        session = make_session()
+        assert "(no samples collected)" in format_session_report(session)
+
+
+class TestComparison:
+    def test_imbalance_view(self):
+        fast = make_session(proc_cpu=[(1.0, 0.1)])
+        slow = make_session(proc_cpu=[(1.0, 0.4)])
+        slow.host = "node2"
+        text = format_comparison([fast, slow])
+        assert "spread: 0.3000" in text
+        # The laggard's bar is longer.
+        lines = text.splitlines()
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_live_sessions_end_to_end(self):
+        from repro.parador.run import ParadorScenario
+
+        with ParadorScenario(execute_hosts=["node1"]) as scenario:
+            run = scenario.submit_monitored("foo", "3 0.05")
+            run.job.wait_terminal(timeout=60.0)
+            run.session.wait_state("exited", timeout=30.0)
+            text = format_session_report(run.session)
+            assert "foo" in text and "exit code 0" in text
+            assert "proc_cpu" in text

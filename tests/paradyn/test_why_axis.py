@@ -1,0 +1,116 @@
+"""The Performance Consultant's why-axis: CPU-bound vs I/O-bound."""
+
+import pytest
+
+from repro.paradyn.consultant import PerformanceConsultant
+from repro.paradyn.dyninst import DyninstEngine
+from repro.paradyn.metrics import Metric, MetricCollector
+from repro.parador.run import ParadorScenario
+from repro.sim.cluster import SimCluster
+
+
+class TestWallTimeAccounting:
+    @pytest.fixture
+    def cluster(self):
+        with SimCluster.flat(["node1"]) as c:
+            yield c
+
+    def test_pure_cpu_wall_equals_cpu(self, cluster):
+        proc = cluster.host("node1").create_process("cpu_burn", ["0.4"])
+        proc.wait_for_exit(timeout=20.0)
+        assert proc.wall_time == pytest.approx(proc.cpu_time, rel=0.01)
+
+    def test_sleep_advances_wall_not_cpu(self, cluster):
+        proc = cluster.host("node1").create_process("sleeper", ["1.5"])
+        proc.wait_for_exit(timeout=20.0)
+        assert proc.wall_time >= 1.5
+        assert proc.cpu_time < 0.01
+
+    def test_io_loop_mostly_blocked(self, cluster):
+        proc = cluster.host("node1").create_process("io_loop", ["5", "0.1"])
+        proc.wait_for_exit(timeout=30.0)
+        utilization = proc.cpu_time / proc.wall_time
+        assert utilization == pytest.approx(0.15, abs=0.05)
+
+    def test_unstarted_process_zero_wall(self, cluster):
+        proc = cluster.host("node1").create_process("hello", paused=True)
+        assert proc.wall_time == 0.0
+        proc.terminate()
+
+
+class TestWallMetrics:
+    @pytest.fixture
+    def measured_io_loop(self):
+        with SimCluster.flat(["node1"]) as cluster:
+            proc = cluster.host("node1").create_process(
+                "io_loop", ["5", "0.1"], paused=True
+            )
+            engine = DyninstEngine(proc)
+            collector = MetricCollector(engine, "node1")
+            yield proc, collector
+
+    def test_proc_wall_and_utilization(self, measured_io_loop):
+        proc, collector = measured_io_loop
+        collector.enable(Metric.PROC_WALL)
+        collector.enable(Metric.CPU_UTILIZATION)
+        proc.continue_process()
+        proc.wait_for_exit(timeout=30.0)
+        values = {s.metric: s.value for s in collector.sample_all()}
+        assert values["proc_wall"] == pytest.approx(proc.wall_time)
+        assert values["cpu_utilization"] == pytest.approx(0.15, abs=0.05)
+
+    def test_io_fraction_localizes_blocking(self, measured_io_loop):
+        proc, collector = measured_io_loop
+        collector.enable(Metric.IO_FRACTION, "fetch")
+        collector.enable(Metric.IO_FRACTION, "process_data")
+        proc.continue_process()
+        proc.wait_for_exit(timeout=30.0)
+        values = {
+            s.focus.split("/")[-1]: s.value for s in collector.sample_all()
+        }
+        assert values["fetch"] == pytest.approx(0.85, abs=0.05)
+        assert values["process_data"] == pytest.approx(0.0, abs=0.02)
+
+    def test_wall_inclusive(self, measured_io_loop):
+        proc, collector = measured_io_loop
+        collector.enable(Metric.WALL_INCLUSIVE, "fetch")
+        proc.continue_process()
+        proc.wait_for_exit(timeout=30.0)
+        [sample] = collector.sample_all()
+        # fetch occupies 88% of each 0.1s round, 5 rounds.
+        assert sample.value == pytest.approx(0.44, rel=0.1)
+
+
+class TestConsultantWhyAxis:
+    @pytest.fixture
+    def interactive(self):
+        with ParadorScenario(execute_hosts=["node1"], auto_run=False) as s:
+            yield s
+
+    def test_cpu_bound_program(self, interactive):
+        run = interactive.submit_monitored("foo", "8 0.1")
+        run.session.wait_state("at_main", timeout=30.0)
+        result = PerformanceConsultant(run.session).search()
+        run.job.wait_terminal(timeout=60.0)
+        assert result.why == "CPUBound"
+        assert result.bottlenecks[0] == "compute_b"
+        assert result.refinement_path == ["CPUBound", "compute_b"]
+
+    def test_io_bound_program(self, interactive):
+        run = interactive.submit_monitored("io_loop", "8 0.1")
+        run.session.wait_state("at_main", timeout=30.0)
+        result = PerformanceConsultant(run.session).search()
+        run.job.wait_terminal(timeout=60.0)
+        assert result.why == "ExcessiveBlockingTime"
+        assert result.bottlenecks and result.bottlenecks[0] == "fetch"
+        assert "process_data" not in result.bottlenecks
+        assert result.refinement_path == ["ExcessiveBlockingTime", "fetch"]
+
+    def test_report_names_the_why(self, interactive):
+        run = interactive.submit_monitored("io_loop", "5 0.1")
+        run.session.wait_state("at_main", timeout=30.0)
+        result = PerformanceConsultant(run.session).search()
+        run.job.wait_terminal(timeout=60.0)
+        text = result.format()
+        assert "ExcessiveBlockingTime" in text
+        assert "why:" in text

@@ -1,0 +1,235 @@
+"""Scheduler/interpreter tests: fairness, messaging, sleep, services, probes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import syscalls as sc
+from repro.sim.cluster import SimCluster
+from repro.sim.process import ProbePoint, ProcessState
+from repro.sim.syscalls import call
+
+
+@pytest.fixture
+def cluster():
+    with SimCluster.flat(["node1", "node2"]) as c:
+        yield c
+
+
+class TestConcurrency:
+    def test_two_processes_interleave(self, cluster):
+        host = cluster.host("node1")
+        a = host.create_process("cpu_burn", ["0.5"])
+        b = host.create_process("cpu_burn", ["0.5"])
+        assert a.wait_for_exit(timeout=10.0) == 0
+        assert b.wait_for_exit(timeout=10.0) == 0
+        # Round-robin: both consumed their own CPU.
+        assert a.cpu_time == pytest.approx(0.5, rel=0.05)
+        assert b.cpu_time == pytest.approx(0.5, rel=0.05)
+
+    def test_virtual_clock_advances_with_work(self, cluster):
+        t0 = cluster.clock.now()
+        proc = cluster.host("node1").create_process("cpu_burn", ["0.3"])
+        proc.wait_for_exit(timeout=10.0)
+        assert cluster.clock.now() - t0 >= 0.3
+
+    def test_many_processes(self, cluster):
+        procs = [
+            cluster.host("node1").create_process("cpu_burn", ["0.05"])
+            for _ in range(20)
+        ]
+        for p in procs:
+            assert p.wait_for_exit(timeout=30.0) == 0
+
+
+class TestMessaging:
+    def test_cross_host_message(self, cluster):
+        receiver = cluster.host("node2").create_process("server_loop")
+
+        def client(argv):
+            def body():
+                yield sc.SendMsg("node2", receiver.pid, tag="request", payload="hi")
+                reply = yield sc.RecvMsg(tag="reply")
+                yield sc.Print(f"reply={reply.payload}")
+                yield sc.SendMsg("node2", receiver.pid, tag="shutdown")
+
+            yield from call("main", body())
+
+        sender = cluster.host("node1").create_process(client)
+        assert sender.wait_for_exit(timeout=10.0) == 0
+        assert sender.stdout_lines == ["reply=hi"]
+        assert receiver.wait_for_exit(timeout=10.0) == 0
+        assert receiver.stdout_lines == ["served 1 requests"]
+
+    def test_tag_filtering_out_of_order(self, cluster):
+        def receiver_prog(argv):
+            def body():
+                b = yield sc.RecvMsg(tag="b")
+                a = yield sc.RecvMsg(tag="a")
+                yield sc.Print(f"{b.payload},{a.payload}")
+
+            yield from call("main", body())
+
+        receiver = cluster.host("node1").create_process(receiver_prog)
+        receiver.wait_for_state(ProcessState.BLOCKED, timeout=5.0)
+
+        def sender_prog(argv):
+            def body():
+                yield sc.SendMsg("node1", receiver.pid, tag="a", payload="1")
+                yield sc.SendMsg("node1", receiver.pid, tag="b", payload="2")
+
+            yield from call("main", body())
+
+        cluster.host("node2").create_process(sender_prog)
+        assert receiver.wait_for_exit(timeout=10.0) == 0
+        assert receiver.stdout_lines == ["2,1"]
+
+    def test_message_to_unknown_host_faults_sender(self, cluster):
+        def prog(argv):
+            def body():
+                yield sc.SendMsg("ghost-host", 1, payload="x")
+
+            yield from call("main", body())
+
+        proc = cluster.host("node1").create_process(prog)
+        assert proc.wait_for_exit(timeout=10.0) == 139
+        assert "unknown host" in (proc.fault or "")
+
+    def test_message_to_dead_pid_dropped(self, cluster):
+        dead = cluster.host("node2").create_process("hello")
+        dead.wait_for_exit(timeout=10.0)
+
+        def prog(argv):
+            def body():
+                yield sc.SendMsg("node2", dead.pid, payload="x")
+                yield sc.Print("sent ok")
+
+            yield from call("main", body())
+
+        proc = cluster.host("node1").create_process(prog)
+        assert proc.wait_for_exit(timeout=10.0) == 0
+        assert proc.stdout_lines == ["sent ok"]
+
+
+class TestSleep:
+    def test_sleep_advances_virtual_time(self, cluster):
+        t0 = cluster.clock.now()
+        proc = cluster.host("node1").create_process("sleeper", ["2.5"])
+        assert proc.wait_for_exit(timeout=10.0) == 0
+        assert cluster.clock.now() - t0 >= 2.5
+        # Sleep consumes no CPU.
+        assert proc.cpu_time < 0.01
+
+    def test_sleepers_wake_in_order(self, cluster):
+        order = []
+
+        def prog(tag, seconds):
+            def factory(argv):
+                def body():
+                    yield sc.Sleep(seconds)
+
+                yield from call("main", body())
+
+            return factory
+
+        late = cluster.host("node1").create_process(prog("late", 3.0))
+        early = cluster.host("node1").create_process(prog("early", 1.0))
+        late.on_exit(lambda p: order.append("late"))
+        early.on_exit(lambda p: order.append("early"))
+        late.wait_for_exit(timeout=10.0)
+        early.wait_for_exit(timeout=10.0)
+        assert order == ["early", "late"]
+
+
+class TestServices:
+    def test_registered_service_called(self, cluster):
+        calls = []
+        cluster.register_service(
+            "adder", lambda proc, args: args["a"] + args["b"]
+        )
+
+        def prog(argv):
+            def body():
+                result = yield sc.Service("adder", {"a": 2, "b": 3})
+                yield sc.Print(f"sum={result}")
+
+            yield from call("main", body())
+
+        proc = cluster.host("node1").create_process(prog)
+        assert proc.wait_for_exit(timeout=10.0) == 0
+        assert proc.stdout_lines == ["sum=5"]
+
+    def test_unknown_service_faults(self, cluster):
+        def prog(argv):
+            def body():
+                yield sc.Service("nope")
+
+            yield from call("main", body())
+
+        proc = cluster.host("node1").create_process(prog)
+        assert proc.wait_for_exit(timeout=10.0) == 139
+
+    def test_duplicate_service_rejected(self, cluster):
+        cluster.register_service("s", lambda p, a: None)
+        with pytest.raises(ValueError):
+            cluster.register_service("s", lambda p, a: None)
+
+
+class TestProbes:
+    def test_entry_exit_probes_fire(self, cluster):
+        events = []
+        proc = cluster.host("node1").create_process("phases", ["3"], paused=True)
+        proc.insert_probe(
+            ProbePoint(1, "compute_b", "entry", lambda p, f, w: events.append((f, w)))
+        )
+        proc.insert_probe(
+            ProbePoint(2, "compute_b", "exit", lambda p, f, w: events.append((f, w)))
+        )
+        proc.continue_process()
+        proc.wait_for_exit(timeout=10.0)
+        assert events.count(("compute_b", "entry")) == 3
+        assert events.count(("compute_b", "exit")) == 3
+
+    def test_probe_breakpoint_stops_at_function(self, cluster):
+        proc = cluster.host("node1").create_process("phases", ["5"], paused=True)
+        proc.insert_probe(
+            ProbePoint(1, "main", "entry", lambda p, f, w: p.request_stop())
+        )
+        proc.continue_process()
+        proc.wait_for_state(ProcessState.STOPPED, timeout=5.0)
+        # Stopped at the top of main: on the stack, nothing executed inside.
+        assert proc.stack() == ["main"]
+        assert proc.cpu_time < 0.01
+        proc.remove_probe(1)
+        proc.continue_process()
+        assert proc.wait_for_exit(timeout=20.0) == 0
+
+    def test_remove_probe_stops_events(self, cluster):
+        events = []
+        proc = cluster.host("node1").create_process("phases", ["4"], paused=True)
+        probe = ProbePoint(7, "compute_a", "entry", lambda p, f, w: events.append(1))
+        proc.insert_probe(probe)
+        # Stop after the first round via a breakpoint on write_output.
+        proc.insert_probe(
+            ProbePoint(8, "write_output", "entry", lambda p, f, w: p.request_stop())
+        )
+        proc.continue_process()
+        proc.wait_for_state(ProcessState.STOPPED, timeout=5.0)
+        count_at_stop = len(events)
+        assert count_at_stop == 1
+        assert proc.remove_probe(7) is True
+        assert proc.remove_probe(8) is True
+        proc.continue_process()
+        proc.wait_for_exit(timeout=20.0)
+        assert len(events) == count_at_stop  # no further events
+
+    def test_remove_unknown_probe_false(self, cluster):
+        proc = cluster.host("node1").create_process("phases", paused=True)
+        assert proc.remove_probe(999) is False
+        proc.terminate()
+
+    def test_functions_seen_collected(self, cluster):
+        proc = cluster.host("node1").create_process("phases", ["2"])
+        proc.wait_for_exit(timeout=10.0)
+        assert {"main", "init", "compute_a", "compute_b", "write_output", "finish"} <= (
+            proc.functions_seen
+        )

@@ -1,0 +1,129 @@
+"""Property-based tests on the simulation kernel's invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import syscalls as sc
+from repro.sim.cluster import SimCluster
+from repro.sim.syscalls import call
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with SimCluster.flat(["node1"]) as c:
+        yield c
+
+
+# Random straight-line programs built from safe syscalls.
+def program_from_spec(spec):
+    """spec: list of ('compute', cost) | ('print', text) | ('fn', name, cost)."""
+
+    def factory(argv):
+        def body():
+            for op in spec:
+                if op[0] == "compute":
+                    yield sc.Compute(op[1])
+                elif op[0] == "print":
+                    yield sc.Print(op[1])
+                elif op[0] == "fn":
+                    def inner(cost=op[2]):
+                        yield sc.Compute(cost)
+
+                    yield from call(op[1], inner())
+
+        yield from call("main", body())
+
+    return factory
+
+
+op_strategy = st.one_of(
+    st.tuples(st.just("compute"),
+              st.floats(min_value=0.0, max_value=0.01, allow_nan=False)),
+    st.tuples(st.just("print"), st.text(alphabet="abc", max_size=5)),
+    st.tuples(
+        st.just("fn"),
+        st.sampled_from(["f1", "f2", "f3"]),
+        st.floats(min_value=0.0, max_value=0.01, allow_nan=False),
+    ),
+)
+
+
+class TestKernelInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(op_strategy, max_size=15))
+    def test_cpu_time_equals_sum_of_computes(self, cluster, spec):
+        proc = cluster.host("node1").create_process(program_from_spec(spec))
+        proc.wait_for_exit(timeout=30.0)
+        expected = sum(op[1] for op in spec if op[0] == "compute")
+        expected += sum(op[2] for op in spec if op[0] == "fn")
+        # cpu_time = computes + per-syscall epsilon (bounded).
+        assert proc.cpu_time >= expected
+        assert proc.cpu_time <= expected + 1e-4 * (len(spec) * 3 + 5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(op_strategy, max_size=15))
+    def test_stdout_order_preserved(self, cluster, spec):
+        proc = cluster.host("node1").create_process(program_from_spec(spec))
+        proc.wait_for_exit(timeout=30.0)
+        expected = [op[1] for op in spec if op[0] == "print"]
+        assert proc.stdout_lines == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(op_strategy, max_size=15))
+    def test_frames_balanced_at_exit(self, cluster, spec):
+        proc = cluster.host("node1").create_process(program_from_spec(spec))
+        proc.wait_for_exit(timeout=30.0)
+        assert proc.stack() == []
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(op_strategy, min_size=1, max_size=15))
+    def test_pause_resume_does_not_change_result(self, cluster, spec):
+        """Metamorphic: interrupting a program with stop/continue leaves
+        its output and CPU accounting identical to an undisturbed run."""
+        from repro.sim.process import ProcessState
+
+        base = cluster.host("node1").create_process(program_from_spec(spec))
+        base.wait_for_exit(timeout=30.0)
+
+        probed = cluster.host("node1").create_process(
+            program_from_spec(spec), paused=True
+        )
+        probed.continue_process()
+        # Harass it with a stop/continue mid-flight (may land after exit).
+        try:
+            probed.request_stop()
+            probed.wait_for_state(
+                ProcessState.STOPPED, ProcessState.EXITED, timeout=10.0
+            )
+            if probed.state is ProcessState.STOPPED:
+                probed.continue_process()
+        except Exception:  # noqa: BLE001 — exited already: fine
+            pass
+        probed.wait_for_exit(timeout=30.0)
+        assert probed.stdout_lines == base.stdout_lines
+        assert probed.cpu_time == pytest.approx(base.cpu_time, abs=1e-9)
+
+
+class TestInstrumentationInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=20),
+        st.floats(min_value=0.001, max_value=0.05, allow_nan=False),
+    )
+    def test_counter_matches_iterations(self, cluster, iterations, cost):
+        from repro.paradyn.dyninst import DyninstEngine
+
+        proc = cluster.host("node1").create_process(
+            "phases", [str(iterations), str(cost)], paused=True
+        )
+        engine = DyninstEngine(proc)
+        counter = engine.insert_counter("compute_b")
+        timer = engine.insert_timer("compute_b")
+        proc.continue_process()
+        proc.wait_for_exit(timeout=60.0)
+        assert counter.count == iterations
+        assert timer.calls == iterations
+        assert timer.inclusive_cpu == pytest.approx(
+            iterations * cost * 0.8, rel=0.01, abs=1e-9
+        )

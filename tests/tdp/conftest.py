@@ -1,0 +1,52 @@
+"""Shared fixtures: a one-node sim cluster with a LASS and TDP handles."""
+
+import pytest
+
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.sim.cluster import SimCluster
+from repro.tdp.api import tdp_init
+from repro.tdp.handle import Role
+from repro.tdp.process import SimHostBackend
+
+
+@pytest.fixture
+def cluster():
+    with SimCluster.flat(["node1", "submit"]) as c:
+        yield c
+
+
+@pytest.fixture
+def lass(cluster):
+    server = AttributeSpaceServer(
+        cluster.transport, "node1", role=ServerRole.LASS
+    )
+    yield server
+    server.stop()
+
+
+@pytest.fixture
+def rm_handle(cluster, lass):
+    """An RM-role handle (the starter) with a backend on node1."""
+    handle = tdp_init(
+        cluster.transport,
+        lass.endpoint,
+        member="starter",
+        role=Role.RM,
+        backend=SimHostBackend(cluster.host("node1")),
+    )
+    yield handle
+    handle.close()
+
+
+@pytest.fixture
+def rt_handle(cluster, lass):
+    """An RT-role handle (paradynd) on the same host, same context."""
+    handle = tdp_init(
+        cluster.transport,
+        lass.endpoint,
+        member="paradynd",
+        role=Role.RT,
+        src_host="node1",
+    )
+    yield handle
+    handle.close()

@@ -1,0 +1,109 @@
+"""ProcessControlService unit tests: the ctl.req/ctl.rep channel."""
+
+import json
+
+import pytest
+
+from repro.errors import NotProcessOwnerError, ProcessError
+from repro.tdp.api import tdp_create_process
+from repro.tdp.process import submit_tool_request
+from repro.tdp.wellknown import Attr
+
+
+@pytest.fixture
+def serving_rm(rm_handle):
+    rm_handle.control.serve_tool_requests()
+    rm_handle.start_service_loop()
+    yield rm_handle
+    rm_handle.stop_service_loop()
+
+
+class TestToolRequestChannel:
+    def test_create_not_permitted_for_tools(self, serving_rm, rt_handle):
+        token = "t-create"
+        rt_handle.attrs.put(
+            Attr.ctl_request(token),
+            json.dumps({"op": "create", "pid": 0, "requester": "rt"}),
+        )
+        reply = rt_handle.attrs.get(Attr.ctl_reply(token), timeout=10.0)
+        assert reply.startswith("error:")
+        assert "not permitted" in reply
+
+    def test_malformed_request_gets_error_reply(self, serving_rm, rt_handle):
+        token = "t-garbage"
+        rt_handle.attrs.put(Attr.ctl_request(token), "this is not json")
+        reply = rt_handle.attrs.get(Attr.ctl_reply(token), timeout=10.0)
+        assert reply.startswith("error:malformed")
+
+    def test_missing_fields_get_error_reply(self, serving_rm, rt_handle):
+        token = "t-fields"
+        rt_handle.attrs.put(Attr.ctl_request(token), json.dumps({"op": "pause"}))
+        reply = rt_handle.attrs.get(Attr.ctl_reply(token), timeout=10.0)
+        assert reply.startswith("error:malformed")
+
+    def test_submit_tool_request_maps_errors(self, serving_rm, rt_handle):
+        with pytest.raises(ProcessError):
+            submit_tool_request(rt_handle.attrs, "pause", 424242)
+
+    def test_not_permitted_maps_to_owner_error(self, serving_rm, rt_handle):
+        with pytest.raises(NotProcessOwnerError):
+            submit_tool_request(rt_handle.attrs, "create", 1)  # type: ignore[arg-type]
+
+    def test_requester_becomes_tracer(self, serving_rm, rt_handle, cluster):
+        info = tdp_create_process(serving_rm, "spin")
+        submit_tool_request(rt_handle.attrs, "attach", info.pid)
+        proc = cluster.host("node1").get_process(info.pid)
+        assert proc.tracer == rt_handle.attrs.member
+        submit_tool_request(rt_handle.attrs, "kill", info.pid)
+
+    def test_concurrent_tool_requests(self, serving_rm, rt_handle):
+        """Several outstanding control requests resolve independently."""
+        import threading
+
+        pids = [
+            tdp_create_process(serving_rm, "spin").pid for _ in range(4)
+        ]
+        errors_seen = []
+
+        def pause_and_kill(pid):
+            try:
+                submit_tool_request(rt_handle.attrs, "pause", pid)
+                submit_tool_request(rt_handle.attrs, "continue", pid)
+                submit_tool_request(rt_handle.attrs, "kill", pid)
+            except Exception as e:  # noqa: BLE001
+                errors_seen.append(e)
+
+        threads = [
+            threading.Thread(target=pause_and_kill, args=(pid,)) for pid in pids
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert errors_seen == []
+        for pid in pids:
+            assert serving_rm.control.wait_exit(pid, timeout=10.0) == 128 + 15
+
+
+class TestStatusPublication:
+    def test_full_lifecycle_status_stream(self, serving_rm, rt_handle, cluster):
+        notes = []
+        rt_handle.attrs.subscribe(
+            Attr.PROC_STATUS_PATTERN, lambda n, a: notes.append(n.value), None
+        )
+        info = tdp_create_process(serving_rm, "spin")
+        serving_rm.control.pause(info.pid)
+        serving_rm.control.continue_process(info.pid)
+        serving_rm.control.kill(info.pid)
+        serving_rm.control.wait_exit(info.pid, timeout=10.0)
+        import time
+
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            rt_handle.poll(timeout=0.2)
+            rt_handle.service_events()
+            if any(v.startswith("exited:") for v in notes):
+                break
+        assert notes[0] == "running"           # created (RUN mode)
+        assert "stopped" in notes
+        assert any(v.startswith("exited:") for v in notes)

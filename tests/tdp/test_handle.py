@@ -1,0 +1,106 @@
+"""TdpHandle unit tests: sessions, CASS access, event aggregation."""
+
+import pytest
+
+from repro.errors import HandleError
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.sim.cluster import SimCluster
+from repro.tdp.api import tdp_init
+from repro.tdp.handle import Role
+
+
+@pytest.fixture
+def world():
+    with SimCluster.flat(["node1", "submit"]) as cluster:
+        lass = AttributeSpaceServer(cluster.transport, "node1", role=ServerRole.LASS)
+        cass = AttributeSpaceServer(cluster.transport, "submit", role=ServerRole.CASS)
+        yield cluster, lass, cass
+        lass.stop()
+        cass.stop()
+
+
+class TestDualSessions:
+    def test_handle_with_cass(self, world):
+        cluster, lass, cass = world
+        handle = tdp_init(
+            cluster.transport, lass.endpoint, member="starter", role=Role.RT,
+            src_host="node1", context="job1", cass_endpoint=cass.endpoint,
+        )
+        # LASS session is context-scoped; CASS session is global.
+        handle.attrs.put("local", "1")
+        handle.central().put("global", "2")
+        assert lass.store.try_get("local", context="job1") == "1"
+        assert cass.store.try_get("global", context="default") == "2"
+        handle.close()
+
+    def test_central_without_cass_raises(self, world):
+        cluster, lass, _cass = world
+        handle = tdp_init(
+            cluster.transport, lass.endpoint, member="x", role=Role.RT,
+            src_host="node1",
+        )
+        with pytest.raises(HandleError, match="no CASS"):
+            handle.central()
+        handle.close()
+
+    def test_close_closes_both_sessions(self, world):
+        cluster, lass, cass = world
+        handle = tdp_init(
+            cluster.transport, lass.endpoint, member="y", role=Role.RT,
+            src_host="node1", context="ctx-close", cass_endpoint=cass.endpoint,
+        )
+        handle.close()
+        assert "ctx-close" not in lass.store.contexts()
+        assert handle.lass.closed and handle.cass.closed
+
+    def test_failed_cass_connect_cleans_lass(self, world):
+        cluster, lass, _cass = world
+        from repro.errors import TdpError
+        from repro.net.address import Endpoint
+
+        before = lass.store.contexts()
+        with pytest.raises(TdpError):
+            tdp_init(
+                cluster.transport, lass.endpoint, member="z", role=Role.RT,
+                src_host="node1", context="doomed",
+                cass_endpoint=Endpoint("submit", 59999),  # nothing there
+            )
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while "doomed" in lass.store.contexts() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert "doomed" not in lass.store.contexts()
+        assert lass.store.contexts() == before
+
+    def test_events_aggregated_across_sessions(self, world):
+        cluster, lass, cass = world
+        handle = tdp_init(
+            cluster.transport, lass.endpoint, member="agg", role=Role.RT,
+            src_host="node1", cass_endpoint=cass.endpoint,
+        )
+        got = []
+        handle.attrs.subscribe("k", lambda n, a: got.append(("lass", n.value)), None)
+        handle.central().subscribe("k", lambda n, a: got.append(("cass", n.value)), None)
+        handle.attrs.put("k", "vl")
+        handle.central().put("k", "vc")
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while len(got) < 2 and time.monotonic() < deadline:
+            handle.poll(timeout=0.5)
+            handle.service_events()
+        assert sorted(got) == [("cass", "vc"), ("lass", "vl")]
+        handle.close()
+
+
+class TestRepr:
+    def test_repr_readable(self, world):
+        cluster, lass, _cass = world
+        handle = tdp_init(
+            cluster.transport, lass.endpoint, member="me", role=Role.RT,
+            src_host="node1",
+        )
+        assert "me" in repr(handle) and "rt" in repr(handle)
+        handle.close()
+        assert "closed" in repr(handle)

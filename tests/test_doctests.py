@@ -1,0 +1,24 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.net.topology
+import repro.paradyn.histogram
+import repro.util.clock
+
+MODULES_WITH_DOCTESTS = [
+    repro.util.clock,
+    repro.net.topology,
+    repro.paradyn.histogram,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

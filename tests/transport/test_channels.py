@@ -1,0 +1,210 @@
+"""Channel semantics tests, run against BOTH transports.
+
+The whole point of the transport abstraction is that protocol code is
+backend-agnostic, so these tests are parametrized over the in-memory
+and real-TCP implementations.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    ChannelClosedError,
+    ConnectError,
+    FirewallBlockedError,
+    GetTimeoutError,
+)
+from repro.net.address import Endpoint
+from repro.net.topology import Network, flat_network
+from repro.transport.inmem import InMemoryTransport, loopback_transport
+from repro.transport.tcp import TcpTransport
+
+
+@pytest.fixture(params=["inmem", "tcp"])
+def transport(request):
+    if request.param == "inmem":
+        return InMemoryTransport(flat_network(["alpha", "beta"]))
+    return TcpTransport()
+
+
+def connect_pair(transport):
+    """Open a connected (client, server) channel pair."""
+    listener = transport.listen("beta")
+    result: dict = {}
+
+    def acceptor():
+        result["server"] = listener.accept(timeout=5.0)
+
+    t = threading.Thread(target=acceptor)
+    t.start()
+    client = transport.connect("alpha", listener.endpoint, timeout=5.0)
+    t.join(timeout=5.0)
+    assert "server" in result
+    return client, result["server"], listener
+
+
+class TestBasicMessaging:
+    def test_send_recv(self, transport):
+        client, server, listener = connect_pair(transport)
+        client.send({"op": "ping", "n": 1})
+        assert server.recv(timeout=5.0) == {"op": "ping", "n": 1}
+        server.send({"op": "pong", "n": 1})
+        assert client.recv(timeout=5.0) == {"op": "pong", "n": 1}
+        client.close()
+        server.close()
+        listener.close()
+
+    def test_ordering_preserved(self, transport):
+        client, server, listener = connect_pair(transport)
+        for i in range(50):
+            client.send({"i": i})
+        got = [server.recv(timeout=5.0)["i"] for i in range(50)]
+        assert got == list(range(50))
+        client.close()
+        server.close()
+        listener.close()
+
+    def test_request_helper(self, transport):
+        client, server, listener = connect_pair(transport)
+
+        def echo():
+            msg = server.recv(timeout=5.0)
+            server.send({"echo": msg})
+
+        t = threading.Thread(target=echo)
+        t.start()
+        reply = client.request({"q": 1}, timeout=5.0)
+        t.join(timeout=5.0)
+        assert reply == {"echo": {"q": 1}}
+        client.close()
+        server.close()
+        listener.close()
+
+    def test_recv_timeout(self, transport):
+        client, server, listener = connect_pair(transport)
+        with pytest.raises(GetTimeoutError):
+            client.recv(timeout=0.02)
+        client.close()
+        server.close()
+        listener.close()
+
+    def test_host_labels(self, transport):
+        client, server, listener = connect_pair(transport)
+        assert client.local_host == "alpha"
+        assert client.remote_host == "beta"
+        assert server.local_host == "beta"
+        assert server.remote_host == "alpha"
+        client.close()
+        server.close()
+        listener.close()
+
+
+class TestCloseSemantics:
+    def test_close_wakes_peer_reader(self, transport):
+        client, server, listener = connect_pair(transport)
+        errors = []
+
+        def reader():
+            try:
+                server.recv(timeout=5.0)
+            except Exception as e:  # noqa: BLE001
+                errors.append(e)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        client.close()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert errors and isinstance(errors[0], ChannelClosedError)
+        server.close()
+        listener.close()
+
+    def test_send_after_close_raises(self, transport):
+        client, server, listener = connect_pair(transport)
+        client.close()
+        with pytest.raises(ChannelClosedError):
+            client.send({"x": 1})
+        server.close()
+        listener.close()
+
+    def test_close_idempotent(self, transport):
+        client, server, listener = connect_pair(transport)
+        client.close()
+        client.close()
+        server.close()
+        listener.close()
+
+    def test_context_manager(self, transport):
+        client, server, listener = connect_pair(transport)
+        with client:
+            pass
+        assert client.closed
+        server.close()
+        listener.close()
+
+
+class TestConnectFailures:
+    def test_connect_to_nothing(self, transport):
+        with pytest.raises(ConnectError):
+            transport.connect("alpha", Endpoint("beta", 1), timeout=1.0)
+
+    def test_connect_after_listener_close(self, transport):
+        listener = transport.listen("beta")
+        ep = listener.endpoint
+        listener.close()
+        with pytest.raises(ConnectError):
+            transport.connect("alpha", ep, timeout=1.0)
+
+
+class TestInMemorySpecifics:
+    def test_firewall_blocks_connect(self):
+        net = Network()
+        net.add_zone("campus")
+        net.add_private_zone("cluster")
+        net.add_host("submit", "campus")
+        net.add_host("node1", "cluster")
+        transport = InMemoryTransport(net)
+        listener = transport.listen("node1", 7000)
+        with pytest.raises(FirewallBlockedError):
+            transport.connect("submit", listener.endpoint)
+        listener.close()
+
+    def test_unserializable_message_caught_at_send(self):
+        transport = loopback_transport()
+        listener = transport.listen("localhost")
+        client = transport.connect("localhost", listener.endpoint)
+        server = listener.accept(timeout=2.0)
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            client.send({"bad": object()})  # type: ignore[dict-item]
+        client.close()
+        server.close()
+        listener.close()
+
+    def test_ephemeral_ports_distinct(self):
+        transport = loopback_transport()
+        l1 = transport.listen("localhost")
+        l2 = transport.listen("localhost")
+        assert l1.endpoint.port != l2.endpoint.port
+        l1.close()
+        l2.close()
+
+    def test_explicit_port_conflict(self):
+        transport = loopback_transport()
+        l1 = transport.listen("localhost", 5000)
+        with pytest.raises(ConnectError):
+            transport.listen("localhost", 5000)
+        l1.close()
+        # Port is free again after close.
+        l2 = transport.listen("localhost", 5000)
+        l2.close()
+
+    def test_close_all(self):
+        transport = loopback_transport()
+        transport.listen("localhost")
+        transport.listen("localhost")
+        assert len(transport.open_listeners()) == 2
+        transport.close_all()
+        assert transport.open_listeners() == []

@@ -1,0 +1,54 @@
+"""Unit tests for clock abstractions."""
+
+import pytest
+
+from repro.util.clock import Stopwatch, VirtualClock, WallClock
+
+
+def test_wall_clock_monotonic():
+    c = WallClock()
+    t0 = c.now()
+    t1 = c.now()
+    assert t1 >= t0
+
+
+def test_virtual_clock_starts_at_zero():
+    assert VirtualClock().now() == 0.0
+
+
+def test_virtual_clock_advance():
+    c = VirtualClock()
+    assert c.advance(1.5) == 1.5
+    assert c.advance(0.5) == 2.0
+    assert c.now() == 2.0
+
+
+def test_virtual_clock_advance_to_only_forward():
+    c = VirtualClock(start=10.0)
+    assert c.advance_to(5.0) == 10.0  # no travel back
+    assert c.advance_to(12.0) == 12.0
+
+
+def test_virtual_clock_rejects_negative_delta():
+    with pytest.raises(ValueError):
+        VirtualClock().advance(-1.0)
+
+
+def test_elapsed_since():
+    c = VirtualClock()
+    t0 = c.now()
+    c.advance(3.0)
+    assert c.elapsed_since(t0) == 3.0
+
+
+def test_stopwatch_virtual():
+    c = VirtualClock()
+    with Stopwatch(c) as sw:
+        c.advance(2.0)
+    assert sw.seconds == 2.0
+
+
+def test_stopwatch_wall_default():
+    with Stopwatch() as sw:
+        pass
+    assert sw.seconds >= 0.0

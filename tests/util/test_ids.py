@@ -1,0 +1,49 @@
+"""Unit tests for deterministic id allocation."""
+
+import threading
+
+from repro.util.ids import IdAllocator, fresh_token
+
+
+def test_sequential_allocation():
+    alloc = IdAllocator()
+    assert [alloc.next() for _ in range(5)] == [1, 2, 3, 4, 5]
+
+
+def test_custom_first_id():
+    alloc = IdAllocator(first=100)
+    assert alloc.next() == 100
+
+
+def test_last_tracks_most_recent():
+    alloc = IdAllocator()
+    assert alloc.last is None
+    alloc.next()
+    alloc.next()
+    assert alloc.last == 2
+
+
+def test_thread_safety_no_duplicates():
+    alloc = IdAllocator()
+    results: list[int] = []
+    lock = threading.Lock()
+
+    def worker():
+        got = [alloc.next() for _ in range(200)]
+        with lock:
+            results.extend(got)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(results) == 1600
+    assert len(set(results)) == 1600
+
+
+def test_fresh_token_unique_and_prefixed():
+    a = fresh_token("x")
+    b = fresh_token("x")
+    assert a != b
+    assert a.startswith("x-") and b.startswith("x-")

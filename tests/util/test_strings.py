@@ -1,0 +1,102 @@
+"""Unit and property-based tests for attribute string codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AttributeFormatError
+from repro.util import strings
+
+
+class TestValidateAttributeName:
+    def test_simple_names_pass(self):
+        for name in ["pid", "executable_name", "tool.paradynd/0.port", "a%pid", "x-y"]:
+            assert strings.validate_attribute_name(name) == name
+
+    def test_empty_rejected(self):
+        with pytest.raises(AttributeFormatError):
+            strings.validate_attribute_name("")
+
+    def test_whitespace_rejected(self):
+        with pytest.raises(AttributeFormatError):
+            strings.validate_attribute_name("two words")
+
+    def test_nul_rejected(self):
+        with pytest.raises(AttributeFormatError):
+            strings.validate_attribute_name("a\x00b")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(AttributeFormatError):
+            strings.validate_attribute_name(42)  # type: ignore[arg-type]
+
+    def test_overlong_rejected(self):
+        with pytest.raises(AttributeFormatError):
+            strings.validate_attribute_name("a" * 256)
+
+    def test_max_length_accepted(self):
+        strings.validate_attribute_name("a" * 255)
+
+
+class TestEncodeValue:
+    def test_plain_value(self):
+        assert strings.encode_value("-p1500 -P2000") == "-p1500 -P2000"
+
+    def test_empty_value_legal(self):
+        assert strings.encode_value("") == ""
+
+    def test_newlines_legal(self):
+        assert strings.encode_value("a\nb") == "a\nb"
+
+    def test_nul_rejected(self):
+        with pytest.raises(AttributeFormatError):
+            strings.encode_value("a\x00b")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(AttributeFormatError):
+            strings.encode_value(3.14)  # type: ignore[arg-type]
+
+    def test_oversized_rejected(self):
+        with pytest.raises(AttributeFormatError):
+            strings.encode_value("x" * (strings.MAX_VALUE_LENGTH + 1))
+
+
+class TestArgumentVector:
+    def test_paper_example_roundtrip(self):
+        # The exact structured-value case the paper discusses (Section 3.2).
+        args = ["-p1500", "-P2000"]
+        flat = strings.join_arguments(args)
+        assert flat == "-p1500 -P2000"
+        assert strings.split_arguments(flat) == args
+
+    def test_spaces_survive_quoting(self):
+        args = ["--name", "my program", "x"]
+        assert strings.split_arguments(strings.join_arguments(args)) == args
+
+    def test_empty_vector(self):
+        assert strings.split_arguments(strings.join_arguments([])) == []
+
+    @given(st.lists(st.text(alphabet=st.characters(blacklist_characters="\x00"), min_size=1), max_size=8))
+    def test_roundtrip_property(self, args):
+        assert strings.split_arguments(strings.join_arguments(args)) == args
+
+
+class TestPercentSubstitution:
+    def test_pilot_pid_case(self):
+        # Fig. 5B uses "-a%pid" in ToolDaemonArgs.
+        out = strings.substitute_percent("-a%pid", {"pid": "4711"})
+        assert out == "-a4711"
+
+    def test_multiple_and_literal_percent(self):
+        out = strings.substitute_percent("%a+%b=100%%", {"a": "60", "b": "40"})
+        assert out == "60+40=100%"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            strings.substitute_percent("%nope", {})
+
+    def test_dangling_percent_raises(self):
+        with pytest.raises(KeyError):
+            strings.substitute_percent("50%", {})
+
+    def test_no_substitution_passthrough(self):
+        assert strings.substitute_percent("plain", {}) == "plain"

@@ -1,0 +1,129 @@
+"""Unit tests for synchronization primitives."""
+
+import threading
+
+import pytest
+
+from repro.errors import ChannelClosedError, GetTimeoutError
+from repro.util.sync import AtomicCounter, Latch, WaitableQueue, join_all
+
+
+class TestLatch:
+    def test_open_then_wait(self):
+        latch: Latch[int] = Latch()
+        assert latch.open(42)
+        assert latch.wait(timeout=1.0) == 42
+
+    def test_first_open_wins(self):
+        latch: Latch[str] = Latch()
+        assert latch.open("first")
+        assert not latch.open("second")
+        assert latch.wait(timeout=1.0) == "first"
+
+    def test_wait_timeout(self):
+        latch: Latch[int] = Latch()
+        with pytest.raises(GetTimeoutError):
+            latch.wait(timeout=0.01)
+
+    def test_peek(self):
+        latch: Latch[int] = Latch()
+        assert latch.peek() is None
+        latch.open(7)
+        assert latch.peek() == 7
+
+    def test_cross_thread_release(self):
+        latch: Latch[str] = Latch()
+        t = threading.Thread(target=lambda: latch.open("hello"))
+        t.start()
+        assert latch.wait(timeout=2.0) == "hello"
+        t.join()
+
+
+class TestWaitableQueue:
+    def test_fifo_order(self):
+        q: WaitableQueue[int] = WaitableQueue()
+        for i in range(5):
+            q.put(i)
+        assert [q.get(timeout=1.0) for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_get_timeout(self):
+        q: WaitableQueue[int] = WaitableQueue()
+        with pytest.raises(GetTimeoutError):
+            q.get(timeout=0.01)
+
+    def test_close_wakes_blocked_reader(self):
+        q: WaitableQueue[int] = WaitableQueue()
+        errors: list[Exception] = []
+
+        def reader():
+            try:
+                q.get(timeout=5.0)
+            except Exception as e:  # noqa: BLE001
+                errors.append(e)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        q.close()
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert len(errors) == 1 and isinstance(errors[0], ChannelClosedError)
+
+    def test_graceful_drain_after_close(self):
+        q: WaitableQueue[int] = WaitableQueue()
+        q.put(1)
+        q.put(2)
+        q.close()
+        assert q.get(timeout=1.0) == 1
+        assert q.get(timeout=1.0) == 2
+        with pytest.raises(ChannelClosedError):
+            q.get(timeout=1.0)
+
+    def test_put_after_close_raises(self):
+        q: WaitableQueue[int] = WaitableQueue()
+        q.close()
+        with pytest.raises(ChannelClosedError):
+            q.put(1)
+
+    def test_get_nowait(self):
+        q: WaitableQueue[int] = WaitableQueue()
+        with pytest.raises(IndexError):
+            q.get_nowait()
+        q.put(9)
+        assert q.get_nowait() == 9
+
+    def test_drain(self):
+        q: WaitableQueue[int] = WaitableQueue()
+        q.extend([1, 2, 3])
+        assert q.drain() == [1, 2, 3]
+        assert len(q) == 0
+
+
+class TestJoinAll:
+    def test_joins_finished_threads(self):
+        threads = [threading.Thread(target=lambda: None) for _ in range(3)]
+        for t in threads:
+            t.start()
+        join_all(threads, timeout=2.0)
+
+    def test_raises_on_stuck_thread(self):
+        gate = threading.Event()
+        t = threading.Thread(target=gate.wait, daemon=True)
+        t.start()
+        with pytest.raises(RuntimeError, match="did not exit"):
+            join_all([t], timeout=0.05)
+        gate.set()
+        t.join(timeout=2.0)
+
+
+class TestAtomicCounter:
+    def test_concurrent_increments(self):
+        c = AtomicCounter()
+        threads = [
+            threading.Thread(target=lambda: [c.increment() for _ in range(1000)])
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
