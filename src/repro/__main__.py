@@ -7,7 +7,8 @@ writing code:
 * ``fig3`` — print both Figure 3 call sequences from live runs;
 * ``consultant`` — run the Performance Consultant on the planted
   bottleneck workload;
-* ``info`` — version, registered executables, standard attributes.
+* ``info`` — version, registered executables, standard attributes;
+* ``lint`` — AST linter for TDP invariants (``lint --list-rules``).
 """
 
 from __future__ import annotations
@@ -98,6 +99,12 @@ def cmd_consultant(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     import repro
     from repro.sim.loader import default_registry
@@ -114,6 +121,16 @@ def cmd_info(_args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    # `lint` forwards its whole argv to the linter's own parser; route it
+    # before argparse, which would otherwise claim leading options like
+    # `lint --list-rules` for the top-level parser.
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="TDP (SC 2003) reproduction — exploration commands",
@@ -129,6 +146,13 @@ def main(argv: list[str] | None = None) -> int:
         func=cmd_consultant
     )
     sub.add_parser("info", help="version and registries").set_defaults(func=cmd_info)
+    lint = sub.add_parser(
+        "lint",
+        help="run the TDP invariant linter (see `lint --help`)",
+        add_help=False,
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER)
+    lint.set_defaults(func=cmd_lint)
     args = parser.parse_args(argv)
     return args.func(args)
 

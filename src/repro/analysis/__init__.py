@@ -1,0 +1,40 @@
+"""Static analysis for the TDP reproduction: an AST-based invariant linter.
+
+TDP's correctness rests on discipline the paper states in prose but the
+type system cannot enforce: callbacks run from the client's own poll
+loop and never from under a server lock (Section 3.3), process control
+is role-gated (Sections 1, 2.3), and the simulated cluster runs on the
+sim clock, not wall-clock.  The :mod:`repro.analysis` package encodes
+those invariants as lint rules so they fail the test suite instead of
+silently rotting.
+
+Usage::
+
+    python -m repro lint src/repro            # text report, exit 1 on findings
+    python -m repro lint --format json src    # machine-readable report
+
+or programmatically::
+
+    from repro.analysis import lint_paths
+    findings = lint_paths(["src/repro"])
+
+Per-line suppression: append ``# tdp-lint: off(rule-name)`` to the
+offending line.  A directive on a line of its own disables the rule(s)
+for the whole file.  ``# tdp-lint: off`` with no rule list suppresses
+every rule.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Finding, ModuleSource, Rule, all_rules, get_rule
+from repro.analysis.engine import lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "ModuleSource",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+]

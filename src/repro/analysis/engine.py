@@ -1,0 +1,79 @@
+"""The lint engine: discover files, parse, run rules, filter suppressions."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.core import Finding, ModuleSource, Rule, all_rules
+from repro.analysis.suppress import SuppressionIndex
+
+#: directories never descended into during discovery
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", "build", "dist"}
+
+
+def discover_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates = sorted(
+                f for f in p.rglob("*.py")
+                if not any(part in _SKIP_DIRS for part in f.parts)
+            )
+        elif p.suffix == ".py":
+            candidates = [p]
+        else:
+            candidates = []
+        for f in candidates:
+            key = f.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append(f)
+    return out
+
+
+def lint_source(
+    module: ModuleSource, rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Run rules over one parsed module, honoring suppressions."""
+    active = list(rules) if rules is not None else all_rules()
+    index = SuppressionIndex.parse(module.text)
+    findings: list[Finding] = []
+    for rule in active:
+        for finding in rule.check(module):
+            if not index.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint every .py file reachable from ``paths``; returns all findings.
+
+    Unparseable files surface as a synthetic ``parse-error`` finding
+    rather than an exception — a syntax error must fail the lint gate,
+    not crash it.
+    """
+    findings: list[Finding] = []
+    for path in discover_files(paths):
+        try:
+            module = ModuleSource.parse(path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as e:
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=getattr(e, "lineno", None) or 1,
+                    col=1,
+                    rule="parse-error",
+                    message=f"could not parse: {e}",
+                )
+            )
+            continue
+        findings.extend(lint_source(module, rules))
+    return sorted(findings)

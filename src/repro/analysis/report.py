@@ -1,0 +1,33 @@
+"""Reporters: render findings for humans (text) or tooling (JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.core import Finding, all_rules
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """GCC-style one-line-per-finding report plus a summary tail."""
+    lines = [f.format() for f in findings]
+    if findings:
+        by_rule: dict[str, int] = {}
+        for f in findings:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        breakdown = ", ".join(f"{n} {rule}" for rule, n in sorted(by_rule.items()))
+        lines.append("")
+        lines.append(f"{len(findings)} finding(s): {breakdown}")
+    else:
+        lines.append("0 findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Stable machine-readable report (sorted findings, rule inventory)."""
+    payload = {
+        "findings": [f.to_json() for f in findings],
+        "count": len(findings),
+        "rules": {r.name: r.description for r in all_rules()},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

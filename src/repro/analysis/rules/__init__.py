@@ -1,0 +1,7 @@
+"""Built-in rule battery.  Importing this package registers every rule."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import attrs, handles, locks, simclock, threads
+
+__all__ = ["attrs", "handles", "locks", "simclock", "threads"]

@@ -1,0 +1,62 @@
+"""missing-handle-check: public tdp_* entry points validate their handle.
+
+"On success, tdp_init will return a tdp handle, which will be used in
+any TDP subsequent action" (paper Section 3.2).  Every public function
+in :mod:`repro.tdp.api` therefore either begins with
+``handle._check_open()`` or delegates to something that performs the
+check (``open_handle`` for ``tdp_init``, ``handle.close()`` for
+``tdp_exit``, or another ``tdp_*`` function).  An unchecked entry point
+would let a closed handle silently operate on a dead session.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleSource, Rule, register
+
+_SCOPED_MODULE = "repro.tdp.api"
+
+#: calls that count as "the handle is validated (or being created/torn down)"
+_CHECKING_ATTRS = {"_check_open", "close"}
+_CHECKING_NAMES = {"open_handle"}
+
+
+@register
+class MissingHandleCheck(Rule):
+    name = "missing-handle-check"
+    description = (
+        "every tdp_* function in repro.tdp.api must call "
+        "handle._check_open() or delegate to one that does"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.modname != _SCOPED_MODULE:
+            return
+        for node in module.tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if not node.name.startswith("tdp_"):
+                continue
+            if not self._performs_check(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{node.name}() never calls handle._check_open() and "
+                    "does not delegate to a checked tdp_* function",
+                )
+
+    @staticmethod
+    def _performs_check(func: ast.FunctionDef) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if isinstance(callee, ast.Attribute) and callee.attr in _CHECKING_ATTRS:
+                return True
+            if isinstance(callee, ast.Name) and (
+                callee.id in _CHECKING_NAMES or callee.id.startswith("tdp_")
+            ):
+                return True
+        return False

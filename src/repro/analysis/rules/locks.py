@@ -1,0 +1,159 @@
+"""Lock-discipline rules.
+
+The attribute store's own contract (``repro/attrspace/store.py``) is that
+user callbacks and subscription fan-out happen *outside* ``self._lock``;
+the paper's event model (Section 3.3: callbacks run "at a well-known and
+(presumably) safe point") collapses if a server thread can call back
+into user code while holding server state locked — the callback may
+re-enter the store and deadlock, or observe state mid-mutation.
+
+Two rules:
+
+* ``callback-under-lock`` — invoking a callback-shaped callable (or
+  ``subscriptions.publish`` / ``.deliver``) inside a ``with <lock>``
+  block.
+* ``blocking-call-under-lock`` — ``.wait()``/``.wait_for()``/``.join()``/
+  ``.recv()``/``.send()``/``time.sleep()`` inside a ``with <lock>``
+  block.  Waiting on the *held* object itself is exempt: that is the
+  condition-variable idiom (``with self._cond: self._cond.wait_for(...)``),
+  which releases the lock while parked.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleSource,
+    Rule,
+    dotted_name,
+    iter_calls,
+    register,
+)
+
+#: a `with X` context expression is treated as a lock when its terminal
+#: attribute looks like one of the repo's lock/condition fields
+_LOCK_NAME = re.compile(r"(lock|mutex|cond|condition)$")
+
+_CALLBACK_NAMES = {"cb", "callback", "deliver", "complete", "fn", "func", "hook"}
+_CALLBACK_SUFFIXES = ("_cb", "_callback", "_hook", "_handler")
+_CALLBACK_ATTRS = {"publish", "deliver"}
+
+_BLOCKING_ATTRS = {"wait", "wait_for", "join", "recv", "send"}
+
+
+def _lock_exprs(node: ast.With) -> list[str]:
+    """Dotted names of the lock-like context managers acquired by a With."""
+    out = []
+    for item in node.items:
+        dn = dotted_name(item.context_expr)
+        if dn is not None and _LOCK_NAME.search(dn.rsplit(".", 1)[-1].lower()):
+            out.append(dn)
+    return out
+
+
+def _is_callback_name(name: str) -> bool:
+    return name in _CALLBACK_NAMES or name.endswith(_CALLBACK_SUFFIXES)
+
+
+def _walk_locked_regions(tree: ast.Module) -> Iterator[tuple[ast.With, list[str]]]:
+    """Yield (with-node, held-lock names incl. enclosing withs) pairs.
+
+    Nested functions are *not* descended into from a locked region by the
+    callers (via :func:`iter_calls`) because their bodies run later, off
+    the lock; but a ``with`` inside a ``with`` accumulates held locks.
+    """
+    def visit(node: ast.AST, held: list[str]) -> Iterator[tuple[ast.With, list[str]]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.With):
+                locks = _lock_exprs(child)
+                if locks:
+                    yield child, held + locks
+                yield from visit(child, held + locks)
+            else:
+                yield from visit(child, held)
+
+    yield from visit(tree, [])
+
+
+@register
+class CallbackUnderLock(Rule):
+    name = "callback-under-lock"
+    description = (
+        "user callbacks and subscription fan-out must run outside server "
+        "locks (store contract; paper Section 3.3 safe-point delivery)"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for with_node, held in _walk_locked_regions(module.tree):
+            for call in iter_calls(with_node.body):
+                label = self._callback_label(call)
+                if label is not None:
+                    yield self.finding(
+                        module,
+                        call,
+                        f"{label} invoked while holding {held[-1]}; "
+                        "collect under the lock, invoke after releasing it",
+                    )
+
+    @staticmethod
+    def _callback_label(call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name) and _is_callback_name(func.id):
+            return f"callback {func.id}()"
+        if isinstance(func, ast.Attribute):
+            if func.attr in _CALLBACK_ATTRS or _is_callback_name(func.attr):
+                dn = dotted_name(func)
+                return f"{dn or func.attr}()"
+        if isinstance(func, ast.Subscript):
+            base = dotted_name(func.value)
+            if base is not None and _is_callback_name(base.rsplit(".", 1)[-1]):
+                return f"callback {base}[...]()"
+        return None
+
+
+@register
+class BlockingCallUnderLock(Rule):
+    name = "blocking-call-under-lock"
+    description = (
+        "no .wait()/.join()/.recv()/.send()/time.sleep() while holding a "
+        "lock; park on a condition or move the call outside the lock"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for with_node, held in _walk_locked_regions(module.tree):
+            for call in iter_calls(with_node.body):
+                label = self._blocking_label(call, held)
+                if label is not None:
+                    yield self.finding(
+                        module,
+                        call,
+                        f"blocking call {label} while holding {held[-1]}",
+                    )
+
+    @staticmethod
+    def _blocking_label(call: ast.Call, held: list[str]) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "sleep":
+            return "sleep()"
+        if not isinstance(func, ast.Attribute):
+            return None
+        dn = dotted_name(func)
+        if dn == "time.sleep":
+            return "time.sleep()"
+        if func.attr not in _BLOCKING_ATTRS:
+            return None
+        receiver = dotted_name(func.value)
+        # Condition idiom: waiting on the held lock releases it.
+        if receiver is not None and receiver in held:
+            return None
+        # str.join on a literal separator / os.path.join are not blocking.
+        if func.attr == "join":
+            if isinstance(func.value, ast.Constant):
+                return None
+            if receiver is not None and receiver.rsplit(".", 1)[-1] == "path":
+                return None
+        return f"{receiver or '<expr>'}.{func.attr}()"

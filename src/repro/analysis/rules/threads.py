@@ -1,0 +1,50 @@
+"""bare-thread: thread creation goes through repro.util.threads.spawn.
+
+The library is deliberately thread-based (daemons are threads), which is
+exactly why ad-hoc ``threading.Thread(...)`` calls scattered across
+modules are a liability: unnamed threads are undebuggable, non-daemon
+threads hang interpreter shutdown, and there is no single place to add
+diagnostics or accounting.  All creation funnels through
+:func:`repro.util.threads.spawn`, the one sanctioned call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleSource, Rule, dotted_name, register
+
+_SANCTIONED_MODULES = {"repro.util.threads"}
+
+
+@register
+class BareThread(Rule):
+    name = "bare-thread"
+    description = (
+        "threading.Thread() outside repro.util.threads; use "
+        "repro.util.threads.spawn (named, daemon, accounted)"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.modname in _SANCTIONED_MODULES:
+            return
+        imported_thread_directly = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == "threading"
+            and any(alias.name == "Thread" for alias in node.names)
+            for node in ast.walk(module.tree)
+        )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dn = dotted_name(node.func)
+            if dn == "threading.Thread" or (
+                imported_thread_directly and dn == "Thread"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "bare threading.Thread() creation; use "
+                    "repro.util.threads.spawn",
+                )

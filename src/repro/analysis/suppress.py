@@ -1,0 +1,76 @@
+"""Suppression directives: ``# tdp-lint: off(rule-a, rule-b)``.
+
+Two scopes, distinguished by placement:
+
+* **line** — the directive shares a line with code; findings of the
+  named rules reported on that line are suppressed.
+* **file** — the directive stands on a line of its own (only whitespace
+  before the ``#``); the named rules are disabled for the whole file.
+
+``# tdp-lint: off`` with no parenthesized list suppresses *every* rule
+in its scope.  Comments are extracted with :mod:`tokenize`, so directive
+look-alikes inside string literals are ignored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_DIRECTIVE = re.compile(
+    r"#\s*tdp-lint\s*:\s*off\s*(?:\(\s*(?P<rules>[\w\-, ]*)\s*\))?"
+)
+
+#: sentinel meaning "all rules"
+ALL = "*"
+
+
+class SuppressionIndex:
+    """Parsed suppressions for one file; answers ``is_suppressed``."""
+
+    def __init__(self) -> None:
+        #: line number -> set of rule names (or {ALL})
+        self.by_line: dict[int, set[str]] = {}
+        #: rules disabled for the whole file (may contain ALL)
+        self.file_wide: set[str] = set()
+        #: directives that parsed but named nothing, kept for diagnostics
+        self.malformed: list[int] = []
+
+    @classmethod
+    def parse(cls, text: str) -> "SuppressionIndex":
+        index = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+            comments = [
+                (tok.start[0], tok.start[1], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except tokenize.TokenizeError:
+            return index
+        lines = text.splitlines()
+        for lineno, col, comment in comments:
+            m = _DIRECTIVE.search(comment)
+            if m is None:
+                continue
+            if m.group("rules") is None:
+                rules = {ALL}
+            else:
+                rules = {r.strip() for r in m.group("rules").split(",") if r.strip()}
+                if not rules:
+                    index.malformed.append(lineno)
+                    continue
+            line_text = lines[lineno - 1] if lineno - 1 < len(lines) else ""
+            standalone = not line_text[:col].strip()
+            if standalone:
+                index.file_wide |= rules
+            else:
+                index.by_line.setdefault(lineno, set()).update(rules)
+        return index
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if ALL in self.file_wide or rule in self.file_wide:
+            return True
+        on_line = self.by_line.get(line)
+        return on_line is not None and (ALL in on_line or rule in on_line)

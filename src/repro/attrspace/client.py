@@ -22,6 +22,7 @@ from repro.transport.base import Channel
 from repro.util.ids import IdAllocator
 from repro.util.log import get_logger
 from repro.util.sync import Latch, WaitableQueue
+from repro.util.threads import spawn
 
 _log = get_logger("attrspace.client")
 
@@ -74,10 +75,7 @@ class AttributeSpaceClient:
         self._conn_lost = False
         #: the "descriptor": non-empty means tdp_service_events has work
         self.events: WaitableQueue[_Event] = WaitableQueue()
-        self._receiver = threading.Thread(
-            target=self._recv_loop, name=f"attr-client-{self.member}", daemon=True
-        )
-        self._receiver.start()
+        self._receiver = spawn(self._recv_loop, name=f"attr-client-{self.member}")
         self._rpc({"op": protocol.OP_ATTACH, "context": context, "member": self.member})
 
     # -- plumbing -------------------------------------------------------------

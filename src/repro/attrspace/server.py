@@ -27,6 +27,7 @@ from repro.net.address import Endpoint
 from repro.transport.base import Channel, Transport
 from repro.util.log import get_logger
 from repro.util.sync import AtomicCounter
+from repro.util.threads import spawn
 
 _log = get_logger("attrspace.server")
 
@@ -54,8 +55,11 @@ class _Connection:
 
     def send(self, message: dict[str, Any]) -> None:
         try:
+            # send_lock exists solely to serialize frames onto this channel;
+            # it guards no shared server state, so holding it across the
+            # send cannot deadlock the store.
             with self.send_lock:
-                self.channel.send(message)
+                self.channel.send(message)  # tdp-lint: off(blocking-call-under-lock)
         except errors.TdpError:
             pass  # peer gone; reader loop will clean up
 
@@ -97,10 +101,7 @@ class AttributeSpaceServer:
             "notifications": AtomicCounter(),
             "connections": AtomicCounter(),
         }
-        self._acceptor = threading.Thread(
-            target=self._accept_loop, name=f"{self.name}-accept", daemon=True
-        )
-        self._acceptor.start()
+        self._acceptor = spawn(self._accept_loop, name=f"{self.name}-accept")
         _log.info("%s listening at %s", self.name, self.endpoint)
 
     # -- lifecycle -----------------------------------------------------------
@@ -150,12 +151,11 @@ class AttributeSpaceServer:
                     return
                 self._connections[conn.conn_id] = conn
             self.stats["connections"].increment()
-            threading.Thread(
-                target=self._serve_loop,
+            spawn(
+                self._serve_loop,
                 args=(conn,),
                 name=f"{self.name}-conn{conn.conn_id}",
-                daemon=True,
-            ).start()
+            )
 
     def _serve_loop(self, conn: _Connection) -> None:
         try:
@@ -264,12 +264,25 @@ class AttributeSpaceServer:
         # Blocking get: register a waiter whose completion sends the reply.
         waiter_key: list[tuple[str, str, int]] = []
 
-        def complete(value: str) -> None:
+        def complete(value: str | None) -> None:
             if waiter_key:
                 conn.pending_waiters.discard(waiter_key[0])
             timer = conn.timers.pop(req, None)
             if timer is not None:
                 timer.cancel()
+            if value is None:
+                # Remove-kind wake: the context was destroyed while the
+                # get was parked; the attribute can never arrive.
+                conn.send(
+                    protocol.error_reply(
+                        req,
+                        errors.ContextError(
+                            f"context {context!r} destroyed while waiting "
+                            f"for {attribute!r}"
+                        ),
+                    )
+                )
+                return
             conn.send(protocol.ok_reply(req, value=value))
 
         wid = self.store.add_waiter(attribute, complete, context=context)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.errors import ContextError, NoSuchAttributeError
@@ -43,13 +43,20 @@ class StoredValue:
     stored_at: float
 
 
+#: One-shot waiter callback.  Called with the attribute's value when a
+#: put satisfies the wait, or with ``None`` when the wait is cancelled
+#: because the context was destroyed (a remove-kind wake: the attribute
+#: can never arrive).
+WaiterCallback = Callable[[str | None], None]
+
+
 @dataclass
 class _Context:
     name: str
     members: set[str] = field(default_factory=set)
     data: dict[str, StoredValue] = field(default_factory=dict)
-    #: attr -> list of (waiter_id, callback(value))
-    waiters: dict[str, list[tuple[int, Callable[[str], None]]]] = field(
+    #: attr -> list of (waiter_id, callback)
+    waiters: dict[str, list[tuple[int, WaiterCallback]]] = field(
         default_factory=dict
     )
 
@@ -94,20 +101,30 @@ class AttributeStore:
         Returns True when the context was destroyed.  Mirrors
         ``tdp_exit``: "An Attribute Space ... will be destroyed when the
         last element using the specific context calls tdp_exit."
+
+        Destruction cancels every pending blocking get with an explicit
+        remove-kind wake (callback invoked with ``None``) — a parked
+        waiter must hear that its attribute can never arrive rather than
+        hang until a channel timeout.
         """
+        doomed: list[tuple[int, WaiterCallback]] = []
         with self._lock:
             ctx = self._contexts.get(context)
             if ctx is None:
                 raise ContextError(f"unknown context {context!r}")
             ctx.members.discard(member)
-            if not ctx.members:
+            destroyed = not ctx.members
+            if destroyed:
                 del self._contexts[context]
                 self.subscriptions.drop_context(context)
-                # Pending blocking gets on a destroyed context never
-                # complete; their registrations die with the context and
-                # channel-level timeouts surface the failure at clients.
-                return True
-            return False
+                for entries in ctx.waiters.values():
+                    doomed.extend(entries)
+                ctx.waiters.clear()
+        # Outside the lock (callbacks may re-enter the store or block on
+        # a channel send).
+        for _wid, cb in doomed:
+            cb(None)
+        return destroyed
 
     def contexts(self) -> list[str]:
         with self._lock:
@@ -166,19 +183,24 @@ class AttributeStore:
             return sv.value
 
     def get_entry(self, attribute: str, *, context: str = DEFAULT_CONTEXT) -> StoredValue:
-        """Full stored record (value + metadata)."""
+        """Full stored record (value + metadata).
+
+        Returns a copy: the live record is server state mutated under
+        the lock, and handing it out would alias that state to callers
+        on other threads.
+        """
         validate_attribute_name(attribute)
         with self._lock:
             ctx = self._require(context)
             sv = ctx.data.get(attribute)
             if sv is None:
                 raise NoSuchAttributeError(attribute, context)
-            return sv
+            return replace(sv)
 
     def add_waiter(
         self,
         attribute: str,
-        callback: Callable[[str], None],
+        callback: WaiterCallback,
         *,
         context: str = DEFAULT_CONTEXT,
     ) -> int | None:
@@ -188,6 +210,9 @@ class AttributeStore:
         (from this thread) and ``None`` is returned; otherwise a waiter id
         usable with :meth:`cancel_waiter` is returned.  This is the
         primitive beneath both blocking and asynchronous ``tdp_get``.
+
+        The callback receives the value, or ``None`` when the wait is
+        cancelled because the context was destroyed (see :meth:`detach`).
         """
         validate_attribute_name(attribute)
         with self._lock:
@@ -230,15 +255,21 @@ class AttributeStore:
         """
         from repro.util.sync import Latch
 
-        latch: Latch[str] = Latch()
+        latch: Latch[str | None] = Latch()
         wid = self.add_waiter(attribute, latch.open, context=context)
         if wid is None:
-            return latch.wait(timeout=0)  # already filled synchronously
-        try:
-            return latch.wait(timeout=timeout)
-        finally:
-            if not latch.is_open():
-                self.cancel_waiter(context, attribute, wid)
+            value = latch.wait(timeout=0)  # already filled synchronously
+        else:
+            try:
+                value = latch.wait(timeout=timeout)
+            finally:
+                if not latch.is_open():
+                    self.cancel_waiter(context, attribute, wid)
+        if value is None:
+            raise ContextError(
+                f"context {context!r} destroyed while waiting for {attribute!r}"
+            )
+        return value
 
     def remove(self, attribute: str, *, context: str = DEFAULT_CONTEXT) -> bool:
         """Remove an attribute; returns False if it was absent."""

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.util.log import get_logger
+from repro.util.threads import spawn
 
 _log = get_logger("condor.master")
 
@@ -49,10 +50,7 @@ class Master:
     def _ensure_thread(self) -> None:
         with self._lock:
             if self._thread is None:
-                self._thread = threading.Thread(
-                    target=self._watch, name="condor-master", daemon=True
-                )
-                self._thread.start()
+                self._thread = spawn(self._watch, name="condor-master")
 
     def _watch(self) -> None:
         while not self._stop.wait(self._interval):

@@ -19,6 +19,7 @@ from repro.condor.classad import ClassAd, matches, rank
 from repro.net.address import Endpoint
 from repro.transport.base import Transport
 from repro.util.log import TraceRecorder, get_logger
+from repro.util.threads import spawn
 
 _log = get_logger("condor.matchmaker")
 
@@ -40,9 +41,7 @@ class Matchmaker:
         self._lock = threading.Lock()
         self._listener = transport.listen(host)
         self._stopped = False
-        threading.Thread(
-            target=self._accept_loop, name="matchmaker-accept", daemon=True
-        ).start()
+        spawn(self._accept_loop, name="matchmaker-accept")
 
     @property
     def endpoint(self) -> Endpoint:
@@ -64,10 +63,7 @@ class Matchmaker:
                 channel = self._listener.accept()
             except errors.TdpError:
                 return
-            threading.Thread(
-                target=self._serve, args=(channel,), daemon=True,
-                name="matchmaker-conn",
-            ).start()
+            spawn(self._serve, args=(channel,), name="matchmaker-conn")
 
     def _serve(self, channel) -> None:
         try:

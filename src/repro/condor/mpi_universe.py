@@ -45,6 +45,7 @@ from repro.tdp.wellknown import Attr, CreateMode
 from repro.transport.base import Transport
 from repro.util.log import TraceRecorder
 from repro.util.strings import join_arguments, split_arguments
+from repro.util.threads import spawn
 
 
 @dataclass
@@ -146,11 +147,7 @@ class MpiUniverseCoordinator:
         processes and doing TDP handshakes must not block the scheduler.
         """
         self._record("master_running", pid=master.pid)
-        threading.Thread(
-            target=self._start_workers,
-            name=f"mpi-workers-{self.job_id}",
-            daemon=True,
-        ).start()
+        spawn(self._start_workers, name=f"mpi-workers-{self.job_id}")
 
     def _start_workers(self) -> None:
         try:

@@ -32,6 +32,7 @@ from repro.net.address import Endpoint, parse_endpoint
 from repro.transport.base import Transport
 from repro.util.ids import IdAllocator, fresh_token
 from repro.util.log import TraceRecorder, get_logger
+from repro.util.threads import spawn
 
 _log = get_logger("condor.schedd")
 
@@ -78,10 +79,7 @@ class Schedd:
         self._queue: list[JobRecord] = []
         self._cond = threading.Condition()
         self._stopped = False
-        self._negotiator = threading.Thread(
-            target=self._negotiation_loop, name="schedd-negotiate", daemon=True
-        )
-        self._negotiator.start()
+        self._negotiator = spawn(self._negotiation_loop, name="schedd-negotiate")
 
     def _record(self, action: str, **details) -> None:
         if self._trace is not None:
@@ -276,9 +274,7 @@ class Schedd:
                     pass
             shadow.stop()
 
-        threading.Thread(
-            target=releaser, name=f"schedd-release-{record.job_id}", daemon=True
-        ).start()
+        spawn(releaser, name=f"schedd-release-{record.job_id}")
         return True
 
     # -- user job control (condor_hold / condor_release) ----------------------------

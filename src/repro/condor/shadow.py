@@ -17,14 +17,13 @@ Our shadow performs the two remote services the scenarios exercise:
 
 from __future__ import annotations
 
-import threading
-
 from repro import errors
 from repro.condor.job import JobRecord, JobStatus
 from repro.net.address import Endpoint
 from repro.tdp.stdio import StdioCollector
 from repro.transport.base import Transport
 from repro.util.log import TraceRecorder, get_logger
+from repro.util.threads import spawn
 
 _log = get_logger("condor.shadow")
 
@@ -48,14 +47,11 @@ class Shadow:
         self._trace = trace
         self._listener = transport.listen(submit_host)
         self.stdio = StdioCollector(transport, submit_host)
-        self._stdout_pump = threading.Thread(
-            target=self._pump_stdout, name=f"shadow-stdout-{record.job_id}", daemon=True
+        self._stdout_pump = spawn(
+            self._pump_stdout, name=f"shadow-stdout-{record.job_id}"
         )
-        self._stdout_pump.start()
         self._stopped = False
-        threading.Thread(
-            target=self._serve_starter, name=f"shadow-{record.job_id}", daemon=True
-        ).start()
+        spawn(self._serve_starter, name=f"shadow-{record.job_id}")
 
     @property
     def endpoint(self) -> Endpoint:

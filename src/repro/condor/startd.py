@@ -31,6 +31,7 @@ from repro.sim.host import SimHost
 from repro.transport.base import Transport
 from repro.util.log import TraceRecorder, get_logger
 from repro.util.strings import split_arguments
+from repro.util.threads import spawn
 
 _log = get_logger("condor.startd")
 
@@ -80,9 +81,7 @@ class Startd:
         self._all_starters: list[Starter] = []  # history incl. released claims
         self._lock = threading.Lock()
         self._stopped = False
-        threading.Thread(
-            target=self._accept_loop, name=f"startd-{host.name}", daemon=True
-        ).start()
+        spawn(self._accept_loop, name=f"startd-{host.name}")
 
     @property
     def endpoint(self) -> Endpoint:
@@ -115,10 +114,7 @@ class Startd:
                 channel = self._listener.accept()
             except errors.TdpError:
                 return
-            threading.Thread(
-                target=self._serve, args=(channel,), daemon=True,
-                name=f"startd-conn-{self.host.name}",
-            ).start()
+            spawn(self._serve, args=(channel,), name=f"startd-conn-{self.host.name}")
 
     def _serve(self, channel) -> None:
         try:

@@ -37,6 +37,7 @@ from repro.tdp.wellknown import Attr, CreateMode
 from repro.transport.base import Channel, Transport
 from repro.util.log import TraceRecorder, get_logger
 from repro.util.strings import join_arguments, split_arguments
+from repro.util.threads import spawn
 
 _log = get_logger("condor.starter")
 
@@ -83,8 +84,8 @@ class Starter:
         self.exit_code: int | None = None
         self.failure: str | None = None
         self._done = threading.Event()
-        self._thread = threading.Thread(
-            target=self._run_guarded, name=f"starter-{job_id}", daemon=True
+        self._thread = spawn(
+            self._run_guarded, name=f"starter-{job_id}", start=False
         )
 
     def start(self) -> None:

@@ -26,6 +26,7 @@ from repro.errors import ToolError
 from repro.net.address import Endpoint
 from repro.transport.base import Transport
 from repro.util.log import TraceRecorder
+from repro.util.threads import spawn
 
 _PERCENT_RE = re.compile(r"%([A-Za-z_][A-Za-z0-9_]*)")
 
@@ -83,8 +84,7 @@ class ThreadToolHandle(ToolDaemonHandle):
             except BaseException as e:  # noqa: BLE001 — recorded for the starter
                 self._error = e
 
-        self._thread = threading.Thread(target=runner, name=name, daemon=True)
-        self._thread.start()
+        self._thread = spawn(runner, name=name)
 
     def join(self, timeout: float | None = None) -> None:
         self._thread.join(timeout)

@@ -32,6 +32,7 @@ from repro import errors
 from repro.tdp.process import ProcessBackend, ProcessInfo
 from repro.tdp.wellknown import CreateMode, ProcStatus
 from repro.util.log import get_logger
+from repro.util.threads import spawn
 
 _log = get_logger("osproc.backend")
 
@@ -127,14 +128,8 @@ class PosixBackend(ProcessBackend):
         managed = _Managed(popen, executable, paused)
         with self._lock:
             self._managed[popen.pid] = managed
-        threading.Thread(
-            target=self._pump_stdout, args=(managed,), daemon=True,
-            name=f"osproc-stdout-{popen.pid}",
-        ).start()
-        threading.Thread(
-            target=self._reap, args=(managed,), daemon=True,
-            name=f"osproc-reap-{popen.pid}",
-        ).start()
+        spawn(self._pump_stdout, args=(managed,), name=f"osproc-stdout-{popen.pid}")
+        spawn(self._reap, args=(managed,), name=f"osproc-reap-{popen.pid}")
         if paused:
             self._wait_state(popen.pid, "T")
         return self.status(popen.pid)

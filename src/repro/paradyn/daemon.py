@@ -40,6 +40,7 @@ from repro.tdp.proxycfg import connect_to_frontend
 from repro.tdp.wellknown import Attr, ProcStatus
 from repro.transport.base import Channel
 from repro.util.log import get_logger
+from repro.util.threads import spawn
 
 _log = get_logger("paradyn.daemon")
 
@@ -299,11 +300,7 @@ class ParadynDaemon:
             self.frontend = None
             return
         self._record("frontend_connected", endpoint=str(self.frontend.remote_host))
-        threading.Thread(
-            target=self._command_loop,
-            name=f"paradynd-cmd-{self.ctx.job_id}",
-            daemon=True,
-        ).start()
+        spawn(self._command_loop, name=f"paradynd-cmd-{self.ctx.job_id}")
 
     def _command_loop(self) -> None:
         channel = self.frontend

@@ -22,6 +22,7 @@ from repro.net.address import Endpoint
 from repro.paradyn.metrics import Metric
 from repro.transport.base import Channel, Transport
 from repro.util.log import get_logger
+from repro.util.threads import spawn
 
 _log = get_logger("paradyn.frontend")
 
@@ -124,9 +125,7 @@ class ParadynFrontend:
         self._lock = threading.Lock()
         self._daemon_arrived = threading.Condition(self._lock)
         self._stopped = False
-        threading.Thread(
-            target=self._accept_loop, name=f"paradyn-frontend-{host}", daemon=True
-        ).start()
+        spawn(self._accept_loop, name=f"paradyn-frontend-{host}")
 
     @property
     def endpoint(self) -> Endpoint:
@@ -165,10 +164,7 @@ class ParadynFrontend:
                 channel = self._listener.accept()
             except errors.TdpError:
                 return
-            threading.Thread(
-                target=self._serve_daemon, args=(channel,), daemon=True,
-                name="paradyn-frontend-conn",
-            ).start()
+            spawn(self._serve_daemon, args=(channel,), name="paradyn-frontend-conn")
 
     def _serve_daemon(self, channel: Channel) -> None:
         try:

@@ -25,6 +25,7 @@ from repro.sim.process import ProcessState, SimProcess, StopReason
 from repro.sim import syscalls as sc
 from repro.util.clock import VirtualClock
 from repro.util.log import get_logger
+from repro.util.threads import spawn
 
 if TYPE_CHECKING:
     from repro.sim.cluster import SimCluster
@@ -59,10 +60,7 @@ class Scheduler:
     def start(self) -> None:
         if self._thread is not None:
             return
-        self._thread = threading.Thread(
-            target=self._loop, name="sim-scheduler", daemon=True
-        )
-        self._thread.start()
+        self._thread = spawn(self._loop, name="sim-scheduler")
 
     def stop(self) -> None:
         self._stop = True

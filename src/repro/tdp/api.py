@@ -138,12 +138,14 @@ def tdp_subscribe(
 
 def tdp_service_events(handle: TdpHandle, max_events: int | None = None) -> int:
     """Run pending callbacks at the daemon's safe point (Section 3.3)."""
+    handle._check_open()
     return handle.service_events(max_events=max_events)
 
 
 def tdp_poll(handle: TdpHandle, timeout: float | None = None) -> bool:
     """Block until the handle has serviceable events — the library's
     version of "activity on the tdp descriptor"."""
+    handle._check_open()
     return handle.poll(timeout=timeout)
 
 
@@ -173,6 +175,7 @@ def tdp_create_process(
     process" (Section 1).  Tools needing a process created go through
     the RM (as in the pilot's submit-file flow).
     """
+    handle._check_open()
     _require_rm(handle, "tdp_create_process")
     assert handle.control is not None
     return handle.control.create(executable, list(argv or []), env=env, mode=mode)

@@ -26,6 +26,7 @@ from repro.tdp.wellknown import Attr
 from repro.transport.base import Channel, Listener, Transport
 from repro.util.log import get_logger
 from repro.util.sync import Latch
+from repro.util.threads import spawn
 
 _log = get_logger("tdp.aux")
 
@@ -151,9 +152,7 @@ class ReductionNetwork:
                 host, parent.listener.endpoint
             )
         self._nodes.append(node)
-        threading.Thread(
-            target=self._serve_node, args=(node,), name=f"mrnet-{host}", daemon=True
-        ).start()
+        spawn(self._serve_node, args=(node,), name=f"mrnet-{host}")
         return node
 
     def start_collection(
@@ -184,9 +183,7 @@ class ReductionNetwork:
                 channel = node.listener.accept()
             except errors.TdpError:
                 return
-            threading.Thread(
-                target=self._pump, args=(node, channel), daemon=True
-            ).start()
+            spawn(self._pump, args=(node, channel), name=f"mrnet-pump-{node.host}")
 
     def _pump(self, node: _TreeNode, channel: Channel) -> None:
         try:

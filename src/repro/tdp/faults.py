@@ -23,6 +23,7 @@ from repro import errors
 from repro.tdp.handle import TdpHandle
 from repro.tdp.wellknown import Attr, ProcStatus
 from repro.util.log import get_logger
+from repro.util.threads import spawn
 
 _log = get_logger("tdp.faults")
 
@@ -85,10 +86,7 @@ class FaultMonitor:
         with self._lock:
             if self._thread is not None:
                 return
-            self._thread = threading.Thread(
-                target=self._watch_loop, name="fault-monitor", daemon=True
-            )
-            self._thread.start()
+            self._thread = spawn(self._watch_loop, name="fault-monitor")
 
     def _watch_loop(self) -> None:
         while not self._stop.wait(self._interval):

@@ -22,6 +22,7 @@ from repro.net.address import Endpoint
 from repro.tdp.process import ProcessBackend, ProcessControlService
 from repro.transport.base import Transport
 from repro.util.log import get_logger
+from repro.util.threads import spawn
 
 _log = get_logger("tdp.handle")
 
@@ -127,13 +128,11 @@ class TdpHandle:
             if self._service_thread is not None:
                 return
             self._service_stop.clear()
-            self._service_thread = threading.Thread(
-                target=self._service_loop,
+            self._service_thread = spawn(
+                self._service_loop,
                 args=(interval,),
                 name=f"tdp-service-{self.member}",
-                daemon=True,
             )
-            self._service_thread.start()
 
     def _service_loop(self, interval: float) -> None:
         while not self._service_stop.is_set():

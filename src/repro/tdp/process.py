@@ -281,7 +281,7 @@ class ProcessControlService:
     def _on_request(self, notification: Notification, _arg) -> None:
         if notification.kind != "put" or notification.value is None:
             return
-        token = notification.attribute[len("ctl.req."):]
+        token = Attr.ctl_request_token(notification.attribute)
         try:
             request = json.loads(notification.value)
             op = request["op"]

@@ -23,6 +23,7 @@ from repro.transport.base import Channel, Listener, Transport
 from repro.transport.proxy import connect_maybe_proxied
 from repro.util.log import get_logger
 from repro.util.sync import WaitableQueue
+from repro.util.threads import spawn
 
 _log = get_logger("tdp.stdio")
 
@@ -42,9 +43,7 @@ class StdioCollector:
         self._lock = threading.Lock()
         self._stdin_pending: list[dict] = []
         self._accepted = threading.Event()
-        threading.Thread(
-            target=self._accept_and_pump, name=f"stdio-collect-{host}", daemon=True
-        ).start()
+        spawn(self._accept_and_pump, name=f"stdio-collect-{host}")
 
     @property
     def endpoint(self) -> Endpoint:
@@ -130,15 +129,15 @@ class StdioRelay:
         self._feed_stdin = feed_stdin
         self._close_stdin = close_stdin
         self._send_lock = threading.Lock()
-        threading.Thread(
-            target=self._stdin_pump, name=f"stdio-relay-{src_host}", daemon=True
-        ).start()
+        spawn(self._stdin_pump, name=f"stdio-relay-{src_host}")
 
     def forward_stdout(self, line: str) -> None:
         """Ship one application stdout line to the collector."""
         try:
+            # _send_lock only serializes frames onto the collector channel;
+            # no other state is guarded by it.
             with self._send_lock:
-                self._channel.send({"stream": "stdout", "line": line})
+                self._channel.send({"stream": "stdout", "line": line})  # tdp-lint: off(blocking-call-under-lock)
         except errors.TdpError:
             _log.warning("stdio relay lost its collector; dropping output")
 

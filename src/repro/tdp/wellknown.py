@@ -52,9 +52,16 @@ class Attr:
     PROC_STATUS_PATTERN = "proc.*.status"
 
     # -- process control requests (RT -> RM, Section 2.3) ----------------------
+    CTL_REQUEST_PREFIX = "ctl.req."
+
     @staticmethod
     def ctl_request(token: str) -> str:
         return f"ctl.req.{token}"
+
+    @staticmethod
+    def ctl_request_token(attribute: str) -> str:
+        """Inverse of :meth:`ctl_request`: the token inside a request name."""
+        return attribute[len(Attr.CTL_REQUEST_PREFIX):]
 
     @staticmethod
     def ctl_reply(token: str) -> str:

@@ -22,6 +22,7 @@ from repro.net.address import Endpoint, parse_endpoint
 from repro.transport.base import Channel, Listener, Message, Transport
 from repro.util.ids import fresh_token
 from repro.util.log import get_logger
+from repro.util.threads import spawn
 
 _log = get_logger("transport.proxy")
 
@@ -41,10 +42,7 @@ class ProxyServer:
         self._tunnels: dict[str, tuple[Channel, Channel]] = {}
         self._lock = threading.Lock()
         self._stopped = False
-        self._acceptor = threading.Thread(
-            target=self._accept_loop, name=f"proxy-accept-{host}", daemon=True
-        )
-        self._acceptor.start()
+        self._acceptor = spawn(self._accept_loop, name=f"proxy-accept-{host}")
 
     @property
     def endpoint(self) -> Endpoint:
@@ -62,12 +60,7 @@ class ProxyServer:
                 inbound = self._listener.accept()
             except TdpError:
                 return  # listener closed
-            threading.Thread(
-                target=self._handshake,
-                args=(inbound,),
-                name=f"proxy-handshake-{self._host}",
-                daemon=True,
-            ).start()
+            spawn(self._handshake, args=(inbound,), name=f"proxy-handshake-{self._host}")
 
     def _handshake(self, inbound: Channel) -> None:
         try:
@@ -100,12 +93,7 @@ class ProxyServer:
         inbound.send({"proxy_ok": True, "tunnel": tunnel_id})
         _log.debug("tunnel %s: %s -> %s", tunnel_id, inbound.remote_host, target)
         for src, dst, tag in ((inbound, outbound, "in->out"), (outbound, inbound, "out->in")):
-            threading.Thread(
-                target=self._pump,
-                args=(tunnel_id, src, dst),
-                name=f"proxy-pump-{tag}",
-                daemon=True,
-            ).start()
+            spawn(self._pump, args=(tunnel_id, src, dst), name=f"proxy-pump-{tag}")
 
     def _pump(self, tunnel_id: str, src: Channel, dst: Channel) -> None:
         try:

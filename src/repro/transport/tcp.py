@@ -17,6 +17,7 @@ from repro.net.address import Endpoint
 from repro.transport import framing
 from repro.transport.base import Channel, Listener, Message, Transport
 from repro.util.sync import WaitableQueue
+from repro.util.threads import spawn
 
 _BIND_ADDR = "127.0.0.1"
 
@@ -36,10 +37,7 @@ class _TcpChannel(Channel):
         self._rx: WaitableQueue[Message] = WaitableQueue()
         self._send_lock = threading.Lock()
         self._closed = False
-        self._reader = threading.Thread(
-            target=self._read_loop, name=f"tcp-reader-{local_host}", daemon=True
-        )
-        self._reader.start()
+        self._reader = spawn(self._read_loop, name=f"tcp-reader-{local_host}")
 
     def _read_loop(self) -> None:
         reader = framing.FrameReader()

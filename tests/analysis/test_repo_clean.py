@@ -1,0 +1,51 @@
+"""Tier-1 gate: the shipped tree must pass its own static analysis.
+
+Runs the full tdp-lint battery over ``src/repro`` and asserts zero
+findings, then (when the tool is installed) runs ruff against the
+``[tool.ruff]`` baseline in pyproject.toml.  Any new violation of the
+lock-discipline / sim-clock / attribute-hygiene invariants fails the
+suite, not just the lint CLI.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_source_tree_is_lint_clean():
+    findings = lint_paths([SRC])
+    report = "\n".join(f.format() for f in findings)
+    assert not findings, f"tdp-lint findings in src/repro:\n{report}"
+
+
+def test_lint_cli_exits_zero():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(SRC)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout
+
+
+def test_ruff_baseline():
+    ruff = shutil.which("ruff")
+    if ruff is None:
+        pytest.skip("ruff not installed in this environment")
+    proc = subprocess.run(
+        [ruff, "check", str(SRC)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

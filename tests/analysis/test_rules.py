@@ -1,0 +1,372 @@
+"""Seeded-violation fixtures: every rule must fire on its target pattern
+and go quiet under a ``# tdp-lint: off(rule)`` directive."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_source
+from repro.analysis.core import ModuleSource, all_rules, get_rule
+
+
+def lint_snippet(tmp_path, code, *, modname=None, rule=None):
+    """Write ``code`` to a temp module and lint it (optionally one rule)."""
+    path = tmp_path / "fixture.py"
+    path.write_text(textwrap.dedent(code), encoding="utf-8")
+    module = ModuleSource.parse(path, modname=modname)
+    rules = [get_rule(rule)] if rule else None
+    return lint_source(module, rules)
+
+
+class TestCallbackUnderLock:
+    FIXTURE = """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.subscriptions = Registry()
+
+            def put(self, attribute, value):
+                with self._lock:
+                    self.data[attribute] = value
+                    for _wid, cb in self.waiters.pop(attribute, []):
+                        cb(value)
+                    self.subscriptions.publish(value)
+        """
+
+    def test_fires_on_callback_and_publish(self, tmp_path):
+        findings = lint_snippet(tmp_path, self.FIXTURE, rule="callback-under-lock")
+        assert len(findings) == 2
+        assert {f.line for f in findings} == {13, 14}
+
+    def test_suppressed_by_directive(self, tmp_path):
+        code = self.FIXTURE.replace(
+            "cb(value)", "cb(value)  # tdp-lint: off(callback-under-lock)"
+        ).replace(
+            "self.subscriptions.publish(value)",
+            "self.subscriptions.publish(value)  # tdp-lint: off(callback-under-lock)",
+        )
+        assert lint_snippet(tmp_path, code, rule="callback-under-lock") == []
+
+    def test_clean_pattern_passes(self, tmp_path):
+        code = """
+            import threading
+
+            class Store:
+                def put(self, attribute, value):
+                    with self._lock:
+                        callbacks = self.waiters.pop(attribute, [])
+                    for _wid, cb in callbacks:
+                        cb(value)
+                    self.subscriptions.publish(value)
+            """
+        assert lint_snippet(tmp_path, code, rule="callback-under-lock") == []
+
+    def test_method_shaped_callback_flagged(self, tmp_path):
+        code = """
+            class S:
+                def fire(self):
+                    with self._lock:
+                        self.on_done_cb(1)
+            """
+        findings = lint_snippet(tmp_path, code, rule="callback-under-lock")
+        assert len(findings) == 1
+
+    def test_nested_def_under_lock_not_flagged(self, tmp_path):
+        code = """
+            class S:
+                def arm(self):
+                    with self._lock:
+                        def later():
+                            cb(1)
+                        self.hooks.append(later)
+            """
+        assert lint_snippet(tmp_path, code, rule="callback-under-lock") == []
+
+
+class TestBlockingCallUnderLock:
+    def test_fires_on_wait_sleep_send(self, tmp_path):
+        code = """
+            import threading, time
+
+            class S:
+                def bad(self):
+                    with self._lock:
+                        self._event.wait(1.0)
+                        time.sleep(0.1)
+                        self.channel.send({"op": "x"})
+            """
+        findings = lint_snippet(tmp_path, code, rule="blocking-call-under-lock")
+        assert len(findings) == 3
+
+    def test_condition_idiom_exempt(self, tmp_path):
+        code = """
+            class Q:
+                def get(self):
+                    with self._cond:
+                        self._cond.wait_for(lambda: self._items)
+                        return self._items.popleft()
+            """
+        assert lint_snippet(tmp_path, code, rule="blocking-call-under-lock") == []
+
+    def test_str_join_not_flagged(self, tmp_path):
+        code = """
+            class S:
+                def names(self):
+                    with self._lock:
+                        return ", ".join(self._names)
+            """
+        assert lint_snippet(tmp_path, code, rule="blocking-call-under-lock") == []
+
+    def test_suppressed_by_directive(self, tmp_path):
+        code = """
+            class S:
+                def send(self, m):
+                    with self.send_lock:
+                        self.channel.send(m)  # tdp-lint: off(blocking-call-under-lock)
+            """
+        assert lint_snippet(tmp_path, code, rule="blocking-call-under-lock") == []
+
+
+class TestWallClockInSim:
+    FIXTURE = """
+        import time
+
+        def tick():
+            t0 = time.monotonic()
+            time.sleep(0.1)
+            return time.time() - t0
+        """
+
+    def test_fires_in_sim_package(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, self.FIXTURE, modname="repro.sim.fake", rule="wall-clock-in-sim"
+        )
+        assert len(findings) == 3
+
+    def test_fires_in_condor_package(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, self.FIXTURE, modname="repro.condor.fake",
+            rule="wall-clock-in-sim",
+        )
+        assert len(findings) == 3
+
+    def test_silent_outside_scoped_packages(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, self.FIXTURE, modname="repro.osproc.fake",
+            rule="wall-clock-in-sim",
+        )
+        assert findings == []
+
+    def test_from_import_flagged(self, tmp_path):
+        code = "from time import sleep, monotonic\n"
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.sim.fake", rule="wall-clock-in-sim"
+        )
+        assert len(findings) == 1
+
+    def test_suppressed_by_directive(self, tmp_path):
+        code = "import time\nt = time.time()  # tdp-lint: off(wall-clock-in-sim)\n"
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.sim.fake", rule="wall-clock-in-sim"
+        )
+        assert findings == []
+
+
+class TestRawAttributeLiteral:
+    def test_fires_on_dotted_literal(self, tmp_path):
+        code = 'status = attrs.try_get("proc.17.status")\n'
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.condor.fake", rule="raw-attribute-literal"
+        )
+        assert len(findings) == 1
+
+    def test_fires_on_fstring_prefix(self, tmp_path):
+        code = 'name = f"proc.{pid}.status"\n'
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.tdp.fake", rule="raw-attribute-literal"
+        )
+        assert len(findings) == 1
+
+    def test_fires_on_short_name_in_attr_call(self, tmp_path):
+        code = 'tdp_put(handle, "pid", str(info.pid))\n'
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.condor.fake", rule="raw-attribute-literal"
+        )
+        assert len(findings) == 1
+
+    def test_short_name_as_dict_key_not_flagged(self, tmp_path):
+        code = 'payload = {"pid": 1}\np = message.get("pid", -1)\n'
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.condor.fake", rule="raw-attribute-literal"
+        )
+        assert findings == []
+
+    def test_docstring_not_flagged(self, tmp_path):
+        code = '"""Uses tdp_get("pid") and proc.1.status in prose."""\n'
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.condor.fake", rule="raw-attribute-literal"
+        )
+        assert findings == []
+
+    def test_wellknown_module_exempt(self, tmp_path):
+        code = 'PREFIX = "ctl.req."\n'
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.tdp.wellknown", rule="raw-attribute-literal"
+        )
+        assert findings == []
+
+    def test_non_daemon_package_exempt(self, tmp_path):
+        code = 'x = "proc.1.status"\n'
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.attrspace.fake",
+            rule="raw-attribute-literal",
+        )
+        assert findings == []
+
+    def test_suppressed_by_directive(self, tmp_path):
+        code = 'x = attrs.put("rt.frontend", ep)  # tdp-lint: off(raw-attribute-literal)\n'
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.condor.fake", rule="raw-attribute-literal"
+        )
+        assert findings == []
+
+
+class TestMissingHandleCheck:
+    def test_fires_on_unchecked_function(self, tmp_path):
+        code = """
+            def tdp_frob(handle, x):
+                return handle.attrs.frob(x)
+            """
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.tdp.api", rule="missing-handle-check"
+        )
+        assert len(findings) == 1
+        assert "tdp_frob" in findings[0].message
+
+    def test_check_open_satisfies(self, tmp_path):
+        code = """
+            def tdp_frob(handle, x):
+                handle._check_open()
+                return handle.attrs.frob(x)
+            """
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.tdp.api", rule="missing-handle-check"
+        )
+        assert findings == []
+
+    def test_delegation_to_tdp_function_satisfies(self, tmp_path):
+        code = """
+            def tdp_frob(handle, x):
+                return tdp_put(handle, x, "1")
+            """
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.tdp.api", rule="missing-handle-check"
+        )
+        assert findings == []
+
+    def test_open_and_close_satisfy(self, tmp_path):
+        code = """
+            def tdp_init(transport):
+                return open_handle(transport)
+
+            def tdp_exit(handle):
+                handle.close()
+            """
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.tdp.api", rule="missing-handle-check"
+        )
+        assert findings == []
+
+    def test_other_modules_exempt(self, tmp_path):
+        code = """
+            def tdp_frob(handle):
+                return 1
+            """
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.tdp.helpers", rule="missing-handle-check"
+        )
+        assert findings == []
+
+    def test_suppressed_by_directive(self, tmp_path):
+        code = """
+            def tdp_frob(handle):  # tdp-lint: off(missing-handle-check)
+                return 1
+            """
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.tdp.api", rule="missing-handle-check"
+        )
+        assert findings == []
+
+
+class TestBareThread:
+    def test_fires_on_threading_thread(self, tmp_path):
+        code = """
+            import threading
+            t = threading.Thread(target=f, daemon=True)
+            t.start()
+            """
+        findings = lint_snippet(tmp_path, code, rule="bare-thread")
+        assert len(findings) == 1
+
+    def test_fires_on_direct_import(self, tmp_path):
+        code = """
+            from threading import Thread
+            Thread(target=f).start()
+            """
+        findings = lint_snippet(tmp_path, code, rule="bare-thread")
+        assert len(findings) == 1
+
+    def test_sanctioned_module_exempt(self, tmp_path):
+        code = """
+            import threading
+            t = threading.Thread(target=f)
+            """
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.util.threads", rule="bare-thread"
+        )
+        assert findings == []
+
+    def test_annotation_not_flagged(self, tmp_path):
+        code = """
+            import threading
+            class S:
+                def __init__(self):
+                    self._thread: threading.Thread | None = None
+            """
+        assert lint_snippet(tmp_path, code, rule="bare-thread") == []
+
+    def test_suppressed_by_directive(self, tmp_path):
+        code = """
+            import threading
+            t = threading.Thread(target=f)  # tdp-lint: off(bare-thread)
+            """
+        assert lint_snippet(tmp_path, code, rule="bare-thread") == []
+
+
+class TestRegistry:
+    EXPECTED = {
+        "callback-under-lock",
+        "blocking-call-under-lock",
+        "wall-clock-in-sim",
+        "raw-attribute-literal",
+        "missing-handle-check",
+        "bare-thread",
+    }
+
+    def test_full_battery_registered(self):
+        assert {r.name for r in all_rules()} >= self.EXPECTED
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            get_rule("no-such-rule")
+
+    def test_file_wide_directive_spans_whole_file(self, tmp_path):
+        code = """
+            # tdp-lint: off(bare-thread)
+            import threading
+            a = threading.Thread(target=f)
+            b = threading.Thread(target=g)
+            """
+        assert lint_snippet(tmp_path, code, rule="bare-thread") == []

@@ -1,0 +1,63 @@
+"""Unit tests for the suppression-directive parser."""
+
+from repro.analysis.suppress import ALL, SuppressionIndex
+
+
+class TestLineDirectives:
+    def test_inline_directive_suppresses_named_rule_on_line(self):
+        idx = SuppressionIndex.parse(
+            "x = 1\ny = compute()  # tdp-lint: off(bare-thread)\n"
+        )
+        assert idx.is_suppressed("bare-thread", 2)
+        assert not idx.is_suppressed("bare-thread", 1)
+        assert not idx.is_suppressed("wall-clock-in-sim", 2)
+
+    def test_inline_directive_multiple_rules(self):
+        idx = SuppressionIndex.parse(
+            "y = f()  # tdp-lint: off(rule-a, rule-b)\n"
+        )
+        assert idx.is_suppressed("rule-a", 1)
+        assert idx.is_suppressed("rule-b", 1)
+        assert not idx.is_suppressed("rule-c", 1)
+
+    def test_bare_off_suppresses_everything_on_line(self):
+        idx = SuppressionIndex.parse("y = f()  # tdp-lint: off\n")
+        assert idx.is_suppressed("anything", 1)
+        assert not idx.is_suppressed("anything", 2)
+
+
+class TestFileDirectives:
+    def test_standalone_directive_is_file_wide(self):
+        idx = SuppressionIndex.parse(
+            "# tdp-lint: off(bare-thread)\nimport threading\n\nx = 1\n"
+        )
+        assert idx.is_suppressed("bare-thread", 2)
+        assert idx.is_suppressed("bare-thread", 400)
+        assert not idx.is_suppressed("other-rule", 2)
+
+    def test_standalone_bare_off_disables_all(self):
+        idx = SuppressionIndex.parse("# tdp-lint: off\nx = 1\n")
+        assert ALL in idx.file_wide
+        assert idx.is_suppressed("whatever", 1)
+
+    def test_indented_standalone_comment_still_file_wide(self):
+        idx = SuppressionIndex.parse(
+            "def f():\n    # tdp-lint: off(rule-x)\n    return 1\n"
+        )
+        assert idx.is_suppressed("rule-x", 99)
+
+
+class TestRobustness:
+    def test_directive_inside_string_ignored(self):
+        idx = SuppressionIndex.parse('s = "# tdp-lint: off(rule-a)"\n')
+        assert not idx.is_suppressed("rule-a", 1)
+
+    def test_unrelated_comments_ignored(self):
+        idx = SuppressionIndex.parse("x = 1  # just a note\n# another\n")
+        assert not idx.is_suppressed("rule-a", 1)
+        assert not idx.file_wide
+
+    def test_empty_parenthesized_list_is_malformed_not_wildcard(self):
+        idx = SuppressionIndex.parse("y = f()  # tdp-lint: off()\n")
+        assert not idx.is_suppressed("rule-a", 1)
+        assert idx.malformed == [1]

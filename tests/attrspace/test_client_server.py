@@ -293,3 +293,37 @@ class TestFailureModes:
             client.get("a", timeout=5.0)
             assert server.stats["puts"].value == 1
             assert server.stats["gets"].value >= 1
+
+
+class TestContextDestructionCancelsGets:
+    def test_parked_get_fails_fast_on_context_destruction(self, transport, server):
+        """A blocking get parked on a context must receive an explicit
+        remove-kind error when the context is destroyed, not hang until
+        a channel timeout."""
+        from repro.errors import ContextError
+
+        tool = make_client(transport, server, context="job1", member="tool")
+        outcome = {}
+
+        def blocked_get():
+            try:
+                tool.get("pid", timeout=30.0)
+            except Exception as e:  # noqa: BLE001 — recorded for assertion
+                outcome["error"] = e
+
+        t = threading.Thread(target=blocked_get)
+        t.start()
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while server.store.pending_waiter_count(context="job1") == 0 \
+                and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert server.store.pending_waiter_count(context="job1") == 1
+        # Destroy the context out from under the parked get (the RM-side
+        # equivalent of the last tdp_exit).
+        server.store.detach("job1", "tool")
+        t.join(timeout=5.0)
+        assert not t.is_alive(), "blocked get did not wake on context destruction"
+        assert isinstance(outcome.get("error"), ContextError)
+        tool.close(detach=False)

@@ -205,3 +205,95 @@ class TestStoreProperties:
             store.put("attr", v)
         assert store.try_get("attr") == values[-1]
         assert store.get_entry("attr").version == len(values)
+
+
+class TestEntryIsolation:
+    def test_get_entry_returns_copy(self, store):
+        """The stored record is server state; callers must not alias it."""
+        store.put("pid", "1", writer="starter")
+        entry = store.get_entry("pid")
+        entry.value = "tampered"
+        entry.version = 99
+        fresh = store.get_entry("pid")
+        assert fresh.value == "1"
+        assert fresh.version == 1
+
+    def test_get_entry_copies_are_independent(self, store):
+        store.put("pid", "1")
+        assert store.get_entry("pid") is not store.get_entry("pid")
+
+
+class TestDetachCancelsWaiters:
+    def test_waiter_callback_gets_remove_wake(self, store):
+        """Destroying a context wakes its pending waiters with None."""
+        store.attach("job1", "rm")
+        woken = []
+        wid = store.add_waiter("pid", woken.append, context="job1")
+        assert wid is not None
+        assert store.detach("job1", "rm") is True
+        assert woken == [None]
+
+    def test_blocking_get_raises_context_error(self, store):
+        store.attach("job1", "rm")
+        store.attach("job1", "tool")
+        errors_seen = []
+        started = threading.Event()
+
+        def blocked_get():
+            started.set()
+            try:
+                store.get("pid", context="job1", timeout=10.0)
+            except ContextError as e:
+                errors_seen.append(e)
+
+        t = threading.Thread(target=blocked_get)
+        t.start()
+        started.wait(5.0)
+        # Park the get, then destroy the context under it.
+        deadline = 200
+        while store.pending_waiter_count(context="job1") == 0 and deadline:
+            threading.Event().wait(0.005)
+            deadline -= 1
+        assert store.detach("job1", "rm") is False
+        assert store.detach("job1", "tool") is True
+        t.join(timeout=10.0)
+        assert not t.is_alive()
+        assert len(errors_seen) == 1
+
+    def test_partial_detach_keeps_waiters(self, store):
+        store.attach("job1", "rm")
+        store.attach("job1", "tool")
+        woken = []
+        store.add_waiter("pid", woken.append, context="job1")
+        store.detach("job1", "rm")
+        assert woken == []
+        assert store.pending_waiter_count(context="job1") == 1
+        store.put("pid", "7", context="job1")
+        assert woken == ["7"]
+
+
+class TestGetCancelRace:
+    def test_timeout_leaves_no_pending_waiter(self, store):
+        with pytest.raises(GetTimeoutError):
+            store.get("never", timeout=0.02)
+        assert store.pending_waiter_count() == 0
+
+    def test_many_timeouts_leave_no_pending_waiters(self, store):
+        """Race get-timeout against racing puts; the waiter table must
+        end empty either way (timed-out waiters cancelled, satisfied
+        waiters popped)."""
+        def one_get(i):
+            try:
+                store.get(f"attr{i}", timeout=0.01)
+            except GetTimeoutError:
+                pass
+
+        threads = [threading.Thread(target=one_get, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        # Put half the attributes while timeouts fire.
+        for i in range(0, 16, 2):
+            store.put(f"attr{i}", "v")
+        for t in threads:
+            t.join(timeout=10.0)
+        assert store.pending_waiter_count() == 0
