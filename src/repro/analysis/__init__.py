@@ -26,15 +26,24 @@ every rule.
 
 from __future__ import annotations
 
-from repro.analysis.core import Finding, ModuleSource, Rule, all_rules, get_rule
-from repro.analysis.engine import lint_paths, lint_source
+from repro.analysis.core import (
+    Finding,
+    ModuleSource,
+    ProgramRule,
+    Rule,
+    all_rules,
+    get_rule,
+)
+from repro.analysis.engine import lint_modules, lint_paths, lint_source
 
 __all__ = [
     "Finding",
     "ModuleSource",
+    "ProgramRule",
     "Rule",
     "all_rules",
     "get_rule",
+    "lint_modules",
     "lint_paths",
     "lint_source",
 ]

@@ -29,8 +29,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     parser.add_argument(
-        "--rules", metavar="NAME[,NAME...]",
-        help="run only the named rules (comma-separated)",
+        "--rules", metavar="NAME[,NAME...]", nargs="?", const=_LIST_SENTINEL,
+        help="run only the named rules (comma-separated); with no value, "
+        "list the registered rules and exit",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -39,13 +40,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: value of ``--rules`` when given bare (no rule names): list and exit 0
+_LIST_SENTINEL = "\0list"
+
+
+def _print_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.name:26s} {rule.description}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
-    if args.list_rules:
-        for rule in all_rules():
-            print(f"{rule.name:26s} {rule.description}")
-        return 0
+    if args.list_rules or args.rules == _LIST_SENTINEL:
+        return _print_rules()
 
     rules = None
     if args.rules:

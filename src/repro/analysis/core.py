@@ -139,33 +139,71 @@ class Rule:
         )
 
 
+class ProgramRule:
+    """A whole-program pass: sees every linted module at once.
+
+    Per-module :class:`Rule`s cannot observe cross-module facts (a lock
+    acquired in one daemon while messaging another, a protocol constant
+    with no dispatch branch).  Program rules run after per-module rules
+    over the full module set of one lint invocation; their findings are
+    still attributed to concrete source locations, so line/file
+    suppression works identically.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check_program(self, modules: list[ModuleSource]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(self, path: str, line: int, message: str, col: int = 1) -> Finding:
+        return Finding(path=path, line=line, col=col, rule=self.name, message=message)
+
+
 _REGISTRY: dict[str, Rule] = {}
+_PROGRAM_REGISTRY: dict[str, ProgramRule] = {}
+
+
+def _register_into(rule, registry) -> None:
+    if not rule.name:
+        raise ValueError(f"rule {type(rule).__name__} has no name")
+    if rule.name in _REGISTRY or rule.name in _PROGRAM_REGISTRY:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    registry[rule.name] = rule
 
 
 def register(cls: type[Rule]) -> type[Rule]:
     """Class decorator adding a rule (by instance) to the global registry."""
-    rule = cls()
-    if not rule.name:
-        raise ValueError(f"rule {cls.__name__} has no name")
-    if rule.name in _REGISTRY:
-        raise ValueError(f"duplicate rule name {rule.name!r}")
-    _REGISTRY[rule.name] = rule
+    _register_into(cls(), _REGISTRY)
     return cls
 
 
-def all_rules() -> list[Rule]:
-    """Every registered rule, sorted by name (imports rule modules lazily)."""
-    _ensure_rules_loaded()
-    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+def register_program(cls: type[ProgramRule]) -> type[ProgramRule]:
+    """Class decorator registering a whole-program rule."""
+    _register_into(cls(), _PROGRAM_REGISTRY)
+    return cls
 
 
-def get_rule(name: str) -> Rule:
+def all_rules() -> list[Rule | ProgramRule]:
+    """Every registered rule — per-module and program — sorted by name."""
     _ensure_rules_loaded()
-    try:
+    merged = {**_REGISTRY, **_PROGRAM_REGISTRY}
+    return [merged[name] for name in sorted(merged)]
+
+
+def all_program_rules() -> list[ProgramRule]:
+    _ensure_rules_loaded()
+    return [_PROGRAM_REGISTRY[name] for name in sorted(_PROGRAM_REGISTRY)]
+
+
+def get_rule(name: str) -> Rule | ProgramRule:
+    _ensure_rules_loaded()
+    if name in _REGISTRY:
         return _REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown rule {name!r} (known: {known})") from None
+    if name in _PROGRAM_REGISTRY:
+        return _PROGRAM_REGISTRY[name]
+    known = ", ".join(sorted({**_REGISTRY, **_PROGRAM_REGISTRY}))
+    raise KeyError(f"unknown rule {name!r} (known: {known})")
 
 
 def _ensure_rules_loaded() -> None:

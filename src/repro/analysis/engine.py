@@ -5,7 +5,14 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.analysis.core import Finding, ModuleSource, Rule, all_rules
+from repro.analysis.core import (
+    Finding,
+    ModuleSource,
+    ProgramRule,
+    Rule,
+    all_program_rules,
+    all_rules,
+)
 from repro.analysis.suppress import SuppressionIndex
 
 #: directories never descended into during discovery
@@ -35,11 +42,30 @@ def discover_files(paths: Iterable[str | Path]) -> list[Path]:
     return out
 
 
+def _split_rules(
+    rules: Sequence[Rule | ProgramRule] | None,
+) -> tuple[list[Rule], list[ProgramRule]]:
+    """Partition a mixed selection into (per-module, program) rules.
+
+    ``None`` means the full registered battery of both kinds.
+    """
+    if rules is None:
+        per_module = [r for r in all_rules() if isinstance(r, Rule)]
+        return per_module, all_program_rules()
+    per_module = [r for r in rules if isinstance(r, Rule)]
+    program = [r for r in rules if isinstance(r, ProgramRule)]
+    return per_module, program
+
+
 def lint_source(
-    module: ModuleSource, rules: Sequence[Rule] | None = None
+    module: ModuleSource, rules: Sequence[Rule | ProgramRule] | None = None
 ) -> list[Finding]:
-    """Run rules over one parsed module, honoring suppressions."""
-    active = list(rules) if rules is not None else all_rules()
+    """Run per-module rules over one parsed module, honoring suppressions.
+
+    Program rules in ``rules`` are ignored here — a single module is not
+    a program; use :func:`lint_modules` to run them.
+    """
+    active, _ = _split_rules(rules)
     index = SuppressionIndex.parse(module.text)
     findings: list[Finding] = []
     for rule in active:
@@ -49,21 +75,47 @@ def lint_source(
     return sorted(findings)
 
 
+def lint_modules(
+    modules: Sequence[ModuleSource],
+    rules: Sequence[Rule | ProgramRule] | None = None,
+) -> list[Finding]:
+    """Run the full battery — per-module then whole-program — over a
+    parsed module set, honoring suppressions in every file."""
+    per_module, program = _split_rules(rules)
+    findings: list[Finding] = []
+    indexes: dict[str, SuppressionIndex] = {}
+    for module in modules:
+        indexes[module.path] = SuppressionIndex.parse(module.text)
+        for rule in per_module:
+            for finding in rule.check(module):
+                if not indexes[module.path].is_suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+    module_list = list(modules)
+    for prule in program:
+        for finding in prule.check_program(module_list):
+            index = indexes.get(finding.path)
+            if index is None or not index.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    return sorted(findings)
+
+
 def lint_paths(
     paths: Iterable[str | Path],
     *,
-    rules: Sequence[Rule] | None = None,
+    rules: Sequence[Rule | ProgramRule] | None = None,
 ) -> list[Finding]:
     """Lint every .py file reachable from ``paths``; returns all findings.
 
     Unparseable files surface as a synthetic ``parse-error`` finding
     rather than an exception — a syntax error must fail the lint gate,
-    not crash it.
+    not crash it.  Parsed modules additionally feed the whole-program
+    passes (lock-order graph, protocol exhaustiveness).
     """
     findings: list[Finding] = []
+    modules: list[ModuleSource] = []
     for path in discover_files(paths):
         try:
-            module = ModuleSource.parse(path)
+            modules.append(ModuleSource.parse(path))
         except (SyntaxError, UnicodeDecodeError, OSError) as e:
             findings.append(
                 Finding(
@@ -74,6 +126,5 @@ def lint_paths(
                     message=f"could not parse: {e}",
                 )
             )
-            continue
-        findings.extend(lint_source(module, rules))
+    findings.extend(lint_modules(modules, rules))
     return sorted(findings)

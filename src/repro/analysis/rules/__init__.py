@@ -2,6 +2,22 @@
 
 from __future__ import annotations
 
-from repro.analysis.rules import attrs, handles, locks, simclock, threads
+from repro.analysis.rules import (
+    attrs,
+    concurrency,
+    handles,
+    locks,
+    protocol,
+    simclock,
+    threads,
+)
 
-__all__ = ["attrs", "handles", "locks", "simclock", "threads"]
+__all__ = [
+    "attrs",
+    "concurrency",
+    "handles",
+    "locks",
+    "protocol",
+    "simclock",
+    "threads",
+]

@@ -1,0 +1,93 @@
+"""Whole-program lock-order rules: the static half of the sanitizer.
+
+Both rules rebuild the lock graph from the lint invocation's module set
+(cheap: one AST pass + a small fixpoint) and check it against the
+hierarchy in :func:`repro.analysis.lockorder.active`:
+
+* ``undeclared-lock-edge`` — an acquisition the manifest does not
+  sanction: an undeclared lock key, a rank inversion, or a
+  non-reentrant self-edge.
+* ``lock-order-cycle`` — a strongly connected component in the graph:
+  two threads walking the component in different orders can deadlock.
+
+Fix by reordering the acquisitions (or narrowing a critical section so
+the outgoing call moves outside the lock); declare genuinely new
+nesting in lockorder.py; suppress only with a justification comment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis import lockorder
+from repro.analysis.core import Finding, ModuleSource, ProgramRule, register_program
+from repro.analysis.lockgraph import LockGraph, build_lock_graph
+
+
+@register_program
+class UndeclaredLockEdgeRule(ProgramRule):
+    name = "undeclared-lock-edge"
+    description = (
+        "lock acquisition not sanctioned by the declared hierarchy "
+        "(analysis/lockorder.py): undeclared key, rank inversion, or "
+        "non-reentrant self-edge"
+    )
+
+    def check_program(self, modules: list[ModuleSource]) -> Iterator[Finding]:
+        graph = build_lock_graph(modules)
+        hierarchy = lockorder.active()
+        reported: set[str] = set()
+        for key, path, line in graph.acquisitions:
+            if not hierarchy.declared(key) and key not in reported:
+                reported.add(key)
+                yield self.finding_at(
+                    path, line,
+                    f"lock {key} is not declared in the lockorder manifest",
+                )
+        for (held, acquired), edge in sorted(graph.edges.items()):
+            if hierarchy.may_acquire(held, acquired):
+                continue
+            if held == acquired:
+                detail = "re-acquiring a non-reentrant lock deadlocks"
+            elif not hierarchy.declared(held) or not hierarchy.declared(acquired):
+                undeclared = acquired if not hierarchy.declared(acquired) else held
+                if undeclared in reported:
+                    continue  # key itself already reported above
+                detail = f"{undeclared} is not declared in the manifest"
+            else:
+                detail = (
+                    f"rank inversion: {acquired} (rank "
+                    f"{hierarchy.rank(acquired)}) must be taken before "
+                    f"{held} (rank {hierarchy.rank(held)})"
+                )
+            yield self.finding_at(
+                edge.path, edge.line, f"{edge.describe()}: {detail}"
+            )
+
+
+@register_program
+class LockOrderCycleRule(ProgramRule):
+    name = "lock-order-cycle"
+    description = (
+        "cycle in the whole-program lock-acquisition graph — a potential "
+        "deadlock between threads taking the locks in different orders"
+    )
+
+    def check_program(self, modules: list[ModuleSource]) -> Iterator[Finding]:
+        graph = build_lock_graph(modules)
+        for component in graph.cycles():
+            witness = self._witness(graph, component)
+            ring = " -> ".join(component + [component[0]])
+            yield self.finding_at(
+                witness.path, witness.line,
+                f"lock-order cycle {ring}; witness: {witness.describe()}",
+            )
+
+    @staticmethod
+    def _witness(graph: LockGraph, component: list[str]):
+        members = set(component)
+        edges = [
+            e for (a, b), e in graph.edges.items()
+            if a in members and b in members
+        ]
+        return min(edges, key=lambda e: (e.path, e.line, e.acquired))

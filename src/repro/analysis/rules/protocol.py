@@ -1,0 +1,98 @@
+"""Protocol exhaustiveness: every wire op must be fully plumbed.
+
+``repro.attrspace.protocol`` declares the CASS wire ops as module-level
+``OP_*`` string constants.  A constant without a server dispatch branch
+is a request the server answers with ``unknown op``; one without a
+client encoder is dead protocol surface.  Both are whole-program facts
+— the constant, the dispatch method, and the encoder live in three
+modules — so this is a :class:`ProgramRule`.
+
+Satisfying references:
+
+* server side — a ``_op_<value>`` method anywhere in the server module
+  (the dispatcher is ``getattr(self, f"_op_{op}")``), or a direct
+  reference to the constant (push ops like ``OP_NOTIFY`` are *sent* by
+  the server, not dispatched);
+* client side — any reference to the constant in the client module.
+
+The rule is silent when the protocol module is not part of the linted
+set, so fixture trees and partial lints stay clean.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleSource, ProgramRule, register_program
+
+PROTOCOL_MODULE = "repro.attrspace.protocol"
+SERVER_MODULE = "repro.attrspace.server"
+CLIENT_MODULE = "repro.attrspace.client"
+
+
+def _op_constants(module: ModuleSource) -> list[tuple[str, str, int]]:
+    """Module-level ``OP_NAME = "value"`` assignments: (name, value, line)."""
+    out = []
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) \
+                and stmt.targets[0].id.startswith("OP_") \
+                and isinstance(stmt.value, ast.Constant) \
+                and isinstance(stmt.value.value, str):
+            out.append((stmt.targets[0].id, stmt.value.value, stmt.lineno))
+    return out
+
+
+def _referenced_names(module: ModuleSource) -> set[str]:
+    """Every Name id and Attribute attr in the module (``OP_X`` or
+    ``protocol.OP_X`` reference styles both land here)."""
+    names: set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+def _method_names(module: ModuleSource) -> set[str]:
+    return {
+        node.name for node in ast.walk(module.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+@register_program
+class ProtocolExhaustivenessRule(ProgramRule):
+    name = "protocol-exhaustiveness"
+    description = (
+        "every OP_* constant in attrspace/protocol.py has a server "
+        "dispatch branch and a client encoder"
+    )
+
+    def check_program(self, modules: list[ModuleSource]) -> Iterator[Finding]:
+        by_name = {m.modname: m for m in modules}
+        proto = by_name.get(PROTOCOL_MODULE)
+        if proto is None:
+            return
+        ops = _op_constants(proto)
+        server = by_name.get(SERVER_MODULE)
+        client = by_name.get(CLIENT_MODULE)
+        server_methods = _method_names(server) if server else set()
+        server_refs = _referenced_names(server) if server else set()
+        client_refs = _referenced_names(client) if client else set()
+        for name, value, line in ops:
+            if server is not None and f"_op_{value}" not in server_methods \
+                    and name not in server_refs:
+                yield self.finding_at(
+                    proto.path, line,
+                    f"{name} ({value!r}) has no dispatch branch "
+                    f"(_op_{value}) or reference in attrspace/server.py",
+                )
+            if client is not None and name not in client_refs:
+                yield self.finding_at(
+                    proto.path, line,
+                    f"{name} ({value!r}) has no encoder reference in "
+                    f"attrspace/client.py",
+                )

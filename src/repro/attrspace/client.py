@@ -21,7 +21,7 @@ from repro.attrspace.store import DEFAULT_CONTEXT
 from repro.transport.base import Channel
 from repro.util.ids import IdAllocator
 from repro.util.log import get_logger
-from repro.util.sync import Latch, WaitableQueue
+from repro.util.sync import Latch, WaitableQueue, tracked_lock
 from repro.util.threads import spawn
 
 _log = get_logger("attrspace.client")
@@ -70,7 +70,7 @@ class AttributeSpaceClient:
         self._pending_sync: dict[int, Latch[dict]] = {}
         self._pending_async: dict[int, _PendingAsync] = {}
         self._subs: dict[int, tuple[NotifyCallback, Any]] = {}
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("attrspace.client.AttributeSpaceClient._lock")
         self._closed = False
         self._conn_lost = False
         #: the "descriptor": non-empty means tdp_service_events has work

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.util.ids import IdAllocator
+from repro.util.sync import tracked_lock
 
 
 @dataclass(frozen=True)
@@ -67,7 +68,7 @@ class SubscriptionRegistry:
     def __init__(self) -> None:
         self._subs: dict[int, _Subscription] = {}
         self._ids = IdAllocator()
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("attrspace.notify.SubscriptionRegistry._lock")
 
     def subscribe(
         self,

@@ -26,7 +26,7 @@ from repro.attrspace.store import DEFAULT_CONTEXT, AttributeStore
 from repro.net.address import Endpoint
 from repro.transport.base import Channel, Transport
 from repro.util.log import get_logger
-from repro.util.sync import AtomicCounter
+from repro.util.sync import AtomicCounter, tracked_lock
 from repro.util.threads import spawn
 
 _log = get_logger("attrspace.server")
@@ -45,7 +45,7 @@ class _Connection:
         self.channel = channel
         self.conn_id = conn_id
         self.peer = f"{channel.remote_host}#{conn_id}"
-        self.send_lock = threading.Lock()
+        self.send_lock = tracked_lock("attrspace.server._Connection.send_lock")
         # (context, attribute, waiter_id) for pending blocking gets, so we
         # can cancel them if this client disconnects.
         self.pending_waiters: set[tuple[str, str, int]] = set()
@@ -93,7 +93,7 @@ class AttributeSpaceServer:
         self._stopped = threading.Event()
         self._conn_ids = AtomicCounter()
         self._connections: dict[int, _Connection] = {}
-        self._conn_lock = threading.Lock()
+        self._conn_lock = tracked_lock("attrspace.server.AttributeSpaceServer._conn_lock")
         self.stats = {
             "puts": AtomicCounter(),
             "gets": AtomicCounter(),

@@ -28,6 +28,7 @@ from repro.errors import ContextError, NoSuchAttributeError
 from repro.attrspace.notify import Notification, SubscriptionRegistry
 from repro.util.ids import IdAllocator
 from repro.util.strings import encode_value, validate_attribute_name
+from repro.util.sync import tracked_rlock
 
 #: The context used when daemons do not name one explicitly.
 DEFAULT_CONTEXT = "default"
@@ -71,7 +72,7 @@ class AttributeStore:
 
     def __init__(self) -> None:
         self._contexts: dict[str, _Context] = {}
-        self._lock = threading.RLock()
+        self._lock = tracked_rlock("attrspace.store.AttributeStore._lock")
         self._waiter_ids = IdAllocator()
         self.subscriptions = SubscriptionRegistry()
         # Pre-create the default context with a synthetic member so it is

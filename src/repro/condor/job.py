@@ -9,6 +9,7 @@ from dataclasses import dataclass, field
 from repro.condor.classad import ClassAd
 from repro.condor.submit import SubmitDescription
 from repro.errors import GetTimeoutError
+from repro.util.sync import tracked_condition
 
 
 class JobStatus(enum.Enum):
@@ -50,7 +51,10 @@ class JobRecord:
     #: set by condor_rm so the terminal status becomes REMOVED, not COMPLETED
     removal_requested: bool = False
     stdout_lines: list[str] = field(default_factory=list)
-    _cond: threading.Condition = field(default_factory=threading.Condition, repr=False)
+    _cond: threading.Condition = field(
+        default_factory=lambda: tracked_condition("condor.job.JobRecord._cond"),
+        repr=False,
+    )
 
     def set_status(
         self,

@@ -32,6 +32,7 @@ from repro.net.address import Endpoint, parse_endpoint
 from repro.transport.base import Transport
 from repro.util.ids import IdAllocator, fresh_token
 from repro.util.log import TraceRecorder, get_logger
+from repro.util.sync import tracked_condition
 from repro.util.threads import spawn
 
 _log = get_logger("condor.schedd")
@@ -77,7 +78,7 @@ class Schedd:
         # job_id -> [(machine, startd_endpoint, claim_id, lass)] while active
         self._active_claims: dict[str, list] = {}
         self._queue: list[JobRecord] = []
-        self._cond = threading.Condition()
+        self._cond = tracked_condition("condor.schedd.Schedd._cond")
         self._stopped = False
         self._negotiator = spawn(self._negotiation_loop, name="schedd-negotiate")
 

@@ -23,6 +23,7 @@ from repro.net.address import Endpoint
 from repro.tdp.stdio import StdioCollector
 from repro.transport.base import Transport
 from repro.util.log import TraceRecorder, get_logger
+from repro.util.sync import tracked_lock
 from repro.util.threads import spawn
 
 _log = get_logger("condor.shadow")
@@ -50,6 +51,10 @@ class Shadow:
         self._stdout_pump = spawn(
             self._pump_stdout, name=f"shadow-stdout-{record.job_id}"
         )
+        # stop() can race between the schedd's remove path and normal
+        # job teardown; the flag flip must be atomic so the listener and
+        # collector are closed exactly once.
+        self._lock = tracked_lock("condor.shadow.Shadow._lock")
         self._stopped = False
         spawn(self._serve_starter, name=f"shadow-{record.job_id}")
 
@@ -114,8 +119,9 @@ class Shadow:
             pass
 
     def stop(self) -> None:
-        if self._stopped:
-            return
-        self._stopped = True
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
         self._listener.close()
         self.stdio.close()

@@ -31,6 +31,7 @@ from repro.sim.host import SimHost
 from repro.transport.base import Transport
 from repro.util.log import TraceRecorder, get_logger
 from repro.util.strings import split_arguments
+from repro.util.sync import tracked_lock
 from repro.util.threads import spawn
 
 _log = get_logger("condor.startd")
@@ -79,7 +80,7 @@ class Startd:
         self._listener = transport.listen(host.name)
         self._claims: dict[str, dict] = {}  # claim_id -> {"job_ad", "starter"}
         self._all_starters: list[Starter] = []  # history incl. released claims
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("condor.startd.Startd._lock")
         self._stopped = False
         spawn(self._accept_loop, name=f"startd-{host.name}")
 

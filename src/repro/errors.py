@@ -239,3 +239,20 @@ class FaultDetected(TdpError):
         self.entity_id = entity_id
         self.reason = reason
         super().__init__(f"{entity_kind} {entity_id} failed: {reason}")
+
+
+# ---------------------------------------------------------------------------
+# Concurrency sanitizer (TDP_SANITIZE=1 runtime lockset witness)
+# ---------------------------------------------------------------------------
+
+class LockOrderError(TdpError):
+    """A thread violated the declared lock hierarchy.
+
+    Raised only when the runtime lockset witness is active
+    (``TDP_SANITIZE=1``): acquiring a lock out of rank order, acquiring
+    an undeclared lock, or blocking while holding a lock the hierarchy
+    does not sanction holding across blocking calls.  The same hierarchy
+    (``repro.analysis.lockorder``) backs the static ``lock-order-cycle``
+    / ``undeclared-lock-edge`` lint passes, so a witness report should
+    always correspond to a fixable ordering bug, not test noise.
+    """

@@ -21,6 +21,7 @@ from repro.sim.process import SimProcess
 from repro.sim.syscalls import MsgRecord, SendMsg
 from repro.transport.inmem import InMemoryTransport
 from repro.util.clock import VirtualClock
+from repro.util.sync import tracked_lock
 
 ServiceHandler = Callable[[SimProcess, dict[str, Any]], Any]
 
@@ -53,7 +54,7 @@ class SimCluster:
         self.registry = registry if registry is not None else default_registry()
         self._hosts: dict[str, SimHost] = {}
         self._services: dict[str, ServiceHandler] = {}
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("sim.cluster.SimCluster._lock")
         for hostname in network.hosts():
             self._hosts[hostname] = SimHost(self, hostname)
         self._started = False

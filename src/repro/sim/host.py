@@ -16,6 +16,7 @@ from repro.errors import ExecutableNotFoundError, NoSuchProcessError
 from repro.sim.process import ProcessState, SimProcess
 from repro.sim.syscalls import Program
 from repro.util.ids import IdAllocator
+from repro.util.sync import tracked_lock
 
 if TYPE_CHECKING:
     from repro.sim.cluster import SimCluster
@@ -32,7 +33,7 @@ class SimHost:
         self.name = name
         self._pids = IdAllocator(first=1000)  # conventional "not init" range
         self._procs: dict[int, SimProcess] = {}
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("sim.host.SimHost._lock")
         #: this host's simulated filesystem: path -> file content.  The
         #: TDP file-staging service copies tool config/output files
         #: between these per-host namespaces.

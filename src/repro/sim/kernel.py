@@ -25,6 +25,7 @@ from repro.sim.process import ProcessState, SimProcess, StopReason
 from repro.sim import syscalls as sc
 from repro.util.clock import VirtualClock
 from repro.util.log import get_logger
+from repro.util.sync import tracked_lock
 from repro.util.threads import spawn
 
 if TYPE_CHECKING:
@@ -49,7 +50,7 @@ class Scheduler:
         self._cluster = cluster
         self.clock = clock
         self._procs: list[SimProcess] = []
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("sim.kernel.Scheduler._lock")
         self._wake = threading.Event()
         self._stop = False
         self._thread: threading.Thread | None = None
@@ -216,11 +217,15 @@ class Scheduler:
 
         # Blocking-capable syscalls: evaluate-and-park atomically with the
         # process lock, so a concurrent deliver/feed cannot slip between
-        # the emptiness check and the BLOCKED transition.
+        # the emptiness check and the BLOCKED transition.  Only the narrow
+        # _try_blocking_syscall runs under the lock — it touches nothing
+        # but this process and the clock, keeping the lock hierarchy flat
+        # (routing a SendMsg to a peer process must not happen while
+        # holding the sender's lock).
         try:
             if isinstance(syscall, (sc.ReadLine, sc.RecvMsg, sc.Sleep)):
                 with proc.state_changed:
-                    done, result, cost = self._try_syscall(proc, syscall)
+                    done, result, cost = self._try_blocking_syscall(proc, syscall)
                     if not done:
                         if proc.state is ProcessState.RUNNABLE:
                             proc._set_state(ProcessState.BLOCKED, None)
@@ -249,10 +254,51 @@ class Scheduler:
 
     # -- individual syscalls --------------------------------------------------------
 
+    def _try_blocking_syscall(
+        self, proc: SimProcess, syscall: sc.SysCall
+    ) -> tuple[bool, Any, float]:
+        """Attempt a blocking-capable syscall (ReadLine/RecvMsg/Sleep).
+
+        The caller holds ``proc.state_changed``; everything here must
+        stay within this process (plus the leaf clock lock) so the
+        evaluate-and-park critical section never reaches into another
+        daemon's locks.
+        """
+        if isinstance(syscall, sc.ReadLine):
+            with proc.lock:
+                if proc.stdin_lines:
+                    return True, proc.stdin_lines.pop(0), 0.0
+                if proc.stdin_eof:
+                    return True, None, 0.0
+            return False, None, 0.0
+
+        if isinstance(syscall, sc.RecvMsg):
+            record = proc.take_message(syscall.tag)
+            if record is None:
+                return False, None, 0.0
+            return True, record, 0.0
+
+        if isinstance(syscall, sc.Sleep):
+            until = getattr(proc, "_sleep_until", None)
+            if until is None:
+                proc._sleep_until = self.clock.now() + syscall.seconds  # type: ignore[attr-defined]
+                if syscall.seconds > 0:
+                    return False, None, 0.0
+                until = proc._sleep_until  # type: ignore[attr-defined]
+            if self.clock.now() >= until:
+                proc._sleep_until = None  # type: ignore[attr-defined]
+                return True, None, 0.0
+            return False, None, 0.0
+
+        raise AssertionError(f"not a blocking-capable syscall: {syscall!r}")
+
     def _try_syscall(
         self, proc: SimProcess, syscall: sc.SysCall
     ) -> tuple[bool, Any, float]:
         """Attempt one syscall: (completed?, result, extra_cost)."""
+        if isinstance(syscall, (sc.ReadLine, sc.RecvMsg, sc.Sleep)):
+            return self._try_blocking_syscall(proc, syscall)
+
         if isinstance(syscall, sc.Compute):
             return True, None, syscall.cost
 
@@ -283,35 +329,9 @@ class Scheduler:
             proc.write_stdout(syscall.text)
             return True, None, 0.0
 
-        if isinstance(syscall, sc.ReadLine):
-            with proc.lock:
-                if proc.stdin_lines:
-                    return True, proc.stdin_lines.pop(0), 0.0
-                if proc.stdin_eof:
-                    return True, None, 0.0
-            return False, None, 0.0
-
         if isinstance(syscall, sc.SendMsg):
             self._cluster.route_message(proc, syscall)
             return True, None, 0.0
-
-        if isinstance(syscall, sc.RecvMsg):
-            record = proc.take_message(syscall.tag)
-            if record is None:
-                return False, None, 0.0
-            return True, record, 0.0
-
-        if isinstance(syscall, sc.Sleep):
-            until = getattr(proc, "_sleep_until", None)
-            if until is None:
-                proc._sleep_until = self.clock.now() + syscall.seconds  # type: ignore[attr-defined]
-                if syscall.seconds > 0:
-                    return False, None, 0.0
-                until = proc._sleep_until  # type: ignore[attr-defined]
-            if self.clock.now() >= until:
-                proc._sleep_until = None  # type: ignore[attr-defined]
-                return True, None, 0.0
-            return False, None, 0.0
 
         if isinstance(syscall, sc.ExitProgram):
             with proc.lock:

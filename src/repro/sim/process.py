@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import AttachError, InvalidProcessStateError
 from repro.sim.syscalls import MsgRecord, Program, SysCall
+from repro.util.sync import tracked_condition, tracked_rlock
 
 if TYPE_CHECKING:
     from repro.sim.host import SimHost
@@ -98,8 +99,8 @@ class SimProcess:
         self.env = dict(env or {})
         self.executable = executable
 
-        self.lock = threading.RLock()
-        self.state_changed = threading.Condition(self.lock)
+        self.lock = tracked_rlock("sim.process.SimProcess.lock")
+        self.state_changed = tracked_condition("sim.process.SimProcess.lock", self.lock)
         self.state = ProcessState.STOPPED if paused else ProcessState.RUNNABLE
         self.stop_reason: StopReason | None = (
             StopReason.CREATED_PAUSED if paused else None

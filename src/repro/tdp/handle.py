@@ -22,6 +22,7 @@ from repro.net.address import Endpoint
 from repro.tdp.process import ProcessBackend, ProcessControlService
 from repro.transport.base import Transport
 from repro.util.log import get_logger
+from repro.util.sync import tracked_lock
 from repro.util.threads import spawn
 
 _log = get_logger("tdp.handle")
@@ -55,7 +56,7 @@ class TdpHandle:
         self.lass = lass
         self.cass = cass
         self._closed = False
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("tdp.handle.TdpHandle._lock")
         self._service_thread: threading.Thread | None = None
         self._service_stop = threading.Event()
 

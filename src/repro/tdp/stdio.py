@@ -22,7 +22,7 @@ from repro.net.address import Endpoint
 from repro.transport.base import Channel, Listener, Transport
 from repro.transport.proxy import connect_maybe_proxied
 from repro.util.log import get_logger
-from repro.util.sync import WaitableQueue
+from repro.util.sync import WaitableQueue, tracked_lock
 from repro.util.threads import spawn
 
 _log = get_logger("tdp.stdio")
@@ -40,7 +40,7 @@ class StdioCollector:
         self.lines: list[str] = []
         self._line_queue: WaitableQueue[str] = WaitableQueue()
         self._channel: Channel | None = None
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("tdp.stdio.StdioCollector._lock")
         self._stdin_pending: list[dict] = []
         self._accepted = threading.Event()
         spawn(self._accept_and_pump, name=f"stdio-collect-{host}")
@@ -128,7 +128,7 @@ class StdioRelay:
         self._channel = connect_maybe_proxied(transport, src_host, endpoint, proxy)
         self._feed_stdin = feed_stdin
         self._close_stdin = close_stdin
-        self._send_lock = threading.Lock()
+        self._send_lock = tracked_lock("tdp.stdio.StdioRelay._send_lock")
         spawn(self._stdin_pump, name=f"stdio-relay-{src_host}")
 
     def forward_stdout(self, line: str) -> None:

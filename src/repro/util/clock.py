@@ -13,6 +13,8 @@ import threading
 import time
 from abc import ABC, abstractmethod
 
+from repro.util.sync import tracked_lock
+
 
 class Clock(ABC):
     """Minimal clock interface: a monotonically non-decreasing ``now()``."""
@@ -43,7 +45,7 @@ class VirtualClock(Clock):
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("util.clock.VirtualClock._lock")
 
     def now(self) -> float:
         with self._lock:

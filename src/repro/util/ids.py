@@ -11,6 +11,8 @@ from __future__ import annotations
 import itertools
 import threading
 
+from repro.util.sync import tracked_lock
+
 
 class IdAllocator:
     """Thread-safe monotonically increasing integer allocator.
@@ -24,7 +26,7 @@ class IdAllocator:
 
     def __init__(self, first: int = 1):
         self._counter = itertools.count(first)
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("util.ids.IdAllocator._lock")
         self._last: int | None = None
 
     def next(self) -> int:

@@ -7,17 +7,256 @@ a small set of audited primitives rather than ad-hoc sleeps:
 * :class:`Latch` — a one-shot level-triggered gate with a payload.
 * :class:`WaitableQueue` — an unbounded FIFO whose ``close()`` wakes
   blocked readers, used for channel receive queues and event queues.
+
+It also hosts the **runtime lockset witness** — the dynamic half of the
+concurrency sanitizer.  Daemons create their locks through
+:func:`tracked_lock` / :func:`tracked_rlock` / :func:`tracked_condition`,
+naming them with the ``module.Class.attr`` keys of
+:mod:`repro.analysis.lockorder`.  With ``TDP_SANITIZE`` unset the
+factories return *plain* ``threading`` primitives — zero wrapper, zero
+per-acquire overhead.  With ``TDP_SANITIZE=1`` they return
+:class:`TrackedLock`/:class:`TrackedRLock` wrappers that keep a
+per-thread lockset and raise :class:`~repro.errors.LockOrderError` the
+moment any thread acquires out of rank order, touches an undeclared
+lock, or blocks in :func:`witness_blocking` while holding a lock the
+hierarchy does not sanction holding across blocking calls.  The static
+lint passes check the same hierarchy from the AST, so each side
+cross-checks the other.
 """
 
 from __future__ import annotations
 
 import collections
+import os
 import threading
 from typing import Any, Generic, Iterable, TypeVar
 
-from repro.errors import ChannelClosedError, GetTimeoutError
+from repro.errors import ChannelClosedError, GetTimeoutError, LockOrderError
 
 T = TypeVar("T")
+
+
+# ---------------------------------------------------------------------------
+# runtime lockset witness (the dynamic half of the concurrency sanitizer)
+
+_sanitize = os.environ.get("TDP_SANITIZE", "") not in ("", "0")
+
+
+def sanitize_enabled() -> bool:
+    """Is the lockset witness active (``TDP_SANITIZE=1``)?"""
+    return _sanitize
+
+
+def set_sanitize(enabled: bool) -> None:
+    """Toggle the witness (tests; conftest honors the environment).
+
+    Only locks created *after* enabling are tracked — the factories
+    decide between plain and wrapped primitives at construction time.
+    """
+    global _sanitize
+    _sanitize = bool(enabled)
+
+
+def _hierarchy():
+    # Imported lazily: the util layer must not pull the analysis package
+    # in on the plain (sanitizer-off) path.
+    from repro.analysis import lockorder
+
+    return lockorder.active()
+
+
+class _Lockset(threading.local):
+    """Per-thread stack of (lock key, lock identity) currently held."""
+
+    def __init__(self) -> None:
+        self.held: list[tuple[str, int]] = []
+
+
+_lockset = _Lockset()
+
+
+def held_lock_keys() -> list[str]:
+    """Keys the calling thread holds right now (diagnostics/tests)."""
+    return [key for key, _ in _lockset.held]
+
+
+def _witness_acquire(key: str) -> None:
+    """Raise unless the calling thread may acquire ``key`` now."""
+    hierarchy = _hierarchy()
+    if not hierarchy.declared(key):
+        raise LockOrderError(
+            f"acquisition of lock {key!r} which is not declared in the "
+            f"lockorder manifest (repro/analysis/lockorder.py)"
+        )
+    for held_key, _ in _lockset.held:
+        if not hierarchy.may_acquire(held_key, key):
+            raise LockOrderError(
+                f"lock-order violation: acquiring {key} (rank "
+                f"{hierarchy.rank(key)}) while holding {held_key} (rank "
+                f"{hierarchy.rank(held_key)}); declared order requires "
+                f"strictly increasing ranks"
+            )
+
+
+def _witness_push(key: str, lock_id: int) -> None:
+    _lockset.held.append((key, lock_id))
+
+
+def _witness_pop(key: str, lock_id: int) -> None:
+    # Search from the top: releases need not mirror acquisition order.
+    held = _lockset.held
+    for i in range(len(held) - 1, -1, -1):
+        if held[i] == (key, lock_id):
+            del held[i]
+            return
+
+
+def witness_blocking(operation: str) -> None:
+    """Flag a blocking call made while holding a non-exempt lock.
+
+    Blocking primitives (latch waits, queue gets) call this on entry;
+    locks declared ``blocking_ok`` in the hierarchy (audited frame-send
+    locks) are exempt.  No-op unless the witness is active.
+    """
+    if not _sanitize or not _lockset.held:
+        return
+    hierarchy = _hierarchy()
+    offenders = [
+        key for key, _ in _lockset.held if not hierarchy.blocking_ok(key)
+    ]
+    if offenders:
+        raise LockOrderError(
+            f"blocking call {operation!r} while holding {offenders}; "
+            f"holding a lock across a blocking call is only sanctioned "
+            f"for blocking_ok locks in the lockorder manifest"
+        )
+
+
+class TrackedLock:
+    """A named, witness-checked ``threading.Lock``.
+
+    Implements ``_is_owned`` so it can back a ``threading.Condition``;
+    wait/notify then route release/acquire through the witness too.
+    """
+
+    def __init__(self, key: str):
+        self.key = key
+        self._inner = threading.Lock()
+        self._owner: int | None = None
+
+    def __repr__(self) -> str:
+        return f"<TrackedLock {self.key} locked={self._inner.locked()}>"
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        _witness_acquire(self.key)
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._owner = threading.get_ident()
+            _witness_push(self.key, id(self))
+        return ok
+
+    def release(self) -> None:
+        self._owner = None
+        _witness_pop(self.key, id(self))
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def _is_owned(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class TrackedRLock:
+    """A named, witness-checked ``threading.RLock``.
+
+    Only the outermost acquire is order-checked (re-entry is sanctioned
+    for RLOCK-kind keys by definition); the witness entry lives for the
+    whole ownership span.  ``_release_save``/``_acquire_restore`` keep
+    ``threading.Condition`` compatibility: a wait fully releases the
+    lock (witness entry popped), and the wake re-acquire restores it
+    without an order re-check against locks taken while parked.
+    """
+
+    def __init__(self, key: str):
+        self.key = key
+        self._inner = threading.RLock()
+        self._count = 0
+
+    def __repr__(self) -> str:
+        return f"<TrackedRLock {self.key} count={self._count}>"
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        first = not self._inner._is_owned()
+        if first:
+            _witness_acquire(self.key)
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._count += 1
+            if first:
+                _witness_push(self.key, id(self))
+        return ok
+
+    def release(self) -> None:
+        self._count -= 1
+        if self._count == 0:
+            _witness_pop(self.key, id(self))
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    # -- threading.Condition protocol ----------------------------------
+    def _release_save(self):
+        count = self._count
+        self._count = 0
+        _witness_pop(self.key, id(self))
+        return count, self._inner._release_save()
+
+    def _acquire_restore(self, saved) -> None:
+        count, inner_state = saved
+        self._inner._acquire_restore(inner_state)
+        self._count = count
+        _witness_push(self.key, id(self))
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+
+def tracked_lock(key: str) -> "threading.Lock | TrackedLock":
+    """A mutex named ``key`` in the lock hierarchy.
+
+    Plain ``threading.Lock`` when the sanitizer is off (zero overhead);
+    a :class:`TrackedLock` under ``TDP_SANITIZE=1``.
+    """
+    return TrackedLock(key) if _sanitize else threading.Lock()
+
+
+def tracked_rlock(key: str) -> "threading.RLock | TrackedRLock":
+    """Re-entrant variant of :func:`tracked_lock` (RLOCK-kind keys)."""
+    return TrackedRLock(key) if _sanitize else threading.RLock()
+
+
+def tracked_condition(key: str, lock: Any = None) -> threading.Condition:
+    """A condition variable whose underlying lock is witness-checked.
+
+    With ``lock`` (an already-tracked lock) the condition *aliases* that
+    lock — the ``Condition(self.lock)`` pattern — and ``key`` is the
+    shared name.  Without it, the condition owns a fresh lock named
+    ``key``.
+    """
+    if lock is None and _sanitize:
+        lock = TrackedLock(key)
+    return threading.Condition(lock)
 
 
 class Latch(Generic[T]):
@@ -31,7 +270,7 @@ class Latch(Generic[T]):
     def __init__(self) -> None:
         self._event = threading.Event()
         self._value: T | None = None
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("util.sync.Latch._lock")
 
     def open(self, value: T) -> bool:
         """Open the latch with ``value``; returns False if already open."""
@@ -52,6 +291,7 @@ class Latch(Generic[T]):
 
     def wait(self, timeout: float | None = None) -> T:
         """Block until open; return the latched value."""
+        witness_blocking("Latch.wait")
         if not self._event.wait(timeout):
             raise GetTimeoutError(f"latch wait timed out after {timeout}s")
         assert self._event.is_set()
@@ -69,7 +309,7 @@ class WaitableQueue(Generic[T]):
 
     def __init__(self) -> None:
         self._items: collections.deque[T] = collections.deque()
-        self._cond = threading.Condition()
+        self._cond = tracked_condition("util.sync.WaitableQueue._cond")
         self._closed = False
 
     def put(self, item: T) -> None:
@@ -85,6 +325,7 @@ class WaitableQueue(Generic[T]):
         Raises ``ChannelClosedError`` when the queue is closed and empty,
         ``GetTimeoutError`` on timeout.
         """
+        witness_blocking("WaitableQueue.get")
         with self._cond:
             if not self._cond.wait_for(lambda: self._items or self._closed, timeout):
                 raise GetTimeoutError(f"queue get timed out after {timeout}s")
@@ -107,6 +348,7 @@ class WaitableQueue(Generic[T]):
         Returns True when an item is available, False on timeout or when
         the queue closed empty.
         """
+        witness_blocking("WaitableQueue.wait_nonempty")
         with self._cond:
             self._cond.wait_for(lambda: self._items or self._closed, timeout)
             return bool(self._items)
@@ -165,7 +407,7 @@ class AtomicCounter:
 
     def __init__(self, initial: int = 0):
         self._value = initial
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("util.sync.AtomicCounter._lock")
 
     def increment(self, delta: int = 1) -> int:
         with self._lock:

@@ -66,8 +66,30 @@ class TestRuleSelection:
             "raw-attribute-literal",
             "missing-handle-check",
             "bare-thread",
+            "lock-order-cycle",
+            "undeclared-lock-edge",
+            "protocol-exhaustiveness",
         ):
             assert name in out
+
+    def test_bare_rules_flag_lists_rules(self, capsys):
+        # `--rules` with no value is a listing request, not a filter
+        assert main(["--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "lock-order-cycle" in out
+        assert "undeclared-lock-edge" in out
+        # descriptions ride along
+        assert "deadlock" in out
+
+    def test_bare_rules_flag_ignores_paths(self, tmp_path, capsys):
+        write_fixture(tmp_path, "bad.py", DIRTY)
+        assert main([str(tmp_path), "--rules"]) == 0
+        assert "bare-thread " in capsys.readouterr().out
+
+    def test_program_rule_selectable_by_name(self, tmp_path, capsys):
+        write_fixture(tmp_path, "ok.py", CLEAN)
+        assert main([str(tmp_path), "--rules", "lock-order-cycle"]) == 0
+        capsys.readouterr()
 
 
 class TestJsonReporter:

@@ -26,6 +26,52 @@ def test_source_tree_is_lint_clean():
     assert not findings, f"tdp-lint findings in src/repro:\n{report}"
 
 
+def test_whole_program_passes_are_clean():
+    """The program rules alone must hold on src/repro.
+
+    Separate from the full battery so a lock-order regression is named
+    by this test, not buried in a generic lint failure.
+    """
+    from repro.analysis.core import get_rule
+
+    rules = [
+        get_rule("lock-order-cycle"),
+        get_rule("undeclared-lock-edge"),
+        get_rule("protocol-exhaustiveness"),
+    ]
+    findings = lint_paths([SRC], rules=rules)
+    report = "\n".join(f.format() for f in findings)
+    assert not findings, f"whole-program findings in src/repro:\n{report}"
+
+
+def test_lock_graph_is_not_vacuous():
+    """Guard against the analysis silently resolving nothing.
+
+    A refactor that breaks lock-key resolution would make the lock-order
+    rules pass trivially; pin minimum coverage so that shows up here.
+    """
+    from repro.analysis.core import ModuleSource
+    from repro.analysis.engine import discover_files
+    from repro.analysis.lockgraph import build_lock_graph
+    from repro.analysis.lockorder import active
+
+    modules = [ModuleSource.parse(p) for p in discover_files([SRC])]
+    graph = build_lock_graph(modules)
+    keys = {key for key, _, _ in graph.acquisitions}
+    assert len(graph.acquisitions) > 100, "acquisition extraction collapsed"
+    assert len(keys) > 30, "lock-key resolution collapsed"
+    assert len(graph.edges) >= 5, "nesting-edge extraction collapsed"
+    # the sanctioned store -> notify detach edge must be visible
+    assert (
+        "attrspace.store.AttributeStore._lock",
+        "attrspace.notify.SubscriptionRegistry._lock",
+    ) in graph.edges
+    # every observed key must be declared (same invariant the rule checks,
+    # asserted directly on the graph)
+    undeclared = sorted(k for k in keys if not active().declared(k))
+    assert not undeclared, f"undeclared lock keys: {undeclared}"
+
+
 def test_lint_cli_exits_zero():
     proc = subprocess.run(
         [sys.executable, "-m", "repro", "lint", str(SRC)],

@@ -6,6 +6,18 @@ files close to the default recursion limit; raising the limit avoids the
 mismatch (upstream cpython issue; harmless for these tests).
 """
 
+import os
 import sys
 
 sys.setrecursionlimit(100_000)
+
+
+def pytest_configure(config):
+    # Opt-in runtime lockset witness (see DESIGN.md "Lock hierarchy").
+    # repro.util.sync also reads TDP_SANITIZE at import time; this hook
+    # covers the case where the module was imported before the variable
+    # was set (e.g. by a plugin).
+    if os.environ.get("TDP_SANITIZE") == "1":
+        from repro.util.sync import set_sanitize
+
+        set_sanitize(True)

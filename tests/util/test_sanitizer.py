@@ -1,0 +1,200 @@
+"""Runtime lockset witness: the dynamic half of the concurrency sanitizer."""
+
+import threading
+
+import pytest
+
+from repro.analysis import lockorder
+from repro.analysis.lockorder import RLOCK, LockDecl, LockHierarchy
+from repro.errors import LockOrderError
+from repro.util.sync import (
+    Latch,
+    TrackedLock,
+    TrackedRLock,
+    WaitableQueue,
+    held_lock_keys,
+    sanitize_enabled,
+    set_sanitize,
+    tracked_condition,
+    tracked_lock,
+    tracked_rlock,
+    witness_blocking,
+)
+
+KEY_A = "fix.A._lock"          # rank 10
+KEY_B = "fix.B._lock"          # rank 20
+KEY_RL = "fix.R._lock"         # rank 30, re-entrant
+KEY_SEND = "fix.S._send_lock"  # rank 40, blocking_ok
+
+
+def _fixture_hierarchy():
+    # Keep the real declarations valid too: under a TDP_SANITIZE=1 test
+    # run, production locks created by other fixtures must stay legal
+    # while this hierarchy is active.
+    real = [lockorder.DEFAULT.get(k) for k in lockorder.DEFAULT.keys()]
+    return LockHierarchy(real + [
+        LockDecl(KEY_A, 110),
+        LockDecl(KEY_B, 120),
+        LockDecl(KEY_RL, 130, RLOCK),
+        LockDecl(KEY_SEND, 140, blocking_ok=True),
+    ])
+
+
+@pytest.fixture
+def witness():
+    previous = sanitize_enabled()
+    set_sanitize(True)
+    try:
+        with lockorder.activated(_fixture_hierarchy()):
+            yield
+            assert held_lock_keys() == [], "test leaked witness entries"
+    finally:
+        set_sanitize(previous)
+
+
+class TestOrderEnforcement:
+    def test_declared_order_is_silent(self, witness):
+        a, b = tracked_lock(KEY_A), tracked_lock(KEY_B)
+        with a:
+            with b:
+                assert held_lock_keys() == [KEY_A, KEY_B]
+        assert held_lock_keys() == []
+
+    def test_inversion_raises(self, witness):
+        a, b = tracked_lock(KEY_A), tracked_lock(KEY_B)
+        with b:
+            with pytest.raises(LockOrderError, match="lock-order violation"):
+                a.acquire()
+        assert held_lock_keys() == []
+
+    def test_undeclared_key_raises(self, witness):
+        rogue = tracked_lock("nowhere.Nothing._lock")
+        with pytest.raises(LockOrderError, match="not declared"):
+            rogue.acquire()
+
+    def test_same_rank_may_not_nest(self, witness):
+        first = tracked_lock(KEY_A)
+        second = tracked_lock(KEY_A)  # same key, different instance
+        with first:
+            with pytest.raises(LockOrderError):
+                second.acquire()
+
+    def test_release_order_independence(self, witness):
+        a, b = tracked_lock(KEY_A), tracked_lock(KEY_B)
+        a.acquire()
+        b.acquire()
+        a.release()  # out of LIFO order: legal, witness must not corrupt
+        assert held_lock_keys() == [KEY_B]
+        b.release()
+        assert held_lock_keys() == []
+
+    def test_locksets_are_per_thread(self, witness):
+        a, b = tracked_lock(KEY_A), tracked_lock(KEY_B)
+        errors = []
+
+        def other():
+            # this thread holds nothing; taking A while the main thread
+            # holds B must be legal
+            try:
+                with a:
+                    pass
+            except LockOrderError as e:  # pragma: no cover - failure path
+                errors.append(e)
+
+        with b:
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        assert errors == []
+
+
+class TestReentrancy:
+    def test_rlock_reenters(self, witness):
+        r = tracked_rlock(KEY_RL)
+        with r:
+            with r:
+                assert held_lock_keys() == [KEY_RL]
+        assert held_lock_keys() == []
+
+    def test_rlock_condition_wait_releases_witness_entry(self, witness):
+        r = tracked_rlock(KEY_RL)
+        r.acquire()
+        r.acquire()
+        saved = r._release_save()  # what Condition.wait does
+        assert held_lock_keys() == []
+        r._acquire_restore(saved)
+        assert held_lock_keys() == [KEY_RL]
+        r.release()
+        r.release()
+        assert held_lock_keys() == []
+
+    def test_condition_roundtrip(self, witness):
+        cond = tracked_condition(KEY_B)
+        hits = []
+
+        def producer():
+            with cond:
+                hits.append("produced")
+                cond.notify()
+
+        with cond:
+            t = threading.Thread(target=producer)
+            t.start()
+            assert cond.wait_for(lambda: hits, timeout=5.0)
+            t.join()
+        assert held_lock_keys() == []
+
+
+class TestBlockingWitness:
+    def test_blocking_under_plain_lock_raises(self, witness):
+        a = tracked_lock(KEY_A)
+        latch = Latch()
+        with a:
+            with pytest.raises(LockOrderError, match="blocking call"):
+                latch.wait(timeout=0.01)
+
+    def test_blocking_under_send_lock_sanctioned(self, witness):
+        send = tracked_lock(KEY_SEND)
+        latch = Latch()
+        latch.open("go")
+        with send:
+            assert latch.wait(timeout=1.0) == "go"
+
+    def test_queue_get_flags_held_lock(self, witness):
+        a = tracked_lock(KEY_A)
+        queue = WaitableQueue()
+        queue.put(1)
+        with a:
+            with pytest.raises(LockOrderError, match="WaitableQueue.get"):
+                queue.get(timeout=0.01)
+
+    def test_bare_blocking_is_fine(self, witness):
+        witness_blocking("anything")  # holding no locks
+
+
+class TestZeroOverheadWhenOff:
+    @pytest.fixture
+    def witness_off(self):
+        previous = sanitize_enabled()
+        set_sanitize(False)
+        try:
+            yield
+        finally:
+            set_sanitize(previous)
+
+    def test_factories_return_plain_primitives(self, witness_off):
+        assert not isinstance(tracked_lock(KEY_A), TrackedLock)
+        assert not isinstance(tracked_rlock(KEY_RL), TrackedRLock)
+        assert type(tracked_lock(KEY_A)) is type(threading.Lock())
+        assert type(tracked_rlock(KEY_RL)) is type(threading.RLock())
+
+    def test_condition_lock_is_plain(self, witness_off):
+        cond = tracked_condition(KEY_B)
+        assert not isinstance(cond._lock, TrackedLock)
+
+    def test_inversion_passes_silently(self, witness_off):
+        a, b = tracked_lock(KEY_A), tracked_lock(KEY_B)
+        with b:
+            with a:
+                pass
+        witness_blocking("anything")  # no-op when off
