@@ -132,6 +132,10 @@ DEFAULT = LockHierarchy([
     LockDecl("condor.shadow.Shadow._lock", 20, note="shadow stop/teardown state"),
     LockDecl("attrspace.server.AttributeSpaceServer._conn_lock", 20,
              note="connection table"),
+    LockDecl("attrspace.server.AttributeSpaceServer._lease_lock", 21,
+             note="session-lease table; nests inside _conn_lock is FORBIDDEN "
+                  "by rank — sweeper reads conn table and lease table in "
+                  "separate holds"),
     LockDecl("tdp.handle.TdpHandle._lock", 20, note="handle lifecycle/service thread"),
     LockDecl("tdp.process.ProcessControlService._lock", 20,
              note="control-request bookkeeping"),
@@ -178,6 +182,13 @@ DEFAULT = LockHierarchy([
              note="serializes stdout frames onto the collector channel"),
     LockDecl("transport.tcp._TcpChannel._send_lock", 62, blocking_ok=True,
              note="frame writes on one socket"),
+    LockDecl("transport.faultinject.FaultInjectChannel._lock", 63,
+             note="per-channel fault RNG + send counter; decisions only, "
+                  "the wrapped send runs outside the hold"),
+    LockDecl("attrspace.server._SessionLease._lock", 64,
+             note="one session's reply cache + inflight table; taken under "
+                  "send_lock (cache-before-transmit) and under _lease_lock "
+                  "(sweeper expiry re-check)"),
     LockDecl("transport.inmem._InMemChannel._lock", 62, note="queue pair state"),
     LockDecl("transport.inmem.InMemoryTransport._lock", 62, note="listener table"),
     LockDecl("transport.tcp.TcpTransport._lock", 62, note="listener table"),

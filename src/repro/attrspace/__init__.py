@@ -12,7 +12,7 @@ member calls ``tdp_exit``.
 
 from repro.attrspace.store import AttributeStore, StoredValue
 from repro.attrspace.server import AttributeSpaceServer, ServerRole
-from repro.attrspace.client import AttributeSpaceClient
+from repro.attrspace.client import AttributeSpaceClient, ReconnectPolicy
 from repro.attrspace.notify import Notification, SubscriptionRegistry
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "AttributeSpaceServer",
     "ServerRole",
     "AttributeSpaceClient",
+    "ReconnectPolicy",
     "Notification",
     "SubscriptionRegistry",
 ]

@@ -6,19 +6,37 @@ service-at-a-safe-point delivery model of Section 3.3: completions and
 subscription notifications are queued, the queue doubles as the
 "descriptor" a daemon polls, and callbacks run only inside
 :meth:`service_events`, never from internal threads.
+
+Sessions can also be **reconnecting**: constructed with a ``dial``
+callable (or via :meth:`AttributeSpaceClient.connect`), the client
+treats a dead channel as an outage rather than the end of the world.
+The receive thread re-dials under a :class:`ReconnectPolicy` (seeded
+exponential backoff with jitter and a deadline), re-runs the attach
+handshake presenting its session token so the server resumes the lease,
+re-establishes every subscription from the client-side ledger, and
+replays in-flight requests with their original request ids — the
+server's lease-scoped reply cache makes the replay at-most-once.
+Callers observe a ``session.reestablished`` event instead of a
+:class:`~repro.errors.SpaceClosedError`; only when the policy is
+exhausted do pending calls fail, with
+:class:`~repro.errors.ReconnectFailedError`.
 """
 
 from __future__ import annotations
 
+import random
 import threading
-from dataclasses import dataclass
+import time
+import uuid
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro import errors
 from repro.attrspace import protocol
 from repro.attrspace.notify import Notification
 from repro.attrspace.store import DEFAULT_CONTEXT
-from repro.transport.base import Channel
+from repro.net.address import Endpoint
+from repro.transport.base import Channel, Transport
 from repro.util.ids import IdAllocator
 from repro.util.log import get_logger
 from repro.util.sync import Latch, WaitableQueue, tracked_lock
@@ -30,6 +48,58 @@ _log = get_logger("attrspace.client")
 AsyncCallback = Callable[[Any, Exception | None, Any], None]
 #: Callback signature for subscriptions: (Notification, arg)
 NotifyCallback = Callable[[Notification, Any], None]
+#: Callback signature for session lifecycle events: (event_record,)
+SessionCallback = Callable[[dict[str, Any]], None]
+
+#: How long one handshake round-trip may take during reconnection.
+_HANDSHAKE_TIMEOUT = 10.0
+
+
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """Backoff schedule for session re-establishment.
+
+    Delays grow geometrically from ``base_delay`` by ``multiplier`` up
+    to ``max_delay``, each perturbed by up to ``±jitter`` (fractional)
+    so a cluster of clients severed together does not re-dial in
+    lockstep.  Recovery is abandoned when ``deadline`` seconds have
+    elapsed since the outage began or ``max_attempts`` dials have
+    failed, whichever comes first.  ``seed`` pins the jitter sequence
+    for deterministic tests.
+    """
+
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    deadline: float | None = 30.0
+    max_attempts: int | None = None
+    seed: int | None = None
+
+    def delays(self) -> "Any":
+        """Yield successive sleep durations (an infinite generator)."""
+        rng = random.Random(self.seed)
+        delay = self.base_delay
+        while True:
+            spread = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            yield max(0.0, delay * spread)
+            delay = min(delay * self.multiplier, self.max_delay)
+
+
+@dataclass
+class _PendingSync:
+    """A blocking RPC awaiting its reply.
+
+    ``replay`` marks requests safe to resend after a reconnect.  Attach,
+    subscribe, and detach are not replayed: attach/subscribe are redone
+    by the handshake itself (their latches are answered synthetically),
+    and detach is handled by :meth:`AttributeSpaceClient.close`'s
+    out-of-band fallback.
+    """
+
+    latch: Latch[dict]
+    frame: dict[str, Any]
+    replay: bool = True
 
 
 @dataclass
@@ -38,6 +108,17 @@ class _PendingAsync:
     attribute: str
     callback: AsyncCallback
     callback_arg: Any
+    frame: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class _SubEntry:
+    """One ledger entry: everything needed to re-establish a subscription."""
+
+    pattern: str
+    callback: NotifyCallback
+    callback_arg: Any
+    server_id: int | None = None
 
 
 @dataclass
@@ -54,6 +135,14 @@ class AttributeSpaceClient:
     A client binds to a single *context* (the per-RT space of Section
     3.2); open a second client for a second context.  The constructor
     performs the ``attach`` handshake; :meth:`close` detaches.
+
+    Pass ``dial`` (a zero-argument callable producing a fresh
+    :class:`~repro.transport.base.Channel`) to make the session
+    reconnecting; ``lease_ttl`` additionally asks the server for a
+    session lease so replayed requests dedup and ephemeral attributes
+    survive exactly as long as the session does.  The plain
+    ``AttributeSpaceClient(channel)`` form keeps the original
+    fail-on-disconnect behavior.
     """
 
     def __init__(
@@ -62,69 +151,339 @@ class AttributeSpaceClient:
         *,
         context: str = DEFAULT_CONTEXT,
         member: str | None = None,
+        dial: Callable[[], Channel] | None = None,
+        reconnect: ReconnectPolicy | None = None,
+        lease_ttl: float | None = None,
     ):
         self._channel = channel
         self.context = context
         self.member = member if member is not None else f"client@{channel.local_host}"
+        self._dial = dial
+        self._reconnect = reconnect if reconnect is not None else ReconnectPolicy()
+        self._lease_ttl = lease_ttl
+        self._session = uuid.uuid4().hex
         self._req_ids = IdAllocator()
-        self._pending_sync: dict[int, Latch[dict]] = {}
+        self._sub_ids = IdAllocator()
+        self._pending_sync: dict[int, _PendingSync] = {}
         self._pending_async: dict[int, _PendingAsync] = {}
-        self._subs: dict[int, tuple[NotifyCallback, Any]] = {}
+        #: local sub id -> ledger entry (survives reconnects)
+        self._subs: dict[int, _SubEntry] = {}
+        #: server sub id -> local sub id (rebuilt on each reconnect)
+        self._sub_routes: dict[int, int] = {}
         self._lock = tracked_lock("attrspace.client.AttributeSpaceClient._lock")
         self._closed = False
         self._conn_lost = False
+        self._reconnecting = False
+        self._wake = threading.Event()  # interrupts backoff on close
+        #: append-only record of session.lost/reestablished/failed events
+        self.session_log: list[dict[str, Any]] = []
+        self._session_cb: SessionCallback | None = None
         #: the "descriptor": non-empty means tdp_service_events has work
         self.events: WaitableQueue[_Event] = WaitableQueue()
         self._receiver = spawn(self._recv_loop, name=f"attr-client-{self.member}")
-        self._rpc({"op": protocol.OP_ATTACH, "context": context, "member": self.member})
+        self._rpc(self._attach_frame(), replay=False)
+
+    @classmethod
+    def connect(
+        cls,
+        transport: Transport,
+        src_host: str,
+        endpoint: Endpoint,
+        *,
+        context: str = DEFAULT_CONTEXT,
+        member: str | None = None,
+        reconnect: ReconnectPolicy | None = None,
+        lease_ttl: float | None = 30.0,
+        connect_timeout: float = 10.0,
+    ) -> "AttributeSpaceClient":
+        """Open a *reconnecting* session: dial, attach, remember how.
+
+        The returned client re-dials ``endpoint`` through ``transport``
+        whenever its channel dies, under ``reconnect`` (defaults apply
+        when ``None``), holding a server lease of ``lease_ttl`` seconds.
+        """
+
+        def dial() -> Channel:
+            return transport.connect(src_host, endpoint, timeout=connect_timeout)
+
+        return cls(
+            dial(),
+            context=context,
+            member=member,
+            dial=dial,
+            reconnect=reconnect,
+            lease_ttl=lease_ttl,
+        )
 
     # -- plumbing -------------------------------------------------------------
 
-    def _next_req(self, latch: Latch[dict] | None = None) -> int:
+    def _attach_frame(self) -> dict[str, Any]:
+        frame: dict[str, Any] = {
+            "op": protocol.OP_ATTACH,
+            "context": self.context,
+            "member": self.member,
+        }
+        if self._lease_ttl is not None:
+            frame["session"] = self._session
+            frame["lease_ttl"] = self._lease_ttl
+        return frame
+
+    def _register_sync(
+        self, request: dict[str, Any], replay: bool
+    ) -> tuple[int, _PendingSync]:
         with self._lock:
             if self._closed:
                 raise errors.SpaceClosedError("client closed")
             if self._conn_lost:
                 raise errors.SpaceClosedError("attribute space connection lost")
             req = self._req_ids.next()
-            if latch is not None:
-                self._pending_sync[req] = latch
-            return req
+            frame = dict(request, req=req)
+            entry = _PendingSync(Latch(), frame, replay)
+            self._pending_sync[req] = entry
+            return req, entry
 
-    def _rpc(self, request: dict[str, Any], timeout: float | None = 30.0) -> dict[str, Any]:
-        """Send a request and block for its reply."""
-        latch: Latch[dict] = Latch()
-        req = self._next_req(latch)
-        request = dict(request, req=req)
+    def _send_or_defer(self, frame: dict[str, Any]) -> None:
+        """Transmit a registered frame, or leave it for the reconnector.
+
+        During an outage the frame stays parked in the pending tables —
+        the reconnector replays it once the session is back.  A send
+        failure on a reconnecting session is likewise swallowed: the
+        receive thread is about to notice the dead channel and recover
+        (or exhaust the policy, failing the pending entry).
+        """
+        with self._lock:
+            channel = None if self._reconnecting else self._channel
+        if channel is None:
+            return
         try:
-            self._channel.send(request)
+            channel.send(frame)
+        except errors.TdpError:
+            if self._dial is None:
+                raise
+
+    def _rpc(
+        self,
+        request: dict[str, Any],
+        timeout: float | None = 30.0,
+        *,
+        replay: bool = True,
+    ) -> dict[str, Any]:
+        """Send a request and block for its reply."""
+        req, entry = self._register_sync(request, replay)
+        try:
+            self._send_or_defer(entry.frame)
         except errors.TdpError:
             with self._lock:
                 self._pending_sync.pop(req, None)
             raise errors.SpaceClosedError("attribute space connection lost") from None
-        reply = latch.wait(timeout=timeout)
+        try:
+            reply = entry.latch.wait(timeout=timeout)
+        except errors.GetTimeoutError:
+            # Drop the entry so the dict cannot grow unboundedly and a
+            # late reply does not hit a dead latch.
+            with self._lock:
+                self._pending_sync.pop(req, None)
+            raise
         if not reply.get("ok", False):
             protocol.raise_error(reply)
         return reply
 
+    # -- receive / recovery ----------------------------------------------------
+
     def _recv_loop(self) -> None:
-        try:
+        while True:
+            with self._lock:
+                channel = self._channel
+            try:
+                while True:
+                    message = channel.recv()
+                    self._route(message)
+            except errors.TdpError:
+                pass
+            with self._lock:
+                done = self._closed
+            if done or self._dial is None:
+                self._fail_pending("space_closed", "connection lost")
+                return
+            if not self._reestablish():
+                self._fail_pending(
+                    "reconnect_failed",
+                    "session re-establishment abandoned (policy exhausted)",
+                )
+                return
+
+    def _reestablish(self) -> bool:
+        """Dial + attach + resubscribe + replay; True on success.
+
+        Runs on the receive thread (no reader is consuming the new
+        channel yet, so the handshake can do direct request/reply I/O).
+        """
+        with self._lock:
+            self._reconnecting = True
+        self._session_event("session.lost", member=self.member)
+        policy = self._reconnect
+        started = time.monotonic()
+        attempts = 0
+        delays = policy.delays()
+        while True:
+            if self._closed:
+                return False
+            if policy.max_attempts is not None and attempts >= policy.max_attempts:
+                return False
+            if (
+                policy.deadline is not None
+                and time.monotonic() - started >= policy.deadline
+            ):
+                return False
+            attempts += 1
+            channel: Channel | None = None
+            try:
+                channel = self._dial()  # type: ignore[misc]
+                strays, resumed = self._handshake(channel)
+            except errors.TdpError as e:
+                if channel is not None:
+                    channel.close()
+                _log.info(
+                    "%s: reconnect attempt %d failed: %s", self.member, attempts, e
+                )
+                self._wake.wait(next(delays))
+                continue
+            break
+        self._adopt_channel(channel)
+        for message in strays:
+            self._route(message)
+        self._session_event(
+            "session.reestablished",
+            member=self.member,
+            attempts=attempts,
+            resumed=resumed,
+            outage=round(time.monotonic() - started, 6),
+        )
+        return True
+
+    def _handshake(self, channel: Channel) -> tuple[list[dict[str, Any]], bool]:
+        """Attach (resuming the lease) and re-establish every subscription.
+
+        Returns (stray server pushes received mid-handshake, lease
+        resumed?).  Strays — typically notifications from the freshly
+        re-created subscriptions — are routed after the channel is
+        adopted so their callbacks queue normally.
+        """
+        strays: list[dict[str, Any]] = []
+
+        def call(frame: dict[str, Any]) -> dict[str, Any]:
+            channel.send(frame)
+            deadline = time.monotonic() + _HANDSHAKE_TIMEOUT
             while True:
-                message = self._channel.recv()
-                self._route(message)
-        except errors.TdpError:
-            pass
-        finally:
-            self._fail_pending()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise errors.GetTimeoutError("handshake reply timed out")
+                message = channel.recv(timeout=remaining)
+                if message.get("reply_to") == frame["req"]:
+                    return message
+                strays.append(message)
+
+        attach = dict(self._attach_frame(), req=self._req_ids.next())
+        reply = call(attach)
+        if not reply.get("ok", False):
+            protocol.raise_error(reply)
+        resumed = bool(reply.get("resumed", False))
+
+        with self._lock:
+            ledger = list(self._subs.items())
+        for local_id, entry in ledger:
+            sub_reply = call(
+                {
+                    "op": protocol.OP_SUBSCRIBE,
+                    "req": self._req_ids.next(),
+                    "context": self.context,
+                    "pattern": entry.pattern,
+                }
+            )
+            if not sub_reply.get("ok", False):
+                protocol.raise_error(sub_reply)
+            server_id = int(sub_reply["sub"])
+            with self._lock:
+                if entry.server_id is not None:
+                    self._sub_routes.pop(entry.server_id, None)
+                entry.server_id = server_id
+                self._sub_routes[server_id] = local_id
+        return strays, resumed
+
+    def _adopt_channel(self, channel: Channel) -> None:
+        """Swap the recovered channel in and replay in-flight requests.
+
+        The swap, the flag clear, and the pending snapshot happen under
+        one lock hold: every request registered before this moment is in
+        the snapshot (and gets replayed); every one registered after
+        sees the live channel and sends itself.  The overlap case — a
+        caller that read the old channel just before the swap — at worst
+        double-sends, which the server's lease dedup absorbs.
+        """
+        with self._lock:
+            self._channel = channel
+            self._reconnecting = False
+            replay = [e.frame for e in self._pending_sync.values() if e.replay]
+            replay += [e.frame for e in self._pending_async.values() if e.frame]
+            # Attach/subscribe RPCs that were in flight when the channel
+            # died were just redone by the handshake; answer them from it.
+            synthetic: list[tuple[_PendingSync, dict[str, Any]]] = []
+            for req, entry in list(self._pending_sync.items()):
+                op = entry.frame.get("op")
+                if op == protocol.OP_ATTACH:
+                    reply = {"reply_to": req, "ok": True, "context": self.context}
+                elif op == protocol.OP_SUBSCRIBE:
+                    ledger_entry = self._subs.get(entry.frame.get("local_sub"))
+                    if ledger_entry is None or ledger_entry.server_id is None:
+                        continue
+                    reply = {"reply_to": req, "ok": True, "sub": ledger_entry.server_id}
+                else:
+                    continue
+                del self._pending_sync[req]
+                synthetic.append((entry, reply))
+        for entry, reply in synthetic:
+            entry.latch.open(reply)
+        for frame in sorted(replay, key=lambda f: f["req"]):
+            try:
+                channel.send(frame)
+            except errors.TdpError:
+                # The new channel died already; the receive loop will go
+                # around again and the next recovery replays the rest.
+                return
+
+    def _session_event(self, kind: str, **info: Any) -> None:
+        record: dict[str, Any] = {"event": kind, **info}
+        self.session_log.append(record)
+        _log.info("%s: %s", self.member, record)
+        callback = self._session_cb
+        if callback is not None:
+            try:
+                self.events.put(
+                    _Event(invoke=lambda: callback(record), description=kind)
+                )
+            except errors.ChannelClosedError:
+                pass
+
+    def on_session_event(self, callback: SessionCallback | None) -> None:
+        """Register a callback for session lifecycle events.
+
+        Delivered through :meth:`service_events` like every other
+        callback (safe-point discipline); the :attr:`session_log` list
+        records the same events for polling-style consumers.
+        """
+        self._session_cb = callback
 
     def _route(self, message: dict[str, Any]) -> None:
         if message.get("op") == protocol.OP_NOTIFY:
             sub_id = message.get("sub")
             notification = Notification.from_wire(message)
             with self._lock:
-                entry = self._subs.get(sub_id) if isinstance(sub_id, int) else None
+                local = (
+                    self._sub_routes.get(sub_id) if isinstance(sub_id, int) else None
+                )
+                entry = self._subs.get(local) if local is not None else None
             if entry is not None:
-                callback, arg = entry
+                callback, arg = entry.callback, entry.callback_arg
                 self.events.put(
                     _Event(
                         invoke=lambda: callback(notification, arg),
@@ -137,10 +496,10 @@ class AttributeSpaceClient:
             _log.warning("dropping unroutable message: %r", message)
             return
         with self._lock:
-            latch = self._pending_sync.pop(reply_to, None)
+            sync = self._pending_sync.pop(reply_to, None)
             pending_async = self._pending_async.pop(reply_to, None)
-        if latch is not None:
-            latch.open(message)
+        if sync is not None:
+            sync.latch.open(message)
             return
         if pending_async is not None:
             self._queue_async_completion(pending_async, message)
@@ -164,27 +523,41 @@ class AttributeSpaceClient:
             )
         )
 
-    def _fail_pending(self) -> None:
-        """Connection died: fail sync waiters, queue async error completions."""
+    def _fail_pending(self, error_type: str, message: str) -> None:
+        """Recovery is over: fail sync waiters, queue async error completions."""
         with self._lock:
             self._conn_lost = True
+            self._reconnecting = False
             sync = list(self._pending_sync.values())
             self._pending_sync.clear()
             asyncs = list(self._pending_async.values())
             self._pending_async.clear()
-        failure = {"ok": False, "error_type": "space_closed", "error": "connection lost"}
-        for latch in sync:
-            latch.open(failure)
+        if sync or asyncs or (self._dial is not None and not self._closed):
+            self._session_event("session.failed", reason=message)
+        failure = {"ok": False, "error_type": error_type, "error": message}
+        for entry in sync:
+            entry.latch.open(failure)
         for pending in asyncs:
             self._queue_async_completion(pending, failure)
         self.events.close()
 
     # -- blocking API (paper Section 3.2) --------------------------------------
 
-    def put(self, attribute: str, value: str) -> int:
-        """Blocking put; returns the stored version number."""
-        reply = self._rpc({"op": protocol.OP_PUT, "context": self.context,
-                           "attribute": attribute, "value": value})
+    def put(self, attribute: str, value: str, *, ephemeral: bool = False) -> int:
+        """Blocking put; returns the stored version number.
+
+        ``ephemeral`` ties the value to this session: the server purges
+        it when the member detaches or its lease expires.
+        """
+        frame: dict[str, Any] = {
+            "op": protocol.OP_PUT,
+            "context": self.context,
+            "attribute": attribute,
+            "value": value,
+        }
+        if ephemeral:
+            frame["ephemeral"] = True
+        reply = self._rpc(frame)
         return int(reply["version"])
 
     def get(self, attribute: str, timeout: float | None = None) -> str:
@@ -235,50 +608,85 @@ class AttributeSpaceClient:
     def async_get(self, attribute: str, callback: AsyncCallback, callback_arg: Any = None) -> None:
         """Non-blocking get; ``callback(value, error, arg)`` runs from
         :meth:`service_events` once the attribute is available."""
-        req = self._next_req()
-        with self._lock:
-            self._pending_async[req] = _PendingAsync("get", attribute, callback, callback_arg)
-        self._channel.send(
+        self._send_async(
+            _PendingAsync("get", attribute, callback, callback_arg),
             {
                 "op": protocol.OP_GET,
-                "req": req,
                 "context": self.context,
                 "attribute": attribute,
                 "block": True,
-            }
+            },
         )
 
     def async_put(
         self, attribute: str, value: str, callback: AsyncCallback, callback_arg: Any = None
     ) -> None:
         """Non-blocking put with completion callback (same delivery rules)."""
-        req = self._next_req()
-        with self._lock:
-            self._pending_async[req] = _PendingAsync("put", attribute, callback, callback_arg)
-        self._channel.send(
+        self._send_async(
+            _PendingAsync("put", attribute, callback, callback_arg),
             {
                 "op": protocol.OP_PUT,
-                "req": req,
                 "context": self.context,
                 "attribute": attribute,
                 "value": value,
-            }
+            },
         )
 
-    def subscribe(self, pattern: str, callback: NotifyCallback, callback_arg: Any = None) -> int:
-        """Subscribe to puts/removes matching ``pattern`` in this context."""
-        reply = self._rpc(
-            {"op": protocol.OP_SUBSCRIBE, "context": self.context, "pattern": pattern}
-        )
-        sub_id = int(reply["sub"])
+    def _send_async(self, pending: _PendingAsync, request: dict[str, Any]) -> None:
         with self._lock:
-            self._subs[sub_id] = (callback, callback_arg)
-        return sub_id
+            if self._closed:
+                raise errors.SpaceClosedError("client closed")
+            if self._conn_lost:
+                raise errors.SpaceClosedError("attribute space connection lost")
+            req = self._req_ids.next()
+            pending.frame = dict(request, req=req)
+            self._pending_async[req] = pending
+        self._send_or_defer(pending.frame)
+
+    def subscribe(self, pattern: str, callback: NotifyCallback, callback_arg: Any = None) -> int:
+        """Subscribe to puts/removes matching ``pattern`` in this context.
+
+        Returns a *local* subscription id, stable across reconnects (the
+        server-side id changes every time the session re-establishes its
+        subscriptions; the ledger tracks the mapping).
+        """
+        entry = _SubEntry(pattern, callback, callback_arg)
+        with self._lock:
+            local_id = self._sub_ids.next()
+            self._subs[local_id] = entry
+        try:
+            reply = self._rpc(
+                {
+                    "op": protocol.OP_SUBSCRIBE,
+                    "context": self.context,
+                    "pattern": pattern,
+                    # Server ignores this; the reconnect handshake uses it
+                    # to answer an in-flight subscribe from the ledger.
+                    "local_sub": local_id,
+                },
+                replay=False,
+            )
+        except errors.TdpError:
+            with self._lock:
+                self._subs.pop(local_id, None)
+            raise
+        server_id = int(reply["sub"])
+        with self._lock:
+            # The handshake may already have bound this entry on a new
+            # connection; only adopt the reply's id if it is current.
+            if entry.server_id is None:
+                entry.server_id = server_id
+            self._sub_routes[entry.server_id] = local_id
+        return local_id
 
     def unsubscribe(self, sub_id: int) -> bool:
         with self._lock:
-            self._subs.pop(sub_id, None)
-        reply = self._rpc({"op": protocol.OP_UNSUBSCRIBE, "sub": sub_id})
+            entry = self._subs.pop(sub_id, None)
+            server_id = sub_id
+            if entry is not None and entry.server_id is not None:
+                server_id = entry.server_id
+                self._sub_routes.pop(entry.server_id, None)
+        reply = self._rpc({"op": protocol.OP_UNSUBSCRIBE, "sub": server_id})
         return bool(reply["removed"])
 
     # -- event servicing (paper Section 3.3) ------------------------------------
@@ -324,20 +732,64 @@ class AttributeSpaceClient:
             if self._closed:
                 return
             self._closed = True
+            mid_outage = self._reconnecting or self._conn_lost
+            channel = self._channel
+        self._wake.set()  # interrupt any backoff sleep immediately
         if detach:
+            if mid_outage:
+                self._detach_out_of_band()
+            else:
+                try:
+                    self._detach_via(channel)
+                except errors.TdpError:
+                    self._detach_out_of_band()
+        channel.close()
+
+    def _detach_frame(self) -> dict[str, Any]:
+        frame: dict[str, Any] = {
+            "op": protocol.OP_DETACH,
+            "context": self.context,
+            "member": self.member,
+        }
+        if self._lease_ttl is not None:
+            frame["session"] = self._session
+        return frame
+
+    def _detach_via(self, channel: Channel) -> None:
+        """Detach over an already-open channel (the common, fast path)."""
+        latch: Latch[dict] = Latch()
+        with self._lock:
+            req = self._req_ids.next()
+            self._pending_sync[req] = _PendingSync(latch, {}, replay=False)
+        try:
+            channel.send(dict(self._detach_frame(), req=req))
+            latch.wait(timeout=5.0)
+        finally:
+            with self._lock:
+                self._pending_sync.pop(req, None)
+
+    def _detach_out_of_band(self) -> None:
+        """Detach over a fresh dialed channel (outage-tolerant close).
+
+        Without this, a close that races an outage would leak the
+        membership until the lease expires.  Best-effort with a couple of
+        retries; the lease sweeper remains the backstop.
+        """
+        if self._dial is None:
+            return
+        for _ in range(3):
             try:
-                latch: Latch[dict] = Latch()
-                with self._lock:
-                    req = self._req_ids.next()
-                    self._pending_sync[req] = latch
-                self._channel.send(
-                    {"op": protocol.OP_DETACH, "req": req,
-                     "context": self.context, "member": self.member}
-                )
-                latch.wait(timeout=5.0)
+                channel = self._dial()
             except errors.TdpError:
-                pass
-        self._channel.close()
+                return
+            try:
+                channel.send(dict(self._detach_frame(), req=self._req_ids.next()))
+                channel.recv(timeout=5.0)
+                return
+            except errors.TdpError:
+                continue
+            finally:
+                channel.close()
 
     @property
     def closed(self) -> bool:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import fnmatch
 import threading
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.util.ids import IdAllocator
 from repro.util.sync import tracked_lock
@@ -85,6 +85,12 @@ class SubscriptionRegistry:
     def unsubscribe(self, sub_id: int) -> bool:
         with self._lock:
             return self._subs.pop(sub_id, None) is not None
+
+    def unsubscribe_many(self, sub_ids: "Iterable[int]") -> int:
+        """Drop a batch of subscriptions in one lock hold (connection
+        teardown); returns how many actually existed."""
+        with self._lock:
+            return sum(self._subs.pop(sub_id, None) is not None for sub_id in sub_ids)
 
     def drop_context(self, context: str) -> int:
         """Remove every subscription on a context (context destruction)."""

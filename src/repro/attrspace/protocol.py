@@ -15,9 +15,12 @@ from typing import Any
 from repro import errors
 
 # Request operations
-OP_ATTACH = "attach"        # join a context (tdp_init)
-OP_DETACH = "detach"        # leave a context (tdp_exit)
-OP_PUT = "put"
+OP_ATTACH = "attach"        # join a context (tdp_init); optional fields
+                            # session (token) + lease_ttl (seconds) open or
+                            # resume a server-side session lease
+OP_DETACH = "detach"        # leave a context (tdp_exit); optional session
+OP_PUT = "put"              # optional field ephemeral (bool): the value is
+                            # purged when its writer's lease expires/detaches
 OP_GET = "get"              # fields: block (bool), timeout (float|None)
 OP_REMOVE = "remove"
 OP_LIST = "list"
@@ -35,6 +38,7 @@ _ERROR_TYPES: dict[str, type[Exception]] = {
     "context": errors.ContextError,
     "get_timeout": errors.GetTimeoutError,
     "protocol": errors.ProtocolError,
+    "reconnect_failed": errors.ReconnectFailedError,
     "space_closed": errors.SpaceClosedError,
 }
 
@@ -44,6 +48,9 @@ _TYPE_NAMES = {
     errors.ContextError: "context",
     errors.GetTimeoutError: "get_timeout",
     errors.ProtocolError: "protocol",
+    # Subclass before base: _TYPE_NAMES is scanned in order by
+    # error_reply's isinstance walk.
+    errors.ReconnectFailedError: "reconnect_failed",
     errors.SpaceClosedError: "space_closed",
 }
 

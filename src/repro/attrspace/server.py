@@ -15,8 +15,10 @@ the protocol is identical, which is exactly the paper's design (clients
 
 from __future__ import annotations
 
+import collections
 import enum
 import threading
+import time
 from typing import Any
 
 from repro import errors
@@ -31,10 +33,92 @@ from repro.util.threads import spawn
 
 _log = get_logger("attrspace.server")
 
+#: Replies remembered per lease for at-most-once replay dedup.  256 is
+#: far above any client's in-flight window (one recv thread replays at
+#: most its pending tables, tens of entries).
+_REPLY_CACHE_LIMIT = 256
+
 
 class ServerRole(enum.Enum):
     LASS = "lass"  # Local Attribute Space Server (one per execution host)
     CASS = "cass"  # Central Attribute Space Server (front-end host)
+
+
+class _SessionLease:
+    """One client session's server-side continuity record.
+
+    A lease outlives any single connection: a client that reconnects
+    within the TTL presents the same session token, resumes the lease,
+    and may replay in-flight requests — the reply cache and in-flight
+    table make that replay at-most-once.  A lease whose connection is
+    dead past the TTL is *expired*: the member is detached from its
+    contexts and its ephemeral attributes are purged.
+    """
+
+    def __init__(self, token: str, member: str, ttl: float):
+        self.token = token
+        self.member = member
+        self.ttl = ttl
+        self._deadline = time.monotonic() + ttl
+        self._contexts: set[str] = set()
+        self.conn_id: int | None = None
+        #: req id -> cached reply frame (insertion-ordered for trimming)
+        self._replies: "collections.OrderedDict[int, dict[str, Any]]" = (
+            collections.OrderedDict()
+        )
+        #: req id -> conn_id currently executing it
+        self._inflight: dict[int, int] = {}
+        self._lock = tracked_lock("attrspace.server._SessionLease._lock")
+
+    def renew(self) -> None:
+        with self._lock:
+            self._deadline = time.monotonic() + self.ttl
+
+    def expired(self, now: float) -> bool:
+        with self._lock:
+            return now >= self._deadline
+
+    def add_context(self, context: str) -> None:
+        with self._lock:
+            self._contexts.add(context)
+
+    def drop_context(self, context: str) -> bool:
+        """Remove a context; returns True when no contexts remain."""
+        with self._lock:
+            self._contexts.discard(context)
+            return not self._contexts
+
+    def contexts(self) -> list[str]:
+        with self._lock:
+            return sorted(self._contexts)
+
+    def cached_reply(self, req: int) -> dict[str, Any] | None:
+        with self._lock:
+            return self._replies.get(req)
+
+    def cache_reply(self, req: int, frame: dict[str, Any]) -> None:
+        with self._lock:
+            self._inflight.pop(req, None)
+            self._replies[req] = frame
+            self._replies.move_to_end(req)
+            while len(self._replies) > _REPLY_CACHE_LIMIT:
+                self._replies.popitem(last=False)
+
+    def begin(self, req: int, conn_id: int) -> int | None:
+        """Claim ``req`` for execution; returns the current holder if any.
+
+        A ``None`` return means this connection now owns the request.
+        """
+        with self._lock:
+            holder = self._inflight.get(req)
+            if holder is None:
+                self._inflight[req] = conn_id
+            return holder
+
+    def steal(self, req: int, conn_id: int) -> None:
+        """Reassign an in-flight request whose original connection died."""
+        with self._lock:
+            self._inflight[req] = conn_id
 
 
 class _Connection:
@@ -52,8 +136,24 @@ class _Connection:
         self.subscriptions: set[int] = set()
         self.contexts_joined: list[str] = []
         self.timers: dict[int, threading.Timer] = {}
+        self.lease: _SessionLease | None = None
+        self.member: str | None = None
+
+    @property
+    def writer_id(self) -> str:
+        """Attribution for puts: the lease member survives reconnects,
+        so replays and ephemeral ownership stay stable; anonymous
+        connections fall back to the per-connection peer label."""
+        return self.member if self.member is not None else self.peer
 
     def send(self, message: dict[str, Any]) -> None:
+        lease = self.lease
+        reply_to = message.get("reply_to")
+        if lease is not None and isinstance(reply_to, int):
+            # Cache BEFORE transmit: if the channel dies mid-send, the
+            # client's replay of this request must find the reply rather
+            # than re-execute a completed operation.
+            lease.cache_reply(reply_to, message)
         try:
             # send_lock exists solely to serialize frames onto this channel;
             # it guards no shared server state, so holding it across the
@@ -94,12 +194,24 @@ class AttributeSpaceServer:
         self._conn_ids = AtomicCounter()
         self._connections: dict[int, _Connection] = {}
         self._conn_lock = tracked_lock("attrspace.server.AttributeSpaceServer._conn_lock")
+        #: session token -> lease; guarded by _lease_lock (never nested
+        #: inside a lease's own lock)
+        self._leases: dict[str, _SessionLease] = {}
+        self._lease_lock = tracked_lock(
+            "attrspace.server.AttributeSpaceServer._lease_lock"
+        )
+        self._lease_sweep_interval = 0.05
+        self._sweeper: threading.Thread | None = None
+        self._sweeper_started = False
         self.stats = {
             "puts": AtomicCounter(),
             "gets": AtomicCounter(),
             "blocked_gets": AtomicCounter(),
             "notifications": AtomicCounter(),
             "connections": AtomicCounter(),
+            "resumed_sessions": AtomicCounter(),
+            "replayed_replies": AtomicCounter(),
+            "expired_leases": AtomicCounter(),
         }
         self._acceptor = spawn(self._accept_loop, name=f"{self.name}-accept")
         _log.info("%s listening at %s", self.name, self.endpoint)
@@ -123,6 +235,12 @@ class AttributeSpaceServer:
             for timer in conn.timers.values():
                 timer.cancel()
             conn.channel.close()
+        with self._lease_lock:
+            sweeper = self._sweeper
+            self._sweeper = None
+            self._leases.clear()
+        if sweeper is not None:
+            sweeper.join(timeout=5.0)
 
     @property
     def connection_count(self) -> int:
@@ -175,9 +293,11 @@ class AttributeSpaceServer:
             timer.cancel()
         for context, attribute, wid in list(conn.pending_waiters):
             self.store.cancel_waiter(context, attribute, wid)
-        for sub_id in conn.subscriptions:
-            self.store.subscriptions.unsubscribe(sub_id)
+        self.store.subscriptions.unsubscribe_many(conn.subscriptions)
         conn.channel.close()
+        # The lease (if any) is deliberately NOT released here: the whole
+        # point is surviving the connection.  The sweeper expires it when
+        # no successor connection resumes it within the TTL.
 
     # -- request dispatch -----------------------------------------------------
 
@@ -196,10 +316,46 @@ class AttributeSpaceServer:
         if handler is None:
             conn.send(protocol.error_reply(req, errors.ProtocolError(f"unknown op {op!r}")))
             return
+        if conn.lease is not None and not self._begin_leased(conn, req):
+            return
         try:
             handler(conn, req, request)
         except errors.TdpError as e:
             conn.send(protocol.error_reply(req, e))
+
+    def _begin_leased(self, conn: _Connection, req: int) -> bool:
+        """At-most-once gate for requests on a leased connection.
+
+        Replayed requests reuse their original req id, so the lease can
+        recognize them: a cached reply is resent verbatim; a request
+        still executing on a *live* sibling connection is dropped (the
+        original execution will reply); a request stranded on a dead
+        connection is stolen and re-executed (its only side effects — a
+        parked blocking-get waiter — were cancelled with that
+        connection).  Returns True when the handler should run.
+        """
+        lease = conn.lease
+        assert lease is not None
+        lease.renew()
+        cached = lease.cached_reply(req)
+        if cached is not None:
+            self.stats["replayed_replies"].increment()
+            conn.send(cached)
+            return False
+        holder = lease.begin(req, conn.conn_id)
+        if holder is None:
+            return True
+        if holder == conn.conn_id:
+            # Same connection, no cached reply: a duplicated frame for a
+            # request still parked here (blocking get).  Drop it; the
+            # parked completion will reply.
+            return False
+        with self._conn_lock:
+            holder_alive = holder in self._connections
+        if holder_alive:
+            return False
+        lease.steal(req, conn.conn_id)
+        return True
 
     @staticmethod
     def _context_of(request: dict[str, Any]) -> str:
@@ -216,14 +372,117 @@ class AttributeSpaceServer:
     def _op_attach(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
         context = self._context_of(request)
         member = str(request.get("member", conn.peer))
+        session = request.get("session")
+        ttl = request.get("lease_ttl")
+        resumed = False
+        leased = (
+            isinstance(session, str) and session
+            and isinstance(ttl, (int, float)) and not isinstance(ttl, bool)
+            and ttl > 0
+        )
+        if leased:
+            lease, resumed = self._acquire_lease(str(session), member, float(ttl), conn)
+            conn.lease = lease
+            conn.member = member
+            lease.add_context(context)
         self.store.attach(context, member)
         conn.contexts_joined.append(context)
-        conn.send(protocol.ok_reply(req, context=context))
+        reply = protocol.ok_reply(req, context=context, resumed=resumed)
+        if leased:
+            reply["session"] = session
+            reply["lease_ttl"] = float(ttl)
+        conn.send(reply)
+        if leased:
+            self._ensure_sweeper()
+
+    def _acquire_lease(
+        self, token: str, member: str, ttl: float, conn: _Connection
+    ) -> tuple[_SessionLease, bool]:
+        with self._lease_lock:
+            lease = self._leases.get(token)
+            resumed = lease is not None
+            if lease is None:
+                lease = _SessionLease(token, member, ttl)
+                self._leases[token] = lease
+            lease.conn_id = conn.conn_id
+            lease.ttl = ttl
+            lease.renew()
+        if resumed:
+            self.stats["resumed_sessions"].increment()
+            _log.info(
+                "%s: session %s resumed by %s on conn %d",
+                self.name, token[:8], member, conn.conn_id,
+            )
+        return lease, resumed
+
+    def _ensure_sweeper(self) -> None:
+        with self._lease_lock:
+            if self._sweeper_started or self._stopped.is_set():
+                return
+            self._sweeper_started = True
+        self._sweeper = spawn(self._sweep_leases, name=f"{self.name}-leases")
+
+    def _sweep_leases(self) -> None:
+        """Expire leases whose connection died and whose TTL has lapsed.
+
+        Expiry is the deferred ``tdp_exit``: the member is detached from
+        every lease context and its ephemeral attributes are purged, so a
+        crashed daemon cannot pin a context (or a stale heartbeat) open
+        forever.
+        """
+        while not self._stopped.wait(self._lease_sweep_interval):
+            now = time.monotonic()
+            with self._lease_lock:
+                candidates = list(self._leases.items())
+            for token, lease in candidates:
+                if not lease.expired(now):
+                    continue
+                conn_id = lease.conn_id
+                with self._conn_lock:
+                    alive = conn_id is not None and conn_id in self._connections
+                if alive:
+                    # A live (if idle) connection keeps its lease.
+                    lease.renew()
+                    continue
+                with self._lease_lock:
+                    # Re-check under the table lock: a concurrent resume
+                    # renews the deadline and must win over expiry.
+                    if self._leases.get(token) is not lease or not lease.expired(
+                        time.monotonic()
+                    ):
+                        continue
+                    del self._leases[token]
+                self._expire_lease(lease)
+
+    def _expire_lease(self, lease: _SessionLease) -> None:
+        self.stats["expired_leases"].increment()
+        _log.warning(
+            "%s: lease %s (%s) expired after %.3gs silence",
+            self.name, lease.token[:8], lease.member, lease.ttl,
+        )
+        for context in lease.contexts():
+            self.store.purge_ephemeral(context, lease.member)
+            try:
+                self.store.detach(context, lease.member)
+            except errors.ContextError:
+                pass  # context already destroyed
 
     def _op_detach(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
         context = self._context_of(request)
         member = str(request.get("member", conn.peer))
+        # A clean exit takes the member's session-scoped values with it.
+        self.store.purge_ephemeral(context, member)
         destroyed = self.store.detach(context, member)
+        lease = conn.lease
+        if lease is None:
+            session = request.get("session")
+            if isinstance(session, str):
+                with self._lease_lock:
+                    lease = self._leases.get(session)
+        if lease is not None and lease.drop_context(context):
+            with self._lease_lock:
+                if self._leases.get(lease.token) is lease:
+                    del self._leases[lease.token]
         conn.send(protocol.ok_reply(req, destroyed=destroyed))
 
     def _op_put(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
@@ -232,7 +491,13 @@ class AttributeSpaceServer:
         value = request.get("value")
         if not isinstance(value, str):
             raise errors.AttributeFormatError(f"value must be a string, got {type(value).__name__}")
-        sv = self.store.put(attribute, value, context=context, writer=conn.peer)
+        sv = self.store.put(
+            attribute,
+            value,
+            context=context,
+            writer=conn.writer_id,
+            ephemeral=bool(request.get("ephemeral", False)),
+        )
         self.stats["puts"].increment()
         conn.send(protocol.ok_reply(req, version=sv.version))
 

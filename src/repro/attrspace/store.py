@@ -36,12 +36,19 @@ DEFAULT_CONTEXT = "default"
 
 @dataclass
 class StoredValue:
-    """A value plus bookkeeping (who put it, when, how many times updated)."""
+    """A value plus bookkeeping (who put it, when, how many times updated).
+
+    ``ephemeral`` values are tied to their writer's session: the server
+    purges them when the writer detaches or its lease expires (the
+    liveness attributes of :mod:`repro.tdp.faults` use this so a dead
+    daemon's heartbeat cannot outlive it).
+    """
 
     value: str
     writer: str
     version: int
     stored_at: float
+    ephemeral: bool = False
 
 
 #: One-shot waiter callback.  Called with the attribute's value when a
@@ -144,12 +151,14 @@ class AttributeStore:
     # -- data operations ------------------------------------------------------
 
     def put(self, attribute: str, value: str, *, context: str = DEFAULT_CONTEXT,
-            writer: str = "?") -> StoredValue:
+            writer: str = "?", ephemeral: bool = False) -> StoredValue:
         """Store (attribute, value); wakes blocking getters and subscribers.
 
         Re-putting an existing attribute overwrites it (version bumped) —
         the space is a map, not a multiset; this matches the MPD-style
         usage in the pilot where e.g. a status attribute is updated.
+        ``ephemeral`` marks the value for purging when ``writer``'s
+        session ends (see :meth:`purge_ephemeral`).
         """
         validate_attribute_name(attribute)
         encode_value(value)
@@ -161,6 +170,7 @@ class AttributeStore:
                 writer=writer,
                 version=(old.version + 1) if old else 1,
                 stored_at=time.monotonic(),
+                ephemeral=ephemeral,
             )
             ctx.data[attribute] = sv
             callbacks = ctx.waiters.pop(attribute, [])
@@ -271,6 +281,30 @@ class AttributeStore:
                 f"context {context!r} destroyed while waiting for {attribute!r}"
             )
         return value
+
+    def purge_ephemeral(self, context: str, owner: str) -> list[str]:
+        """Delete every ephemeral attribute ``owner`` wrote in ``context``.
+
+        Called when a member detaches or its session lease expires.
+        Subscribers see ordinary remove notifications — a daemon watching
+        ``heartbeat.*`` learns about the death the same way it would
+        learn about an explicit remove.  Returns the purged names.
+        """
+        with self._lock:
+            ctx = self._contexts.get(context)
+            if ctx is None:
+                return []
+            doomed = sorted(
+                name for name, sv in ctx.data.items()
+                if sv.ephemeral and sv.writer == owner
+            )
+            for name in doomed:
+                del ctx.data[name]
+        for name in doomed:
+            self.subscriptions.publish(
+                Notification(context=context, attribute=name, value=None, kind="remove")
+            )
+        return doomed
 
     def remove(self, attribute: str, *, context: str = DEFAULT_CONTEXT) -> bool:
         """Remove an attribute; returns False if it was absent."""

@@ -57,6 +57,16 @@ class GetTimeoutError(AttributeSpaceError, TimeoutError):
     """A blocking ``tdp_get`` exceeded its caller-supplied timeout."""
 
 
+class ReconnectFailedError(SpaceClosedError):
+    """A reconnecting session exhausted its :class:`ReconnectPolicy`.
+
+    Subclasses :class:`SpaceClosedError` so existing handlers that treat
+    a dead space as fatal keep working; catching this type specifically
+    distinguishes "the server went away and recovery was attempted" from
+    a session that never had reconnection enabled.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Transport / network errors
 # ---------------------------------------------------------------------------

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro import errors
+from repro.attrspace.client import ReconnectPolicy
 from repro.net.address import Endpoint
 from repro.tdp.handle import Role, TdpHandle, open_handle
 from repro.tdp.process import ProcessBackend, ProcessInfo, submit_tool_request
@@ -41,6 +42,8 @@ def tdp_init(
     src_host: str | None = None,
     cass_endpoint: Endpoint | None = None,
     backend: ProcessBackend | None = None,
+    reconnect: ReconnectPolicy | None = None,
+    lease_ttl: float | None = None,
 ) -> TdpHandle:
     """Initialize the TDP framework for one daemon; returns the handle.
 
@@ -48,7 +51,8 @@ def tdp_init(
     different context parameter is used by the RM in each tdp_init call
     to create a different space", Section 3.2).  RM daemons also pass
     their process ``backend``; tool daemons do not (control is requested
-    through the RM).
+    through the RM).  ``reconnect``/``lease_ttl`` opt the sessions into
+    transparent recovery from transport faults (see ``open_handle``).
     """
     return open_handle(
         transport,
@@ -59,6 +63,8 @@ def tdp_init(
         src_host=src_host,
         cass_endpoint=cass_endpoint,
         backend=backend,
+        reconnect=reconnect,
+        lease_ttl=lease_ttl,
     )
 
 
@@ -74,10 +80,18 @@ def tdp_exit(handle: TdpHandle) -> None:
 # Attribute space: blocking (Section 3.2)
 # ---------------------------------------------------------------------------
 
-def tdp_put(handle: TdpHandle, attribute: str, value: str) -> None:
-    """Blocking put: returns once the attribute is stored in the space."""
+def tdp_put(
+    handle: TdpHandle, attribute: str, value: str, *, ephemeral: bool = False
+) -> None:
+    """Blocking put: returns once the attribute is stored in the space.
+
+    ``ephemeral`` ties the attribute to this daemon's session: the server
+    purges it when the daemon detaches or its session lease expires, so
+    liveness claims (heartbeats, endpoint advertisements) cannot outlive
+    their author.
+    """
     handle._check_open()
-    handle.attrs.put(attribute, value)
+    handle.attrs.put(attribute, value, ephemeral=ephemeral)
 
 
 def tdp_get(handle: TdpHandle, attribute: str, timeout: float | None = None) -> str:

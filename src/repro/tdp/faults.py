@@ -23,6 +23,7 @@ from repro import errors
 from repro.tdp.handle import TdpHandle
 from repro.tdp.wellknown import Attr, ProcStatus
 from repro.util.log import get_logger
+from repro.util.sync import tracked_lock
 from repro.util.threads import spawn
 
 _log = get_logger("tdp.faults")
@@ -36,8 +37,13 @@ class FaultRecord:
 
 
 def heartbeat(handle: TdpHandle, entity_id: str) -> None:
-    """Daemon-side: record liveness (a monotonically fresh timestamp)."""
-    handle.attrs.put(Attr.heartbeat(entity_id), repr(time.monotonic()))
+    """Daemon-side: record liveness (a monotonically fresh timestamp).
+
+    Ephemeral: the heartbeat is tied to the daemon's session, so a dead
+    daemon's last beat is purged when its lease expires instead of
+    lingering as a stale claim of liveness.
+    """
+    handle.attrs.put(Attr.heartbeat(entity_id), repr(time.monotonic()), ephemeral=True)
 
 
 class FaultMonitor:
@@ -51,7 +57,7 @@ class FaultMonitor:
     def __init__(self, handle: TdpHandle, *, check_interval: float = 0.05):
         self._handle = handle
         self._interval = check_interval
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("tdp.faults.FaultMonitor._lock")
         self._deadlines: dict[str, tuple[str, float, float]] = {}
         # entity_id -> (kind, max_silence, last_seen_monotonic)
         self.faults: list[FaultRecord] = []
@@ -89,28 +95,36 @@ class FaultMonitor:
             self._thread = spawn(self._watch_loop, name="fault-monitor")
 
     def _watch_loop(self) -> None:
-        while not self._stop.wait(self._interval):
-            now = time.monotonic()
-            with self._lock:
-                entries = list(self._deadlines.items())
-            for entity_id, (kind, max_silence, last_seen) in entries:
-                # Refresh last_seen from the space.
-                try:
-                    raw = self._handle.attrs.try_get(Attr.heartbeat(entity_id))
-                    seen = float(raw)
-                except (errors.NoSuchAttributeError, ValueError):
-                    seen = last_seen
-                except errors.TdpError:
-                    return  # space gone: monitor dies with the session
+        try:
+            while not self._stop.wait(self._interval):
+                now = time.monotonic()
                 with self._lock:
-                    if entity_id not in self._deadlines:
-                        continue
-                    self._deadlines[entity_id] = (kind, max_silence, max(seen, last_seen))
-                    effective = self._deadlines[entity_id][2]
-                if now - effective > max_silence:
+                    entries = list(self._deadlines.items())
+                for entity_id, (kind, max_silence, last_seen) in entries:
+                    # Refresh last_seen from the space.
+                    try:
+                        raw = self._handle.attrs.try_get(Attr.heartbeat(entity_id))
+                        seen = float(raw)
+                    except (errors.NoSuchAttributeError, ValueError):
+                        seen = last_seen
+                    except errors.TdpError:
+                        return  # space gone: monitor dies with the session
                     with self._lock:
-                        self._deadlines.pop(entity_id, None)
-                    self._declare(kind, entity_id, f"no heartbeat for {max_silence}s")
+                        if entity_id not in self._deadlines:
+                            continue
+                        self._deadlines[entity_id] = (kind, max_silence, max(seen, last_seen))
+                        effective = self._deadlines[entity_id][2]
+                    if now - effective > max_silence:
+                        with self._lock:
+                            self._deadlines.pop(entity_id, None)
+                        self._declare(kind, entity_id, f"no heartbeat for {max_silence}s")
+        finally:
+            # However the loop exits — stop(), or a transient space error
+            # — release the thread slot so the next watch_heartbeat can
+            # respawn the monitor instead of trusting a dead thread.
+            with self._lock:
+                if self._thread is threading.current_thread():
+                    self._thread = None
 
     def unwatch(self, entity_id: str) -> None:
         """Stop watching (clean shutdown is not a fault)."""

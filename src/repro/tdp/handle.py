@@ -17,7 +17,7 @@ import enum
 import threading
 
 from repro import errors
-from repro.attrspace.client import AttributeSpaceClient
+from repro.attrspace.client import AttributeSpaceClient, ReconnectPolicy
 from repro.net.address import Endpoint
 from repro.tdp.process import ProcessBackend, ProcessControlService
 from repro.transport.base import Transport
@@ -198,6 +198,8 @@ def open_handle(
     cass_context: str = "default",
     backend: ProcessBackend | None = None,
     connect_timeout: float = 10.0,
+    reconnect: ReconnectPolicy | None = None,
+    lease_ttl: float | None = None,
 ) -> TdpHandle:
     """Implementation behind ``tdp_init``: connect session(s), build handle.
 
@@ -206,23 +208,41 @@ def open_handle(
     daemon connects from.  The CASS session joins ``cass_context``
     (default: the global ``"default"`` context — central attributes like
     the tool front-end's endpoint are pool-global, not per-job).
+
+    Passing ``reconnect`` (a :class:`ReconnectPolicy`) makes both
+    sessions self-healing: a dead channel is re-dialed, the attach
+    handshake re-run, and subscriptions/in-flight requests replayed.
+    ``lease_ttl`` sets the server-side session lease (defaults to 30 s
+    when reconnection is on), bounding how long the server preserves a
+    silent daemon's membership and ephemeral attributes.
     """
     if src_host is None:
         if backend is None:
             raise errors.HandleError("src_host required when no backend is given")
         src_host = backend.hostname
-    lass_channel = transport.connect(src_host, lass_endpoint, timeout=connect_timeout)
-    lass = AttributeSpaceClient(lass_channel, context=context, member=member)
+    if reconnect is not None and lease_ttl is None:
+        lease_ttl = 30.0
+
+    def _open(endpoint: Endpoint, ctx: str) -> AttributeSpaceClient:
+        if reconnect is not None:
+            return AttributeSpaceClient.connect(
+                transport, src_host, endpoint,
+                context=ctx, member=member, reconnect=reconnect,
+                lease_ttl=lease_ttl, connect_timeout=connect_timeout,
+            )
+        channel = transport.connect(src_host, endpoint, timeout=connect_timeout)
+        return AttributeSpaceClient(
+            channel, context=ctx, member=member, lease_ttl=lease_ttl
+        )
+
+    lass = _open(lass_endpoint, context)
     cass = None
     if cass_endpoint is not None:
         try:
-            cass_channel = transport.connect(
-                src_host, cass_endpoint, timeout=connect_timeout
-            )
+            cass = _open(cass_endpoint, cass_context)
         except errors.TdpError:
             lass.close()
             raise
-        cass = AttributeSpaceClient(cass_channel, context=cass_context, member=member)
     return TdpHandle(
         member=member,
         role=role,

@@ -11,6 +11,7 @@ from repro.transport.base import Channel, Listener, Transport
 from repro.transport.inmem import InMemoryTransport
 from repro.transport.tcp import TcpTransport
 from repro.transport.proxy import ProxyServer, connect_via_proxy
+from repro.transport.faultinject import FaultInjectTransport, FaultPlan, from_env
 
 __all__ = [
     "Channel",
@@ -20,4 +21,7 @@ __all__ = [
     "TcpTransport",
     "ProxyServer",
     "connect_via_proxy",
+    "FaultInjectTransport",
+    "FaultPlan",
+    "from_env",
 ]

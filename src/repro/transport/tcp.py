@@ -10,13 +10,12 @@ simulated network runs unchanged.
 from __future__ import annotations
 
 import socket
-import threading
 
 from repro.errors import ChannelClosedError, ConnectError, GetTimeoutError
 from repro.net.address import Endpoint
 from repro.transport import framing
 from repro.transport.base import Channel, Listener, Message, Transport
-from repro.util.sync import WaitableQueue
+from repro.util.sync import WaitableQueue, tracked_lock
 from repro.util.threads import spawn
 
 _BIND_ADDR = "127.0.0.1"
@@ -35,7 +34,7 @@ class _TcpChannel(Channel):
         self._local = local_host
         self._remote = remote_host
         self._rx: WaitableQueue[Message] = WaitableQueue()
-        self._send_lock = threading.Lock()
+        self._send_lock = tracked_lock("transport.tcp._TcpChannel._send_lock")
         self._closed = False
         self._reader = spawn(self._read_loop, name=f"tcp-reader-{local_host}")
 
@@ -51,6 +50,10 @@ class _TcpChannel(Channel):
         except (OSError, ChannelClosedError):
             pass
         finally:
+            # The socket is dead (EOF or error): latch the channel closed
+            # so senders fail fast instead of retrying a doomed socket.
+            with self._send_lock:
+                self._closed = True
             self._rx.close()
 
     def send(self, message: Message) -> None:
@@ -61,6 +64,10 @@ class _TcpChannel(Channel):
             try:
                 self._sock.sendall(frame)
             except OSError as e:
+                # Latch closed: once one write fails, every later one
+                # would too — make them fail fast rather than poke the
+                # dead socket again.
+                self._closed = True
                 raise ChannelClosedError(f"peer {self._remote} gone: {e}") from e
 
     def recv(self, timeout: float | None = None) -> Message:
@@ -156,7 +163,7 @@ class TcpTransport(Transport):
 
     def __init__(self) -> None:
         self._bound: dict[Endpoint, int] = {}  # logical endpoint -> real port
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("transport.tcp.TcpTransport._lock")
 
     def listen(self, host: str, port: int = 0) -> Listener:
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)

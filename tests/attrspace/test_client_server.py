@@ -1,13 +1,21 @@
-"""Client/server integration tests for the attribute space, on both transports."""
+"""Client/server integration tests for the attribute space, on both transports.
 
+The whole module doubles as a chaos suite: with ``TDP_FAULTPLAN`` set
+(e.g. ``seed:42``) the transports grow a fault-injection wrapper and the
+clients become reconnecting sessions, so every test here re-runs against
+severed channels and delayed frames.  Unset, nothing changes.
+"""
+
+import os
 import threading
 
 import pytest
 
 from repro.errors import GetTimeoutError, NoSuchAttributeError, SpaceClosedError
-from repro.attrspace.client import AttributeSpaceClient
+from repro.attrspace.client import AttributeSpaceClient, ReconnectPolicy
 from repro.attrspace.server import AttributeSpaceServer, ServerRole
 from repro.net.topology import flat_network
+from repro.transport.faultinject import from_env
 from repro.transport.inmem import InMemoryTransport
 from repro.transport.tcp import TcpTransport
 
@@ -15,8 +23,10 @@ from repro.transport.tcp import TcpTransport
 @pytest.fixture(params=["inmem", "tcp"])
 def transport(request):
     if request.param == "inmem":
-        return InMemoryTransport(flat_network(["node1", "submit"]))
-    return TcpTransport()
+        base = InMemoryTransport(flat_network(["node1", "submit"]))
+    else:
+        base = TcpTransport()
+    return from_env(base)
 
 
 @pytest.fixture
@@ -27,6 +37,15 @@ def server(transport):
 
 
 def make_client(transport, server, *, context="default", member="test"):
+    if os.environ.get("TDP_FAULTPLAN"):
+        # Chaos mode: injected severs must read as outages, not errors.
+        return AttributeSpaceClient.connect(
+            transport, "submit", server.endpoint,
+            context=context, member=member,
+            reconnect=ReconnectPolicy(base_delay=0.02, max_delay=0.2,
+                                      deadline=2.0, seed=7),
+            lease_ttl=30.0,
+        )
     channel = transport.connect("submit", server.endpoint, timeout=5.0)
     return AttributeSpaceClient(channel, context=context, member=member)
 

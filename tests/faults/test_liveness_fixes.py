@@ -1,0 +1,180 @@
+"""Regression tests for the liveness bugs fixed alongside the fault work:
+
+* a timed-out client RPC used to leak its pending-table entry forever;
+* the fault monitor's watch thread could die on a transient space error
+  and never be respawned;
+* a TCP channel whose socket write failed did not latch itself closed,
+  so every later send poked the dead socket again.
+"""
+
+import time
+
+import pytest
+
+from repro import errors
+from repro.attrspace.client import AttributeSpaceClient
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.net.topology import flat_network
+from repro.tdp.faults import FaultMonitor
+from repro.tdp.wellknown import Attr
+from repro.transport.faultinject import FaultInjectTransport, FaultPlan
+from repro.transport.inmem import InMemoryTransport
+from repro.transport.tcp import TcpTransport
+
+
+def wait_until(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestRpcTimeoutLeak:
+    def _stack(self, script):
+        base = InMemoryTransport(flat_network(["node1", "submit"]))
+        transport = FaultInjectTransport(base, FaultPlan(script=script))
+        server = AttributeSpaceServer(transport, "node1", role=ServerRole.LASS)
+        channel = transport.connect("submit", server.endpoint, timeout=5.0)
+        client = AttributeSpaceClient(channel, context="j", member="m")
+        return server, client
+
+    def test_timed_out_request_is_dropped_from_pending(self):
+        # Channel 0's send 0 is the attach; send 1 (the put below) is
+        # dropped, so no reply ever comes and the latch times out.
+        server, client = self._stack({(0, 1): "drop"})
+        try:
+            with pytest.raises(errors.GetTimeoutError):
+                client._rpc(
+                    {"op": "put", "context": "j", "attribute": "a", "value": "1"},
+                    timeout=0.2,
+                )
+            assert client._pending_sync == {}
+            # The session is still healthy for subsequent traffic.
+            assert client.put("b", "2") == 1
+        finally:
+            client.close()
+            server.stop()
+
+    def test_late_reply_after_timeout_is_harmless(self):
+        # A blocking get parked at the server outlives the client-side
+        # RPC timeout; when the put finally lands, the server's reply
+        # must hit an *empty* pending slot, not a dead latch.
+        base = InMemoryTransport(flat_network(["node1", "submit"]))
+        server = AttributeSpaceServer(base, "node1", role=ServerRole.LASS)
+        channel = base.connect("submit", server.endpoint, timeout=5.0)
+        client = AttributeSpaceClient(channel, context="j", member="m")
+        other_channel = base.connect("submit", server.endpoint, timeout=5.0)
+        other = AttributeSpaceClient(other_channel, context="j", member="other")
+        try:
+            with pytest.raises(errors.GetTimeoutError):
+                client._rpc(
+                    {"op": "get", "context": "j", "attribute": "late",
+                     "block": True, "timeout": None},
+                    timeout=0.1,
+                )
+            assert client._pending_sync == {}
+            other.put("late", "v")  # completes the parked get: late reply
+            time.sleep(0.2)
+            assert client.try_get("late") == "v"  # session still healthy
+        finally:
+            client.close()
+            other.close()
+            server.stop()
+
+
+class _StubAttrs:
+    """Duck-typed stand-in for the handle's attribute-space session."""
+
+    def __init__(self):
+        self.fail = False
+        self.heartbeats: dict[str, str] = {}
+        self.puts: list[tuple[str, str]] = []
+
+    def try_get(self, attribute):
+        if self.fail:
+            raise errors.SpaceClosedError("space down")
+        if attribute in self.heartbeats:
+            return self.heartbeats[attribute]
+        raise errors.NoSuchAttributeError(attribute)
+
+    def put(self, attribute, value, **kwargs):
+        self.puts.append((attribute, value))
+
+
+class _StubHandle:
+    def __init__(self):
+        self.attrs = _StubAttrs()
+        self.control = None
+
+
+class TestFaultMonitorRespawn:
+    def test_watch_thread_respawns_after_transient_error(self):
+        handle = _StubHandle()
+        monitor = FaultMonitor(handle, check_interval=0.01)
+        try:
+            monitor.watch_heartbeat("rt", "tool-1", max_silence=60.0)
+            first = monitor._thread
+            assert first is not None
+
+            # A transient space error kills the loop; the thread slot
+            # must be released, not left pointing at a corpse.
+            handle.attrs.fail = True
+            assert wait_until(lambda: monitor._thread is None)
+            assert wait_until(lambda: not first.is_alive())
+
+            # The next watch call respawns the monitor and it works.
+            handle.attrs.fail = False
+            monitor.watch_heartbeat("rt", "tool-2", max_silence=0.05)
+            assert monitor._thread is not None
+            assert wait_until(
+                lambda: any(r.entity_id == "tool-2" for r in monitor.faults)
+            )
+            assert any(a == Attr.fault("tool-2") for a, _ in handle.attrs.puts)
+        finally:
+            monitor.stop()
+
+    def test_stop_clears_thread(self):
+        handle = _StubHandle()
+        monitor = FaultMonitor(handle, check_interval=0.01)
+        monitor.watch_heartbeat("as", "svc", max_silence=60.0)
+        monitor.stop()
+        assert monitor._thread is None
+
+
+class TestTcpClosedLatch:
+    def test_send_latches_closed_after_peer_gone(self):
+        transport = TcpTransport()
+        listener = transport.listen("node1")
+        client = transport.connect("submit", listener.endpoint, timeout=5.0)
+        server_side = listener.accept(timeout=5.0)
+        server_side.close()
+
+        # EOF reaches the reader thread, which latches the channel; even
+        # if a racing send slips a frame into the dying socket first,
+        # the loop below must terminate in a ChannelClosedError and
+        # leave the channel latched.
+        with pytest.raises(errors.ChannelClosedError):
+            for _ in range(200):
+                client.send({"n": 0})
+                time.sleep(0.01)
+        assert client.closed
+
+        # Latched means fail-fast: no socket I/O, just the error.
+        with pytest.raises(errors.ChannelClosedError):
+            client.send({"n": 1})
+        client.close()
+        listener.close()
+
+    def test_reader_eof_latches_without_any_send(self):
+        transport = TcpTransport()
+        listener = transport.listen("node1")
+        client = transport.connect("submit", listener.endpoint, timeout=5.0)
+        server_side = listener.accept(timeout=5.0)
+        server_side.close()
+        assert wait_until(lambda: client.closed)
+        with pytest.raises(errors.ChannelClosedError):
+            client.send({"n": 0})
+        client.close()
+        listener.close()
