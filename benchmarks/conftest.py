@@ -3,11 +3,90 @@
 Every bench regenerates one paper artifact (figure/claim) and prints the
 same rows/series the paper reports, so `pytest benchmarks/
 --benchmark-only -s` reproduces the evaluation narrative end to end.
+
+On session finish the suite additionally emits ``BENCH_attrspace.json``
+at the repo root: put/get ops/sec plus latency percentiles taken from
+the ``repro.obs`` RPC histograms, one stable record per run to seed the
+performance trajectory.
 """
 
+import json
 import sys
+import time
 
 sys.setrecursionlimit(100_000)  # see tests/conftest.py
+
+#: operations per primitive in the emission microbench (kept small — it
+#: runs after *every* bench session, including single-file ones)
+BENCH_ROUNDS = 400
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if getattr(session.config.option, "collectonly", False):
+        return
+    try:
+        payload = _attrspace_microbench()
+    except Exception as exc:  # never fail a bench run over the emission
+        print(f"\n[bench] BENCH_attrspace.json skipped: {exc!r}")
+        return
+    out = session.config.rootpath / "BENCH_attrspace.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\n[bench] wrote {out}")
+
+
+def _ms(value):
+    return None if value is None else round(value * 1000.0, 4)
+
+
+def _attrspace_microbench(rounds: int = BENCH_ROUNDS) -> dict:
+    """Timed put/get loops against one LASS; percentiles from obs."""
+    from repro import obs
+    from repro.attrspace.client import AttributeSpaceClient
+    from repro.attrspace.server import AttributeSpaceServer, ServerRole
+    from repro.sim.cluster import SimCluster
+
+    was_enabled = obs.enabled()
+    obs.set_enabled(True)
+    obs.reset()  # fresh default-registry histograms for this measurement
+    try:
+        with SimCluster.flat(["node1"]) as cluster:
+            lass = AttributeSpaceServer(
+                cluster.transport, "node1", role=ServerRole.LASS
+            )
+            channel = cluster.transport.connect("node1", lass.endpoint)
+            client = AttributeSpaceClient(channel, member="bench-emit")
+            t0 = time.perf_counter()
+            for i in range(rounds):
+                client.put(f"bench.k{i % 64}", "v")
+            put_elapsed = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            for i in range(rounds):
+                client.get(f"bench.k{i % 64}", timeout=5.0)
+            get_elapsed = time.perf_counter() - t0
+            client.close()
+            lass.stop()
+
+        def series(op: str, elapsed: float) -> dict:
+            summary = obs.registry().histogram(
+                f"attrspace.client.rpc.{op}"
+            ).summary()
+            return {
+                "ops_per_sec": round(rounds / elapsed, 1),
+                "count": summary["count"],
+                "p50_ms": _ms(summary["p50"]),
+                "p95_ms": _ms(summary["p95"]),
+                "p99_ms": _ms(summary["p99"]),
+            }
+
+        return {
+            "suite": "attrspace",
+            "transport": "inmem",
+            "rounds": rounds,
+            "put": series("put", put_elapsed),
+            "get": series("get", get_elapsed),
+        }
+    finally:
+        obs.set_enabled(was_enabled)
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:

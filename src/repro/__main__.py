@@ -8,7 +8,9 @@ writing code:
 * ``consultant`` — run the Performance Consultant on the planted
   bottleneck workload;
 * ``info`` — version, registered executables, standard attributes;
-* ``lint`` — AST linter for TDP invariants (``lint --list-rules``).
+* ``lint`` — AST linter for TDP invariants (``lint --list-rules``);
+* ``obs dump`` — print the flight recorder + metrics, export traces
+  (``TDP_OBS=1`` enables recording; ``--run-pilot`` generates a run).
 """
 
 from __future__ import annotations
@@ -51,7 +53,7 @@ def cmd_fig3(_args: argparse.Namespace) -> int:
     with SimCluster.flat(["node1"]) as cluster:
         lass = AttributeSpaceServer(cluster.transport, "node1", role=ServerRole.LASS)
         for mode, executable in (("create", "hello"), ("attach", "server_loop")):
-            trace = TraceRecorder()
+            trace = TraceRecorder(clock=cluster.clock)
             context = f"fig3-{mode}"
             rm = tdp_init(cluster.transport, lass.endpoint, member="RM",
                           role=Role.RM, context=context,
@@ -105,6 +107,40 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(args.lint_args)
 
 
+def cmd_obs_dump(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    if args.run_pilot:
+        # Generate something to dump: run the monitored-job pilot with
+        # observability forced on in this process.
+        obs.set_enabled(True)
+        from repro.parador.run import ParadorScenario
+
+        with ParadorScenario(execute_hosts=["node1"]) as scenario:
+            run = scenario.submit_monitored("foo", "5 0.1")
+            run.job.wait_terminal(timeout=60.0)
+            run.session.wait_state("exited", timeout=30.0)
+    if not obs.enabled():
+        print("observability is off — set TDP_OBS=1 (or pass --run-pilot)")
+    for event in obs.recorder().tail(args.limit):
+        print(event)
+    print(f"\n{len(obs.recorder())} events in the ring, "
+          f"{len(obs.store())} spans retained")
+    report = obs.export.metrics_report()
+    for reg_name in sorted(report):
+        print(f"\nmetrics [{reg_name}]")
+        for name, value in sorted(report[reg_name].items()):
+            print(f"  {name} = {value}")
+    if args.chrome:
+        n = obs.export.write_chrome_trace(args.chrome)
+        print(f"\nwrote {n} span slices to {args.chrome} "
+              "(open in about:tracing or Perfetto)")
+    if args.jsonl:
+        n = obs.export.write_jsonl(args.jsonl)
+        print(f"wrote {n} JSON-lines events to {args.jsonl}")
+    return 0
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     import repro
     from repro.sim.loader import default_registry
@@ -146,6 +182,22 @@ def main(argv: list[str] | None = None) -> int:
         func=cmd_consultant
     )
     sub.add_parser("info", help="version and registries").set_defaults(func=cmd_info)
+    obs_parser = sub.add_parser(
+        "obs", help="observability: flight recorder, metrics, trace export"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    dump = obs_sub.add_parser(
+        "dump", help="print the event ring and metrics; optionally export"
+    )
+    dump.add_argument("--limit", type=int, default=50,
+                      help="ring tail length to print (default 50)")
+    dump.add_argument("--chrome", metavar="PATH",
+                      help="write spans as Chrome trace_event JSON")
+    dump.add_argument("--jsonl", metavar="PATH",
+                      help="write flight-recorder events as JSON lines")
+    dump.add_argument("--run-pilot", action="store_true",
+                      help="run the monitored-job pilot first, obs enabled")
+    dump.set_defaults(func=cmd_obs_dump)
     lint = sub.add_parser(
         "lint",
         help="run the TDP invariant linter (see `lint --help`)",

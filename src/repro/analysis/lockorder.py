@@ -199,11 +199,22 @@ DEFAULT = LockHierarchy([
 
     # -- leaves (never call out while held) ----------------------------------
     LockDecl("util.sync.Latch._lock", 90, note="one-shot gate payload"),
+    LockDecl("obs.metrics.MetricsRegistry._lock", 90,
+             note="metric name table; get-or-create only, metric values "
+                  "are read after the table hold is released"),
     LockDecl("util.sync.WaitableQueue._cond", 91,
              note="queue contents; wait() drops it while blocked"),
     LockDecl("util.sync.AtomicCounter._lock", 92, note="counter word"),
+    LockDecl("obs.metrics.Counter._lock", 92, note="metric counter word"),
+    LockDecl("obs.metrics.Gauge._lock", 92, note="metric gauge word"),
+    LockDecl("obs.metrics.Histogram._lock", 93,
+             note="sample reservoir + running aggregates"),
     LockDecl("util.ids.IdAllocator._lock", 94, note="id counter"),
+    LockDecl("obs.trace.SpanStore._lock", 95, note="finished-span ring"),
     LockDecl("util.log.TraceRecorder._lock", 96, note="trace event append"),
+    LockDecl("obs.recorder.FlightRecorder._lock", 97,
+             note="event ring append; ranked above every other lock so "
+                  "obs.record is legal from any daemon context"),
 ])
 
 _ACTIVE = DEFAULT

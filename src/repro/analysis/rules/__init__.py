@@ -7,6 +7,7 @@ from repro.analysis.rules import (
     concurrency,
     handles,
     locks,
+    obsrules,
     protocol,
     simclock,
     threads,
@@ -17,6 +18,7 @@ __all__ = [
     "concurrency",
     "handles",
     "locks",
+    "obsrules",
     "protocol",
     "simclock",
     "threads",

@@ -1,0 +1,145 @@
+"""ad-hoc-counter: daemon metrics go through repro.obs, not hand-rolled tables.
+
+The obs subsystem gives every daemon one metrics surface: get-or-create
+from a :class:`repro.obs.MetricsRegistry`, so ``obs dump`` and the
+exporters see every series and name collisions are caught at
+registration.  A hand-rolled ``dict`` of ``AtomicCounter`` (the pattern
+the attrspace server used before the registry existed) is invisible to
+all of that.
+
+Three patterns are flagged:
+
+* a dict literal or comprehension whose values are ``AtomicCounter()``
+  calls — a hand-rolled stats table; migrate it onto a registry
+  (a *single* ``AtomicCounter`` used as an ID allocator is fine);
+* direct construction of ``Counter``/``Gauge``/``Histogram`` — metric
+  objects must come from ``MetricsRegistry.counter()`` et al., never
+  ``__init__`` (a directly-built metric is registered nowhere);
+* a literal metric name passed to ``.counter()``/``.gauge()``/
+  ``.histogram()`` with characters outside ``[a-z0-9_.]`` — the
+  registry rejects it at run time; catch it at lint time instead.
+
+Scope: everything under ``repro`` except ``repro.obs`` itself (the
+definition site) and ``repro.util.sync`` (where AtomicCounter lives).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleSource, Rule, dotted_name, register
+from repro.obs.metrics import NAME_CHARS
+
+_EXEMPT_PACKAGES = ("repro.obs",)
+_EXEMPT_MODULES = {"repro.util.sync"}
+
+#: obs metric classes whose direct construction is banned outside obs.
+_METRIC_CLASSES = {"Counter", "Gauge", "Histogram"}
+#: qualifier segments under which the metric classes are recognized
+#: (``obs.Counter(...)``, ``metrics.Histogram(...)``); bare names are
+#: recognized too.  ``collections.Counter`` is deliberately not matched.
+_METRIC_QUALIFIERS = {"obs", "metrics"}
+
+#: registry get-or-create methods whose name argument is validated
+_REGISTRY_METHODS = {"counter", "gauge", "histogram"}
+
+
+def _is_atomic_counter_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dn = dotted_name(node.func)
+    return dn is not None and dn.split(".")[-1] == "AtomicCounter"
+
+
+def _is_metric_construction(call: ast.Call) -> bool:
+    dn = dotted_name(call.func)
+    if dn is None:
+        return False
+    parts = dn.split(".")
+    if parts[-1] not in _METRIC_CLASSES:
+        return False
+    return len(parts) == 1 or parts[-2] in _METRIC_QUALIFIERS
+
+
+def _bad_name_chars(value: str) -> str:
+    return "".join(sorted({c for c in value if c not in NAME_CHARS}))
+
+
+@register
+class AdHocCounter(Rule):
+    name = "ad-hoc-counter"
+    description = (
+        "daemon metrics come from a repro.obs MetricsRegistry, not "
+        "hand-rolled AtomicCounter tables or direct metric construction"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.in_package("repro"):
+            return
+        if module.in_package(*_EXEMPT_PACKAGES):
+            return
+        if module.modname in _EXEMPT_MODULES:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Dict):
+                if any(_is_atomic_counter_call(v) for v in node.values if v):
+                    yield self.finding(
+                        module,
+                        node,
+                        "hand-rolled stats table of AtomicCounter; use "
+                        "MetricsRegistry.counter() from repro.obs",
+                    )
+            elif isinstance(node, ast.DictComp):
+                if _is_atomic_counter_call(node.value):
+                    yield self.finding(
+                        module,
+                        node,
+                        "hand-rolled stats table of AtomicCounter; use "
+                        "MetricsRegistry.counter() from repro.obs",
+                    )
+            elif isinstance(node, ast.Call):
+                if _is_metric_construction(node):
+                    cls = dotted_name(node.func).split(".")[-1]
+                    yield self.finding(
+                        module,
+                        node,
+                        f"direct {cls} construction; obtain metrics "
+                        f"get-or-create via MetricsRegistry.{cls.lower()}()",
+                    )
+                else:
+                    yield from self._check_metric_name(module, node)
+
+    def _check_metric_name(
+        self, module: ModuleSource, call: ast.Call
+    ) -> Iterator[Finding]:
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _REGISTRY_METHODS:
+            return
+        if not call.args:
+            return
+        arg = call.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            bad = _bad_name_chars(arg.value)
+            if bad or not arg.value:
+                yield self.finding(
+                    module,
+                    arg,
+                    f"metric name {arg.value!r} uses characters outside "
+                    f"[a-z0-9_.] ({bad!r}); the registry will reject it",
+                )
+        elif isinstance(arg, ast.JoinedStr):
+            # Only the literal segments of an f-string name can be
+            # checked statically; interpolated parts are run-time.
+            for segment in arg.values:
+                if isinstance(segment, ast.Constant) and isinstance(
+                    segment.value, str
+                ):
+                    bad = _bad_name_chars(segment.value)
+                    if bad:
+                        yield self.finding(
+                            module,
+                            arg,
+                            f"metric name f-string segment {segment.value!r} "
+                            f"uses characters outside [a-z0-9_.] ({bad!r})",
+                        )

@@ -31,7 +31,7 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro import errors
+from repro import errors, obs
 from repro.attrspace import protocol
 from repro.attrspace.notify import Notification
 from repro.attrspace.store import DEFAULT_CONTEXT
@@ -231,6 +231,7 @@ class AttributeSpaceClient:
     def _register_sync(
         self, request: dict[str, Any], replay: bool
     ) -> tuple[int, _PendingSync]:
+        stamp_trace = obs.enabled()
         with self._lock:
             if self._closed:
                 raise errors.SpaceClosedError("client closed")
@@ -238,6 +239,10 @@ class AttributeSpaceClient:
                 raise errors.SpaceClosedError("attribute space connection lost")
             req = self._req_ids.next()
             frame = dict(request, req=req)
+            if stamp_trace:
+                # Stamped at registration, not send, so reconnect replays
+                # carry the original context.
+                obs.inject(frame)
             entry = _PendingSync(Latch(), frame, replay)
             self._pending_sync[req] = entry
             return req, entry
@@ -269,6 +274,7 @@ class AttributeSpaceClient:
         replay: bool = True,
     ) -> dict[str, Any]:
         """Send a request and block for its reply."""
+        started = time.perf_counter() if obs.enabled() else 0.0
         req, entry = self._register_sync(request, replay)
         try:
             self._send_or_defer(entry.frame)
@@ -286,6 +292,10 @@ class AttributeSpaceClient:
             raise
         if not reply.get("ok", False):
             protocol.raise_error(reply)
+        if started:
+            obs.registry().histogram(
+                f"attrspace.client.rpc.{request.get('op', 'op')}"
+            ).observe(time.perf_counter() - started)
         return reply
 
     # -- receive / recovery ----------------------------------------------------
@@ -350,6 +360,7 @@ class AttributeSpaceClient:
                 continue
             break
         self._adopt_channel(channel)
+        obs.registry().counter("attrspace.client.reconnects").increment()
         for message in strays:
             self._route(message)
         self._session_event(
@@ -454,6 +465,7 @@ class AttributeSpaceClient:
     def _session_event(self, kind: str, **info: Any) -> None:
         record: dict[str, Any] = {"event": kind, **info}
         self.session_log.append(record)
+        obs.record(kind, actor=self.member, **info)
         _log.info("%s: %s", self.member, record)
         callback = self._session_cb
         if callback is not None:
@@ -484,9 +496,33 @@ class AttributeSpaceClient:
                 entry = self._subs.get(local) if local is not None else None
             if entry is not None:
                 callback, arg = entry.callback, entry.callback_arg
+                if obs.enabled():
+                    # The notify frame carries the putter's context; run
+                    # the callback inside it so the subscriber's span
+                    # joins the put's trace.
+                    ctx = obs.extract(message)
+
+                    def invoke(
+                        callback=callback, arg=arg,
+                        notification=notification, ctx=ctx,
+                    ) -> None:
+                        with obs.activate(ctx):
+                            with obs.span(
+                                "notify.callback",
+                                actor=self.member,
+                                attribute=notification.attribute,
+                            ):
+                                callback(notification, arg)
+
+                else:
+                    def invoke(
+                        callback=callback, arg=arg, notification=notification
+                    ) -> None:
+                        callback(notification, arg)
+
                 self.events.put(
                     _Event(
-                        invoke=lambda: callback(notification, arg),
+                        invoke=invoke,
                         description=f"notify {notification.attribute}",
                     )
                 )
@@ -633,6 +669,7 @@ class AttributeSpaceClient:
         )
 
     def _send_async(self, pending: _PendingAsync, request: dict[str, Any]) -> None:
+        stamp_trace = obs.enabled()
         with self._lock:
             if self._closed:
                 raise errors.SpaceClosedError("client closed")
@@ -640,6 +677,8 @@ class AttributeSpaceClient:
                 raise errors.SpaceClosedError("attribute space connection lost")
             req = self._req_ids.next()
             pending.frame = dict(request, req=req)
+            if stamp_trace:
+                obs.inject(pending.frame)
             self._pending_async[req] = pending
         self._send_or_defer(pending.frame)
 

@@ -32,6 +32,21 @@ OP_PING = "ping"
 # Server push
 OP_NOTIFY = "notify"
 
+#: Optional observability field on any frame: ``{"t": trace_id, "s":
+#: span_id}`` (see :mod:`repro.obs.trace`).  Clients stamp it on
+#: requests at registration time — so reconnect replays carry the
+#: original context — and servers stamp it on notify pushes so a
+#: subscriber's callback joins the putter's trace.  Servers ignore it
+#: when observability is disabled; it is never required.
+OBS_FIELD = "obs"
+
+#: Attribute-name prefix under which a server publishes its own metrics
+#: snapshot into the requesting context on demand: a get of
+#: ``tdp.stats.puts`` (see ``repro.tdp.wellknown.Attr.stat``) makes the
+#: server refresh every ``tdp.stats.*`` attribute first, so tools can
+#: ``tdp_get`` live server statistics through the space itself.
+STATS_PREFIX = "tdp.stats."
+
 _ERROR_TYPES: dict[str, type[Exception]] = {
     "no_such_attribute": errors.NoSuchAttributeError,
     "attribute_format": errors.AttributeFormatError,

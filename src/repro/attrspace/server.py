@@ -21,7 +21,7 @@ import threading
 import time
 from typing import Any
 
-from repro import errors
+from repro import errors, obs
 from repro.attrspace import protocol
 from repro.attrspace.notify import Notification
 from repro.attrspace.store import DEFAULT_CONTEXT, AttributeStore
@@ -203,15 +203,24 @@ class AttributeSpaceServer:
         self._lease_sweep_interval = 0.05
         self._sweeper: threading.Thread | None = None
         self._sweeper_started = False
+        #: Per-server metrics registry: two servers in one process never
+        #: share a counter, and ``obs dump`` names each server's series.
+        self.metrics = obs.MetricsRegistry(self.name)
+        #: Name -> counter view of the registry, kept for the historical
+        #: ``server.stats["puts"].value`` contract (obs counters expose
+        #: the same ``increment``/``value`` surface as AtomicCounter).
         self.stats = {
-            "puts": AtomicCounter(),
-            "gets": AtomicCounter(),
-            "blocked_gets": AtomicCounter(),
-            "notifications": AtomicCounter(),
-            "connections": AtomicCounter(),
-            "resumed_sessions": AtomicCounter(),
-            "replayed_replies": AtomicCounter(),
-            "expired_leases": AtomicCounter(),
+            key: self.metrics.counter(f"attrspace.server.{key}")
+            for key in (
+                "puts",
+                "gets",
+                "blocked_gets",
+                "notifications",
+                "connections",
+                "resumed_sessions",
+                "replayed_replies",
+                "expired_leases",
+            )
         }
         self._acceptor = spawn(self._accept_loop, name=f"{self.name}-accept")
         _log.info("%s listening at %s", self.name, self.endpoint)
@@ -269,6 +278,7 @@ class AttributeSpaceServer:
                     return
                 self._connections[conn.conn_id] = conn
             self.stats["connections"].increment()
+            obs.record("conn.accept", actor=self.name, peer=conn.peer)
             spawn(
                 self._serve_loop,
                 args=(conn,),
@@ -317,6 +327,17 @@ class AttributeSpaceServer:
             conn.send(protocol.error_reply(req, errors.ProtocolError(f"unknown op {op!r}")))
             return
         if conn.lease is not None and not self._begin_leased(conn, req):
+            return
+        if obs.enabled():
+            # Join the client's trace: the frame carries the caller's
+            # context, and the handler runs under a server-side span so
+            # one tdp_put is followable client -> server -> deliveries.
+            with obs.activate(obs.extract(request)):
+                with obs.span(f"server.{op}", actor=self.name, peer=conn.peer):
+                    try:
+                        handler(conn, req, request)
+                    except errors.TdpError as e:
+                        conn.send(protocol.error_reply(req, e))
             return
         try:
             handler(conn, req, request)
@@ -409,6 +430,10 @@ class AttributeSpaceServer:
             lease.renew()
         if resumed:
             self.stats["resumed_sessions"].increment()
+            obs.record(
+                "session.resumed", actor=self.name,
+                token=token[:8], member=member,
+            )
             _log.info(
                 "%s: session %s resumed by %s on conn %d",
                 self.name, token[:8], member, conn.conn_id,
@@ -456,6 +481,10 @@ class AttributeSpaceServer:
 
     def _expire_lease(self, lease: _SessionLease) -> None:
         self.stats["expired_leases"].increment()
+        obs.record(
+            "lease.expired", actor=self.name,
+            token=lease.token[:8], member=lease.member,
+        )
         _log.warning(
             "%s: lease %s (%s) expired after %.3gs silence",
             self.name, lease.token[:8], lease.member, lease.ttl,
@@ -501,12 +530,27 @@ class AttributeSpaceServer:
         self.stats["puts"].increment()
         conn.send(protocol.ok_reply(req, version=sv.version))
 
+    def _publish_stats(self, context: str) -> None:
+        """Refresh the ``tdp.stats.*`` attributes of ``context`` from the
+        live counters, so a get of any of them reads current values
+        through the space itself (the observability satellite of the
+        standard-attribute list)."""
+        for key, counter in self.stats.items():
+            self.store.put(
+                f"{protocol.STATS_PREFIX}{key}",
+                str(counter.value),
+                context=context,
+                writer=self.name,
+            )
+
     def _op_get(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
         context = self._context_of(request)
         attribute = str(request.get("attribute", ""))
         block = bool(request.get("block", True))
         timeout = request.get("timeout")
         self.stats["gets"].increment()
+        if attribute.startswith(protocol.STATS_PREFIX):
+            self._publish_stats(context)
 
         if not block:
             try:
@@ -528,13 +572,12 @@ class AttributeSpaceServer:
 
         # Blocking get: register a waiter whose completion sends the reply.
         waiter_key: list[tuple[str, str, int]] = []
+        # The completion runs on whichever thread performs the matching
+        # put; carry the getter's context over so the reply span joins
+        # the getter's trace, not the putter's.
+        req_ctx = obs.current() if obs.enabled() else None
 
-        def complete(value: str | None) -> None:
-            if waiter_key:
-                conn.pending_waiters.discard(waiter_key[0])
-            timer = conn.timers.pop(req, None)
-            if timer is not None:
-                timer.cancel()
+        def send_result(value: str | None) -> None:
             if value is None:
                 # Remove-kind wake: the context was destroyed while the
                 # get was parked; the attribute can never arrive.
@@ -549,6 +592,21 @@ class AttributeSpaceServer:
                 )
                 return
             conn.send(protocol.ok_reply(req, value=value))
+
+        def complete(value: str | None) -> None:
+            if waiter_key:
+                conn.pending_waiters.discard(waiter_key[0])
+            timer = conn.timers.pop(req, None)
+            if timer is not None:
+                timer.cancel()
+            if req_ctx is not None:
+                with obs.activate(req_ctx):
+                    with obs.span(
+                        "get.complete", actor=self.name, attribute=attribute
+                    ):
+                        send_result(value)
+            else:
+                send_result(value)
 
         wid = self.store.add_waiter(attribute, complete, context=context)
         if wid is None:
@@ -597,9 +655,21 @@ class AttributeSpaceServer:
 
         def deliver(sub_id: int, notification: Notification) -> None:
             self.stats["notifications"].increment()
-            conn.send(
-                {"op": protocol.OP_NOTIFY, "sub": sub_id, **notification.to_wire()}
-            )
+            frame = {"op": protocol.OP_NOTIFY, "sub": sub_id, **notification.to_wire()}
+            if obs.enabled():
+                # Delivery runs on the putter's thread under its span, so
+                # this span (and the context injected into the push) hangs
+                # off the originating put's trace.
+                with obs.span(
+                    "notify.deliver",
+                    actor=self.name,
+                    attribute=notification.attribute,
+                    sub=sub_id,
+                ):
+                    obs.inject(frame)
+                    conn.send(frame)
+            else:
+                conn.send(frame)
 
         sub_id = self.store.subscriptions.subscribe(context, pattern, deliver)
         conn.subscriptions.add(sub_id)

@@ -44,7 +44,11 @@ class CondorPool:
     ):
         self.cluster = cluster
         self.submit_host = submit_host
-        self.trace = trace if trace is not None else TraceRecorder()
+        # Default to the cluster's virtual clock so pool traces carry
+        # simulated timestamps (wall time would mis-order against vtime).
+        self.trace = (
+            trace if trace is not None else TraceRecorder(clock=cluster.clock)
+        )
         self.tools = tool_registry if tool_registry is not None else ToolRegistry()
         self.matchmaker = Matchmaker(
             cluster.transport, submit_host, trace=self.trace

@@ -1,0 +1,133 @@
+"""Exporters: JSON-lines (flight recorder) and Chrome ``trace_event`` (spans).
+
+The Chrome format is the ``about:tracing`` / Perfetto JSON: one
+``traceEvents`` array of complete (``"X"``) slices — one per finished
+span, grouped into a process row per actor — plus ``process_name``
+metadata and flow events (``s``/``t``/``f``) threading the spans of each
+trace together so the cross-daemon causality of a single ``tdp_put``
+renders as arrows from the client through the server to every
+notification delivery.
+
+Timestamps are microseconds on the in-process ``perf_counter`` timebase
+(Chrome only cares that they are mutually consistent).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+# Import the accessor from the submodule directly: the package re-exports
+# a function named ``recorder``, which shadows the submodule attribute.
+from repro.obs.recorder import recorder as _flight_recorder
+
+
+def spans_to_chrome(span_list: Iterable[Any]) -> list[dict[str, Any]]:
+    """Render spans as Chrome ``trace_event`` records.
+
+    Returns the ``traceEvents`` array: metadata naming one process row
+    per actor, an ``X`` slice per span (args carry trace/span/parent
+    ids), and per-trace flow events so multi-actor traces draw linked.
+    """
+    spans = sorted(span_list, key=lambda s: (s.start, s.span_id))
+    pids: dict[str, int] = {}
+    events: list[dict[str, Any]] = []
+    for s in spans:
+        actor = s.actor or "process"
+        if actor not in pids:
+            pids[actor] = len(pids) + 1
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pids[actor],
+                "args": {"name": actor},
+            })
+    by_trace: dict[str, list[Any]] = {}
+    for s in spans:
+        by_trace.setdefault(s.trace_id, []).append(s)
+    for s in spans:
+        pid = pids[s.actor or "process"]
+        events.append({
+            "ph": "X",
+            "name": s.name,
+            "cat": "tdp",
+            "pid": pid,
+            "tid": s.thread_id,
+            "ts": round(s.start * 1e6, 3),
+            "dur": round(s.duration * 1e6, 3),
+            "args": {
+                "trace": s.trace_id,
+                "span": s.span_id,
+                "parent": s.parent_id,
+                **s.tags,
+            },
+        })
+    for trace_id, members in by_trace.items():
+        if len(members) < 2:
+            continue
+        for i, s in enumerate(members):
+            if i == 0:
+                ph = "s"
+            elif i == len(members) - 1:
+                ph = "f"
+            else:
+                ph = "t"
+            flow: dict[str, Any] = {
+                "ph": ph,
+                "cat": "tdp.flow",
+                "name": "trace",
+                "id": trace_id,
+                "pid": pids[s.actor or "process"],
+                "tid": s.thread_id,
+                "ts": round(s.start * 1e6, 3),
+            }
+            if ph == "f":
+                flow["bp"] = "e"  # bind to the enclosing slice
+            events.append(flow)
+    return events
+
+
+def chrome_trace_document(span_list: Iterable[Any] | None = None) -> dict[str, Any]:
+    """The full Chrome trace JSON document for ``span_list`` (default:
+    every span in the store)."""
+    spans = list(span_list) if span_list is not None else _trace.spans()
+    return {
+        "traceEvents": spans_to_chrome(spans),
+        "displayTimeUnit": "ms",
+        "metadata": {"producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(path: str, span_list: Iterable[Any] | None = None) -> int:
+    """Write the Chrome trace JSON to ``path``; returns the span count."""
+    doc = chrome_trace_document(span_list)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
+
+
+def events_to_jsonl(events: Iterable[Any] | None = None) -> list[str]:
+    """Flight-recorder events as JSON-lines strings (default: whole ring)."""
+    evs = list(events) if events is not None else _flight_recorder().events()
+    return [json.dumps(e.to_dict(), separators=(",", ":"), default=str) for e in evs]
+
+
+def write_jsonl(path: str, events: Iterable[Any] | None = None) -> int:
+    """Write flight-recorder events as JSON-lines; returns the line count."""
+    lines = events_to_jsonl(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line)
+            fh.write("\n")
+    return len(lines)
+
+
+def metrics_report() -> dict[str, dict[str, Any]]:
+    """Snapshot of every live registry, keyed by registry name."""
+    report: dict[str, dict[str, Any]] = {}
+    for reg in _metrics.all_registries():
+        snap = reg.snapshot()
+        if snap:
+            report[reg.name] = snap
+    return report

@@ -1,0 +1,251 @@
+"""Metrics registry: counters, gauges, and bounded histograms.
+
+Metric objects are obtained get-or-create from a :class:`MetricsRegistry`
+— never constructed directly by daemon code (the ``ad-hoc-counter`` lint
+rule enforces this).  Names are dotted lowercase (``attrspace.puts``,
+``transport.tcp.bytes``); the registry rejects re-registration of a name
+under a different metric type.
+
+Two usage patterns:
+
+* the module-level default registry (:func:`registry`) for process-wide
+  series — transport frame counts, client RPC latency histograms;
+* per-instance registries (``MetricsRegistry(name)``) for per-daemon
+  series — each attrspace server owns one, so two LASSes on one host
+  never share a counter and tests see exact per-server counts.
+
+:class:`Counter` matches the ``increment``/``value`` surface of
+``repro.util.sync.AtomicCounter``, so migrated stats tables keep their
+call sites.  Counters and gauges are live regardless of ``TDP_OBS``
+(one integer op); histograms sample only when obs is enabled, keeping
+the disabled path allocation-free.
+"""
+
+from __future__ import annotations
+
+import collections
+import weakref
+from typing import Any, Union
+
+from repro.obs import state
+from repro.util.sync import tracked_lock
+
+#: Metric names are dotted lowercase words, e.g. ``attrspace.client.rpc.put``.
+NAME_CHARS = "abcdefghijklmnopqrstuvwxyz0123456789_."
+
+#: Default bound on histogram sample retention (a sliding reservoir).
+HISTOGRAM_MAXLEN = 2048
+
+
+class Counter:
+    """Monotonic counter; same surface as ``AtomicCounter`` plus a name."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = tracked_lock("obs.metrics.Counter._lock")
+
+    def increment(self, delta: int = 1) -> int:
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (queue depths, open connections)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = tracked_lock("obs.metrics.Gauge._lock")
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> float:
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Bounded sliding-reservoir histogram with exact running aggregates.
+
+    ``observe`` is a no-op while obs is disabled — the reservoir deque is
+    pre-allocated at registration, so the disabled path allocates
+    nothing.  Percentiles are computed over the retained reservoir (the
+    most recent ``maxlen`` samples); count/sum/min/max cover every sample
+    ever observed.
+    """
+
+    __slots__ = ("name", "_samples", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, maxlen: int = HISTOGRAM_MAXLEN):
+        self.name = name
+        self._samples: collections.deque[float] = collections.deque(maxlen=maxlen)
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = tracked_lock("obs.metrics.Histogram._lock")
+
+    def observe(self, value: float) -> None:
+        if not state.enabled():
+            return
+        value = float(value)
+        with self._lock:
+            self._samples.append(value)
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, p: float) -> float | None:
+        """The ``p``-th percentile (0..100) of the retained reservoir."""
+        with self._lock:
+            data = sorted(self._samples)
+        if not data:
+            return None
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100.0) * (len(data) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(data) - 1)
+        frac = rank - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregates + the p50/p95/p99 the perf trajectory reports."""
+        with self._lock:
+            count, total = self._count, self._sum
+            lo, hi = self._min, self._max
+        return {
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+#: Live registries, for ``obs dump`` and exporters.  Appends are
+#: GIL-atomic; iteration snapshots the list, skipping collected entries.
+_REGISTRIES: list["weakref.ref[MetricsRegistry]"] = []
+
+
+class MetricsRegistry:
+    """A named get-or-create table of metrics."""
+
+    def __init__(self, name: str = "process"):
+        self.name = name
+        self._metrics: dict[str, Metric] = {}
+        self._lock = tracked_lock("obs.metrics.MetricsRegistry._lock")
+        _REGISTRIES.append(weakref.ref(self))
+
+    def _get(self, name: str, cls: type, **kwargs: Any) -> Any:
+        if not name or any(c not in NAME_CHARS for c in name):
+            raise ValueError(
+                f"bad metric name {name!r}: metric names are dotted lowercase "
+                f"words ([a-z0-9_.])"
+            )
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, **kwargs)
+                self._metrics[name] = metric
+            elif type(metric) is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, requested {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, maxlen: int = HISTOGRAM_MAXLEN) -> Histogram:
+        return self._get(name, Histogram, maxlen=maxlen)
+
+    def metrics(self) -> list[Metric]:
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-value view: counters/gauges as numbers, histograms as
+        their :meth:`Histogram.summary` dict.  Metric locks are taken
+        one at a time, after the table lock is released."""
+        out: dict[str, Any] = {}
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                out[metric.name] = metric.summary()
+            else:
+                out[metric.name] = metric.value
+        return out
+
+    def clear(self) -> None:
+        """Drop every metric (test/bench isolation)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry {self.name} ({len(self)} metrics)>"
+
+
+_DEFAULT = MetricsRegistry("process")
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _DEFAULT
+
+
+def all_registries() -> list[MetricsRegistry]:
+    """Every live registry (default first), for dumps and exporters."""
+    seen: list[MetricsRegistry] = []
+    for ref in list(_REGISTRIES):
+        reg = ref()
+        if reg is not None and reg not in seen:
+            seen.append(reg)
+    return seen

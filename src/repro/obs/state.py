@@ -1,0 +1,34 @@
+"""The observability master switch (``TDP_OBS``).
+
+Mirrors the sanitizer's activation pattern (``repro.util.sync``): the
+environment variable is read once at import, and tests/CLI code may flip
+the flag at runtime with :func:`set_enabled`.  Every expensive obs path
+— span allocation, histogram sampling, flight-recorder appends, wire
+field injection — checks :func:`enabled` first, so with ``TDP_OBS``
+unset the whole subsystem costs one bool test and allocates nothing.
+
+Counters are the deliberate exception: they stay live even when obs is
+disabled, because daemon statistics (the attrspace server's ``stats``,
+fault-injection counts) are part of the testable contract and cost a
+single integer add.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable that turns observability on (any value but ""/"0").
+ENV_VAR = "TDP_OBS"
+
+_enabled = os.environ.get(ENV_VAR, "") not in ("", "0")
+
+
+def enabled() -> bool:
+    """Is observability collection active (``TDP_OBS=1``)?"""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> None:
+    """Toggle collection at runtime (tests, the ``obs`` CLI command)."""
+    global _enabled
+    _enabled = bool(flag)

@@ -1,0 +1,274 @@
+"""Wire-propagated trace contexts and spans.
+
+A **span** is one timed operation on one daemon; a **trace** is the tree
+of spans hanging off one ``tdp_*`` entry point.  The context — a
+``(trace_id, span_id)`` pair — travels between daemons as an ``"obs"``
+field piggybacked on attribute-space protocol frames (see
+``repro.attrspace.protocol.OBS_FIELD``), so a single client ``tdp_put``
+can be followed through the server's put handling into every
+notification delivery it triggers, and across reconnect replays (the
+client registers frames with the field already injected, so a replayed
+request carries its original context).
+
+Propagation surface:
+
+* :func:`span` — open a span; parent is the thread's current context.
+  Returns a shared no-op singleton while obs is disabled, so the
+  disabled path allocates nothing.
+* :func:`inject` / :func:`extract` — write/read the wire field.
+* :func:`activate` — install a received context as the thread's current
+  parent (server dispatch, notification callbacks).
+
+Finished spans land in a bounded in-process store (:func:`spans`) that
+the Chrome ``trace_event`` exporter reads.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.obs import state
+from repro.obs.recorder import record
+from repro.util.sync import tracked_lock
+
+#: Key under which the context rides on protocol frames.
+WIRE_KEY = "obs"
+
+#: Bound on retained finished spans (a ring; oldest evicted first).
+SPAN_STORE_LIMIT = 8192
+
+_ids = itertools.count(1)  # .__next__ is GIL-atomic
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one point in one trace."""
+
+    trace_id: str
+    span_id: int
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"t": self.trace_id, "s": self.span_id}
+
+    @staticmethod
+    def from_wire(obj: Any) -> "TraceContext | None":
+        if not isinstance(obj, dict):
+            return None
+        trace_id, span_id = obj.get("t"), obj.get("s")
+        if isinstance(trace_id, str) and isinstance(span_id, int):
+            return TraceContext(trace_id, span_id)
+        return None
+
+
+class _Ambient(threading.local):
+    """Per-thread stack of active contexts (spans and activations)."""
+
+    def __init__(self) -> None:
+        self.stack: list[TraceContext] = []
+
+
+_ambient = _Ambient()
+
+
+def current() -> TraceContext | None:
+    """The calling thread's innermost active context, if any."""
+    stack = _ambient.stack
+    return stack[-1] if stack else None
+
+
+def _push(ctx: TraceContext) -> None:
+    _ambient.stack.append(ctx)
+
+
+def _pop(ctx: TraceContext) -> None:
+    # Tolerant removal: a mid-run disable/enable flip may unbalance the
+    # stack; never let that corrupt unrelated frames.
+    stack = _ambient.stack
+    for i in range(len(stack) - 1, -1, -1):
+        if stack[i] is ctx or stack[i] == ctx:
+            del stack[i]
+            return
+
+
+class Span:
+    """One timed operation; use as a context manager.
+
+    Timestamps are ``time.perf_counter()`` seconds (one consistent
+    in-process timebase for the exporters).  On exit the span is stored
+    and mirrored into the flight recorder as a ``span`` event.
+    """
+
+    __slots__ = (
+        "name", "actor", "trace_id", "span_id", "parent_id",
+        "tags", "start", "end", "thread_id",
+    )
+
+    def __init__(self, name: str, actor: str, parent: TraceContext | None,
+                 tags: dict[str, Any]):
+        self.name = name
+        self.actor = actor
+        if parent is None:
+            self.trace_id = f"t{next(_ids):06x}"
+            self.parent_id = None
+        else:
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+        self.span_id = next(_ids)
+        self.tags = tags
+        self.start = 0.0
+        self.end = 0.0
+        self.thread_id = threading.get_ident()
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(self.trace_id, self.span_id)
+
+    def set_tag(self, key: str, value: Any) -> None:
+        self.tags[key] = value
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def __enter__(self) -> "Span":
+        self.start = time.perf_counter()
+        _push(self.context)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.tags["error"] = exc_type.__name__
+        _pop(self.context)
+        _STORE.add(self)
+        record(
+            "span", actor=self.actor, name=self.name, trace=self.trace_id,
+            span=self.span_id, parent=self.parent_id,
+            duration=round(self.duration, 9), **self.tags,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "actor": self.actor,
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "thread": self.thread_id,
+            "tags": dict(self.tags),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span {self.name} actor={self.actor} trace={self.trace_id} "
+            f"span={self.span_id} parent={self.parent_id}>"
+        )
+
+
+class _NullSpan:
+    """The disabled-path span: one shared instance, every method a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set_tag(self, key: str, value: Any) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+def span(name: str, actor: str = "", **tags: Any) -> "Span | _NullSpan":
+    """Open a span named ``name`` under the thread's current context.
+
+    With obs disabled this returns the shared :data:`NULL_SPAN` —
+    nothing is allocated and nothing is recorded.
+    """
+    if not state.enabled():
+        return NULL_SPAN
+    return Span(name, actor, current(), tags)
+
+
+@contextlib.contextmanager
+def activate(ctx: TraceContext | None) -> Iterator[None]:
+    """Install ``ctx`` as the thread's parent context for the body.
+
+    ``None`` (no context on the wire, or obs disabled) yields without
+    touching the stack, so call sites need no conditional.
+    """
+    if ctx is None or not state.enabled():
+        yield
+        return
+    _push(ctx)
+    try:
+        yield
+    finally:
+        _pop(ctx)
+
+
+def inject(frame: dict[str, Any]) -> dict[str, Any]:
+    """Stamp the current context onto a wire frame (mutates + returns it)."""
+    ctx = current()
+    if ctx is not None:
+        frame[WIRE_KEY] = ctx.to_wire()
+    return frame
+
+
+def extract(frame: dict[str, Any]) -> TraceContext | None:
+    """Read a propagated context off a wire frame, if present and valid."""
+    return TraceContext.from_wire(frame.get(WIRE_KEY))
+
+
+class SpanStore:
+    """Bounded ring of finished spans (process-global singleton)."""
+
+    def __init__(self, limit: int = SPAN_STORE_LIMIT):
+        import collections
+
+        self._spans: "Any" = collections.deque(maxlen=limit)
+        self._lock = tracked_lock("obs.trace.SpanStore._lock")
+
+    def add(self, span_obj: Span) -> None:
+        with self._lock:
+            self._spans.append(span_obj)
+
+    def spans(self, trace_id: str | None = None, name: str | None = None) -> list[Span]:
+        with self._lock:
+            snapshot = list(self._spans)
+        return [
+            s for s in snapshot
+            if (trace_id is None or s.trace_id == trace_id)
+            and (name is None or s.name == name)
+        ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+_STORE = SpanStore()
+
+
+def store() -> SpanStore:
+    return _STORE
+
+
+def spans(trace_id: str | None = None, name: str | None = None) -> list[Span]:
+    """Finished spans, optionally filtered by trace id and/or name."""
+    return _STORE.spans(trace_id=trace_id, name=name)

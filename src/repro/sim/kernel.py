@@ -20,6 +20,7 @@ import threading
 import traceback
 from typing import TYPE_CHECKING, Any
 
+from repro import obs
 from repro.errors import NoSuchProcessError, SimulationError, TdpError
 from repro.sim.process import ProcessState, SimProcess, StopReason
 from repro.sim import syscalls as sc
@@ -149,6 +150,8 @@ class Scheduler:
     def _slice(self, proc: SimProcess) -> None:
         """Run ``proc`` for up to one quantum of virtual CPU."""
         self.slices_executed += 1
+        if obs.enabled():
+            obs.registry().counter("sim.slices").increment()
         budget = self.QUANTUM
         steps = 0
         while budget > 0 and steps < self.MAX_SYSCALLS_PER_SLICE:
@@ -186,12 +189,20 @@ class Scheduler:
                 code = stop.value if isinstance(stop.value, int) else 0
                 with proc.lock:
                     proc._finish(exit_code=code)
+                obs.record(
+                    "proc.exit", actor="sim", pid=proc.pid,
+                    exit_code=code, vtime=self.clock.now(),
+                )
                 proc._run_exit_listeners()
                 return None
             except Exception:  # noqa: BLE001 — program crash becomes a fault
                 with proc.lock:
                     proc.fault = traceback.format_exc(limit=5)
                     proc._finish(exit_code=139)
+                obs.record(
+                    "proc.fault", actor="sim", pid=proc.pid,
+                    vtime=self.clock.now(),
+                )
                 _log.warning("program fault in %r:\n%s", proc, proc.fault)
                 proc._run_exit_listeners()
                 return None
@@ -239,6 +250,10 @@ class Scheduler:
             with proc.lock:
                 proc.fault = str(e)
                 proc._finish(exit_code=139)
+            obs.record(
+                "proc.fault", actor="sim", pid=proc.pid,
+                reason=str(e), vtime=self.clock.now(),
+            )
             _log.warning("syscall fault in %r: %s", proc, e)
             proc._run_exit_listeners()
             return None
@@ -246,6 +261,8 @@ class Scheduler:
             return None
         proc.pending_syscall = None
         proc._last_result = result
+        if obs.enabled():
+            obs.registry().counter("sim.syscalls").increment()
         total = cost + SYSCALL_COST
         with proc.lock:
             proc.cpu_time += total

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro import errors
+from repro import errors, obs
 from repro.attrspace.client import ReconnectPolicy
 from repro.net.address import Endpoint
 from repro.tdp.handle import Role, TdpHandle, open_handle
@@ -54,18 +54,19 @@ def tdp_init(
     through the RM).  ``reconnect``/``lease_ttl`` opt the sessions into
     transparent recovery from transport faults (see ``open_handle``).
     """
-    return open_handle(
-        transport,
-        lass_endpoint,
-        member=member,
-        role=role,
-        context=context,
-        src_host=src_host,
-        cass_endpoint=cass_endpoint,
-        backend=backend,
-        reconnect=reconnect,
-        lease_ttl=lease_ttl,
-    )
+    with obs.span("tdp_init", actor=member, context=context):
+        return open_handle(
+            transport,
+            lass_endpoint,
+            member=member,
+            role=role,
+            context=context,
+            src_host=src_host,
+            cass_endpoint=cass_endpoint,
+            backend=backend,
+            reconnect=reconnect,
+            lease_ttl=lease_ttl,
+        )
 
 
 def tdp_exit(handle: TdpHandle) -> None:
@@ -73,7 +74,8 @@ def tdp_exit(handle: TdpHandle) -> None:
 
     The context is destroyed at the server when its last member exits.
     """
-    handle.close()
+    with obs.span("tdp_exit", actor=handle.member):
+        handle.close()
 
 
 # ---------------------------------------------------------------------------
@@ -91,24 +93,28 @@ def tdp_put(
     their author.
     """
     handle._check_open()
-    handle.attrs.put(attribute, value, ephemeral=ephemeral)
+    with obs.span("tdp_put", actor=handle.member, attribute=attribute):
+        handle.attrs.put(attribute, value, ephemeral=ephemeral)
 
 
 def tdp_get(handle: TdpHandle, attribute: str, timeout: float | None = None) -> str:
     """Blocking get: waits until the attribute exists, then returns it."""
     handle._check_open()
-    return handle.attrs.get(attribute, timeout=timeout)
+    with obs.span("tdp_get", actor=handle.member, attribute=attribute):
+        return handle.attrs.get(attribute, timeout=timeout)
 
 
 def tdp_try_get(handle: TdpHandle, attribute: str) -> str:
     """Non-blocking get; raises ``NoSuchAttributeError`` when absent."""
     handle._check_open()
-    return handle.attrs.try_get(attribute)
+    with obs.span("tdp_try_get", actor=handle.member, attribute=attribute):
+        return handle.attrs.try_get(attribute)
 
 
 def tdp_remove(handle: TdpHandle, attribute: str) -> bool:
     handle._check_open()
-    return handle.attrs.remove(attribute)
+    with obs.span("tdp_remove", actor=handle.member, attribute=attribute):
+        return handle.attrs.remove(attribute)
 
 
 # ---------------------------------------------------------------------------
@@ -124,7 +130,8 @@ def tdp_async_get(
     """Asynchronous get: returns immediately; the callback runs from
     :func:`tdp_service_events` once the value is available."""
     handle._check_open()
-    handle.attrs.async_get(attribute, callback, callback_arg)
+    with obs.span("tdp_async_get", actor=handle.member, attribute=attribute):
+        handle.attrs.async_get(attribute, callback, callback_arg)
 
 
 def tdp_async_put(
@@ -136,7 +143,8 @@ def tdp_async_put(
 ) -> None:
     """Asynchronous put with completion callback (same delivery rules)."""
     handle._check_open()
-    handle.attrs.async_put(attribute, value, callback, callback_arg)
+    with obs.span("tdp_async_put", actor=handle.member, attribute=attribute):
+        handle.attrs.async_put(attribute, value, callback, callback_arg)
 
 
 def tdp_subscribe(
@@ -147,7 +155,8 @@ def tdp_subscribe(
 ) -> int:
     """Subscribe to change notifications for attributes matching ``pattern``."""
     handle._check_open()
-    return handle.attrs.subscribe(pattern, callback, callback_arg)
+    with obs.span("tdp_subscribe", actor=handle.member, pattern=pattern):
+        return handle.attrs.subscribe(pattern, callback, callback_arg)
 
 
 def tdp_service_events(handle: TdpHandle, max_events: int | None = None) -> int:
@@ -192,7 +201,11 @@ def tdp_create_process(
     handle._check_open()
     _require_rm(handle, "tdp_create_process")
     assert handle.control is not None
-    return handle.control.create(executable, list(argv or []), env=env, mode=mode)
+    with obs.span(
+        "tdp_create_process", actor=handle.member,
+        executable=executable, mode=mode.value,
+    ):
+        return handle.control.create(executable, list(argv or []), env=env, mode=mode)
 
 
 def tdp_attach(handle: TdpHandle, pid: int) -> None:
@@ -203,45 +216,50 @@ def tdp_attach(handle: TdpHandle, pid: int) -> None:
     until the RM confirms the process is stopped.
     """
     handle._check_open()
-    if handle.control is not None:
-        handle.control.attach(pid, tracer=handle.member)
-        return
-    submit_tool_request(handle.attrs, "attach", pid)
+    with obs.span("tdp_attach", actor=handle.member, pid=pid):
+        if handle.control is not None:
+            handle.control.attach(pid, tracer=handle.member)
+            return
+        submit_tool_request(handle.attrs, "attach", pid)
 
 
 def tdp_continue_process(handle: TdpHandle, pid: int) -> None:
     """Resume a stopped process (both Figure 3 scenarios end with this)."""
     handle._check_open()
-    if handle.control is not None:
-        handle.control.continue_process(pid)
-        return
-    submit_tool_request(handle.attrs, "continue", pid)
+    with obs.span("tdp_continue_process", actor=handle.member, pid=pid):
+        if handle.control is not None:
+            handle.control.continue_process(pid)
+            return
+        submit_tool_request(handle.attrs, "continue", pid)
 
 
 def tdp_pause_process(handle: TdpHandle, pid: int) -> None:
     """Stop a running process; coordinated through the RM for tools
     (Section 2.3: pausing must not look like a fault to the RM)."""
     handle._check_open()
-    if handle.control is not None:
-        handle.control.pause(pid)
-        return
-    submit_tool_request(handle.attrs, "pause", pid)
+    with obs.span("tdp_pause_process", actor=handle.member, pid=pid):
+        if handle.control is not None:
+            handle.control.pause(pid)
+            return
+        submit_tool_request(handle.attrs, "pause", pid)
 
 
 def tdp_detach(handle: TdpHandle, pid: int) -> None:
     handle._check_open()
-    if handle.control is not None:
-        handle.control.detach(pid)
-        return
-    submit_tool_request(handle.attrs, "detach", pid)
+    with obs.span("tdp_detach", actor=handle.member, pid=pid):
+        if handle.control is not None:
+            handle.control.detach(pid)
+            return
+        submit_tool_request(handle.attrs, "detach", pid)
 
 
 def tdp_kill(handle: TdpHandle, pid: int) -> None:
     handle._check_open()
-    if handle.control is not None:
-        handle.control.kill(pid)
-        return
-    submit_tool_request(handle.attrs, "kill", pid)
+    with obs.span("tdp_kill", actor=handle.member, pid=pid):
+        if handle.control is not None:
+            handle.control.kill(pid)
+            return
+        submit_tool_request(handle.attrs, "kill", pid)
 
 
 def tdp_process_status(handle: TdpHandle, pid: int) -> str:
@@ -251,7 +269,8 @@ def tdp_process_status(handle: TdpHandle, pid: int) -> str:
     source of truth, so tools never race the OS for it.
     """
     handle._check_open()
-    return handle.attrs.get(Attr.proc_status(pid), timeout=10.0)
+    with obs.span("tdp_process_status", actor=handle.member, pid=pid):
+        return handle.attrs.get(Attr.proc_status(pid), timeout=10.0)
 
 
 def tdp_wait_exit(handle: TdpHandle, pid: int, timeout: float | None = None) -> int:
@@ -261,6 +280,7 @@ def tdp_wait_exit(handle: TdpHandle, pid: int, timeout: float | None = None) -> 
     ``proc.<pid>.exit_code`` attribute the RM publishes.
     """
     handle._check_open()
-    if handle.control is not None:
-        return handle.control.wait_exit(pid, timeout=timeout)
-    return int(handle.attrs.get(Attr.proc_exit_code(pid), timeout=timeout))
+    with obs.span("tdp_wait_exit", actor=handle.member, pid=pid):
+        if handle.control is not None:
+            return handle.control.wait_exit(pid, timeout=timeout)
+        return int(handle.attrs.get(Attr.proc_exit_code(pid), timeout=timeout))

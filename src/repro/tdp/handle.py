@@ -16,7 +16,7 @@ from __future__ import annotations
 import enum
 import threading
 
-from repro import errors
+from repro import errors, obs
 from repro.attrspace.client import AttributeSpaceClient, ReconnectPolicy
 from repro.net.address import Endpoint
 from repro.tdp.process import ProcessBackend, ProcessControlService
@@ -169,6 +169,7 @@ class TdpHandle:
             if self._closed:
                 return
             self._closed = True
+        obs.record("handle.close", actor=self.member, role=self.role.value)
         self.stop_service_loop()
         for client in self._clients():
             client.close()
@@ -243,6 +244,10 @@ def open_handle(
         except errors.TdpError:
             lass.close()
             raise
+    obs.record(
+        "handle.open", actor=member, role=role.value, context=context,
+        cass=cass is not None,
+    )
     return TdpHandle(
         member=member,
         role=role,

@@ -23,7 +23,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable
 
-from repro import errors
+from repro import errors, obs
 from repro.attrspace.client import AttributeSpaceClient
 from repro.attrspace.notify import Notification
 from repro.tdp.wellknown import Attr, CreateMode, ProcStatus
@@ -323,11 +323,12 @@ def submit_tool_request(
     :class:`~repro.errors.ProcessError`.
     """
     token = fresh_token("ctl")
-    attrs.put(
-        Attr.ctl_request(token),
-        json.dumps({"op": op, "pid": pid, "requester": attrs.member}),
-    )
-    reply = attrs.get(Attr.ctl_reply(token), timeout=timeout)
+    with obs.span("ctl.request", actor=attrs.member, op=op, pid=pid):
+        attrs.put(
+            Attr.ctl_request(token),
+            json.dumps({"op": op, "pid": pid, "requester": attrs.member}),
+        )
+        reply = attrs.get(Attr.ctl_reply(token), timeout=timeout)
     if reply == "ok":
         return
     message = reply[len("error:"):] if reply.startswith("error:") else reply

@@ -80,6 +80,22 @@ class Attr:
 
     FAULT_PATTERN = "fault.*"
 
+    # -- server statistics (observability; extension) ---------------------------
+    #: prefix of the attributes a server publishes its own metrics under
+    STATS_PREFIX = "tdp.stats."
+
+    @staticmethod
+    def stat(name: str) -> str:
+        """Attribute carrying one server statistic, e.g. ``tdp.stats.puts``.
+
+        A (blocking or non-blocking) get of any ``tdp.stats.*`` attribute
+        makes the serving LASS/CASS refresh its whole statistics snapshot
+        into the requesting context first, so tools read live values.
+        """
+        return f"tdp.stats.{name}"
+
+    STATS_PATTERN = "tdp.stats.*"
+
     # -- auxiliary services (Section 1 "Auxiliary services") ----------------------
     @staticmethod
     def aux_endpoint(name: str) -> str:

@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import obs
 from repro.errors import ChannelClosedError, ProtocolError
 from repro.net.address import Endpoint
 from repro.transport.base import Channel, Listener, Message, Transport
@@ -145,7 +146,7 @@ class FaultInjectChannel(Channel):
         inner: Channel,
         plan: FaultPlan,
         seq: int,
-        counters: dict[str, AtomicCounter],
+        counters: dict[str, obs.Counter],
     ):
         import random
 
@@ -161,28 +162,34 @@ class FaultInjectChannel(Channel):
 
     def _decide(self) -> str | None:
         """Pick the action for the next send (None = deliver normally)."""
+        return self._decide_indexed()[0]
+
+    def _decide_indexed(self) -> tuple[str | None, int]:
+        """Decision plus the 0-based send index it applies to — the
+        ``(channel_seq, send_index)`` pair is the fault's *site*, which
+        with the plan seed fully identifies it for replay."""
         with self._lock:
             index = self._send_index
             self._send_index += 1
             scripted = self._plan.script.get((self.seq, index))
             if scripted is not None:
-                return scripted
+                return scripted, index
             p = self._plan
             if not (p.drop_rate or p.dup_rate or p.sever_rate or p.delay_rate):
-                return None
+                return None, index
             roll = self._rng.random()
             if roll < p.sever_rate:
-                return "sever"
+                return "sever", index
             roll -= p.sever_rate
             if roll < p.drop_rate:
-                return "drop"
+                return "drop", index
             roll -= p.drop_rate
             if roll < p.dup_rate:
-                return "dup"
+                return "dup", index
             roll -= p.dup_rate
             if roll < p.delay_rate:
-                return "delay"
-            return None
+                return "delay", index
+            return None, index
 
     def _count(self, action: str) -> None:
         counter = self._counters.get(action)
@@ -192,11 +199,15 @@ class FaultInjectChannel(Channel):
     # -- Channel interface ----------------------------------------------------
 
     def send(self, message: Message) -> None:
-        action = self._decide()
+        action, index = self._decide_indexed()
         if action is None:
             self._inner.send(message)
             return
         self._count(action)
+        obs.record(
+            "fault.injected", actor="faultinject", action=action,
+            seed=self._plan.seed, channel=self.seq, send_index=index,
+        )
         if action == "drop":
             _log.debug("fault drop on channel %d", self.seq)
             return
@@ -269,9 +280,14 @@ class FaultInjectTransport(Transport):
         self._inner_transport = inner
         self.plan = plan
         self._seq = AtomicCounter()
-        #: action name -> injection count (observability for chaos runs)
-        self.fault_counts: dict[str, AtomicCounter] = {
-            action: AtomicCounter() for action in ACTIONS
+        #: per-transport registry: chaos counts stay distinguishable when
+        #: a test wraps several transports in one process
+        self.metrics = obs.MetricsRegistry("faultinject")
+        #: action name -> injection count (always live — chaos assertions
+        #: run with or without TDP_OBS; obs counters keep the old
+        #: AtomicCounter ``increment``/``value`` surface)
+        self.fault_counts: dict[str, obs.Counter] = {
+            action: self.metrics.counter(f"faults.{action}") for action in ACTIONS
         }
 
     @property

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import threading
 
+from repro import obs
 from repro.errors import (
     ChannelClosedError,
     ConnectError,
@@ -46,6 +47,12 @@ class _InMemChannel(Channel):
         return a, b
 
     def send(self, message: Message) -> None:
+        if obs.enabled():
+            reg = obs.registry()
+            reg.counter("transport.inmem.frames").increment()
+            reg.counter("transport.inmem.bytes").increment(
+                len(framing.encode_frame(message))
+            )
         message = framing.roundtrip(message)  # enforce serializability
         with self._lock:
             if self._closed:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import threading
 
+from repro import obs
 from repro.errors import ChannelClosedError, ConnectError, ProxyError, TdpError
 from repro.net.address import Endpoint, parse_endpoint
 from repro.transport.base import Channel, Listener, Message, Transport
@@ -98,7 +99,10 @@ class ProxyServer:
     def _pump(self, tunnel_id: str, src: Channel, dst: Channel) -> None:
         try:
             while True:
-                dst.send(src.recv())
+                message = src.recv()
+                if obs.enabled():
+                    obs.registry().counter("transport.proxy.forwarded").increment()
+                dst.send(message)
         except TdpError:
             pass
         finally:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import socket
 
+from repro import obs
 from repro.errors import ChannelClosedError, ConnectError, GetTimeoutError
 from repro.net.address import Endpoint
 from repro.transport import framing
@@ -58,6 +59,10 @@ class _TcpChannel(Channel):
 
     def send(self, message: Message) -> None:
         frame = framing.encode_frame(message)
+        if obs.enabled():
+            reg = obs.registry()
+            reg.counter("transport.tcp.frames").increment()
+            reg.counter("transport.tcp.bytes").increment(len(frame))
         with self._send_lock:
             if self._closed:
                 raise ChannelClosedError(f"send on closed channel {self._local}->{self._remote}")

@@ -75,7 +75,17 @@ class TraceRecorder:
                 details=dict(details),
             )
             self._events.append(ev)
-            return ev
+        # Mirror into the flight recorder (outside our own lock) so one
+        # obs dump interleaves protocol events with spans and daemon
+        # records.  Imported lazily: util.log must be importable before
+        # repro.obs exists (obs itself logs through here).
+        from repro import obs
+
+        obs.record(
+            action, actor=actor,
+            **{k: v for k, v in details.items() if k not in ("kind", "actor")},
+        )
+        return ev
 
     def events(
         self, actor: str | None = None, action: str | None = None

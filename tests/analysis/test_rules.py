@@ -345,6 +345,137 @@ class TestBareThread:
         assert lint_snippet(tmp_path, code, rule="bare-thread") == []
 
 
+class TestAdHocCounter:
+    def test_fires_on_atomic_counter_dict(self, tmp_path):
+        code = """
+            from repro.util.sync import AtomicCounter
+
+            class Server:
+                def __init__(self):
+                    self.stats = {
+                        "puts": AtomicCounter(),
+                        "gets": AtomicCounter(),
+                    }
+            """
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.attrspace.fake", rule="ad-hoc-counter"
+        )
+        assert len(findings) == 1
+        assert "hand-rolled stats table" in findings[0].message
+
+    def test_fires_on_atomic_counter_dict_comprehension(self, tmp_path):
+        code = """
+            from repro.util import sync
+
+            STATS = {k: sync.AtomicCounter() for k in ("puts", "gets")}
+            """
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.condor.fake", rule="ad-hoc-counter"
+        )
+        assert len(findings) == 1
+
+    def test_single_atomic_counter_allocator_ok(self, tmp_path):
+        code = """
+            from repro.util.sync import AtomicCounter
+
+            class Server:
+                def __init__(self):
+                    self._conn_ids = AtomicCounter()
+            """
+        assert lint_snippet(
+            tmp_path, code, modname="repro.attrspace.fake", rule="ad-hoc-counter"
+        ) == []
+
+    def test_fires_on_direct_metric_construction(self, tmp_path):
+        code = """
+            from repro import obs
+
+            c = obs.Counter("my.count")
+            h = obs.Histogram("my.latency")
+            """
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.transport.fake", rule="ad-hoc-counter"
+        )
+        assert len(findings) == 2
+        assert all("direct" in f.message for f in findings)
+
+    def test_collections_counter_not_flagged(self, tmp_path):
+        code = """
+            import collections
+
+            tally = collections.Counter()
+            """
+        assert lint_snippet(
+            tmp_path, code, modname="repro.paradyn.fake", rule="ad-hoc-counter"
+        ) == []
+
+    def test_fires_on_bad_literal_metric_name(self, tmp_path):
+        code = """
+            from repro import obs
+
+            obs.registry().counter("Puts-Total")
+            """
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.condor.fake", rule="ad-hoc-counter"
+        )
+        assert len(findings) == 1
+        assert "outside [a-z0-9_.]" in findings[0].message
+
+    def test_fires_on_bad_fstring_segment(self, tmp_path):
+        code = """
+            from repro import obs
+
+            def bump(server, key):
+                obs.registry().counter(f"Server:{server}.{key}").increment()
+            """
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.condor.fake", rule="ad-hoc-counter"
+        )
+        assert len(findings) == 1
+
+    def test_valid_registry_usage_passes(self, tmp_path):
+        code = """
+            from repro import obs
+
+            reg = obs.MetricsRegistry("lass@node1")
+            reg.counter("attrspace.server.puts").increment()
+            reg.histogram(f"attrspace.client.rpc.{'put'}").observe(0.1)
+            """
+        assert lint_snippet(
+            tmp_path, code, modname="repro.attrspace.fake", rule="ad-hoc-counter"
+        ) == []
+
+    def test_obs_package_exempt(self, tmp_path):
+        code = """
+            class Counter:
+                pass
+
+            def make():
+                return Counter("x")
+            """
+        assert lint_snippet(
+            tmp_path, code, modname="repro.obs.metrics", rule="ad-hoc-counter"
+        ) == []
+
+    def test_outside_repro_not_scoped(self, tmp_path):
+        code = """
+            from repro.util.sync import AtomicCounter
+
+            stats = {"hits": AtomicCounter()}
+            """
+        assert lint_snippet(tmp_path, code, rule="ad-hoc-counter") == []
+
+    def test_suppressed_by_directive(self, tmp_path):
+        code = """
+            from repro.util.sync import AtomicCounter
+
+            stats = {"hits": AtomicCounter()}  # tdp-lint: off(ad-hoc-counter)
+            """
+        assert lint_snippet(
+            tmp_path, code, modname="repro.condor.fake", rule="ad-hoc-counter"
+        ) == []
+
+
 class TestRegistry:
     EXPECTED = {
         "callback-under-lock",
@@ -353,6 +484,7 @@ class TestRegistry:
         "raw-attribute-literal",
         "missing-handle-check",
         "bare-thread",
+        "ad-hoc-counter",
     }
 
     def test_full_battery_registered(self):

@@ -9,6 +9,8 @@ mismatch (upstream cpython issue; harmless for these tests).
 import os
 import sys
 
+import pytest
+
 sys.setrecursionlimit(100_000)
 
 
@@ -21,3 +23,35 @@ def pytest_configure(config):
         from repro.util.sync import set_sanitize
 
         set_sanitize(True)
+    # Same late-binding cover for the observability switch (TDP_OBS):
+    # repro.obs.state reads it at import, this handles pre-set imports.
+    if os.environ.get("TDP_OBS") not in (None, "", "0"):
+        from repro import obs
+
+        obs.set_enabled(True)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Attach the flight-recorder tail to failing tests.
+
+    Only when observability is on: the last events before the failure
+    are usually the protocol exchange that went wrong, which plain
+    assertion output does not show.
+    """
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    from repro import obs
+
+    if not obs.enabled():
+        return
+    tail = obs.recorder().tail(40)
+    if tail:
+        report.sections.append(
+            (
+                "flight recorder (last %d events)" % len(tail),
+                "\n".join(str(e) for e in tail),
+            )
+        )

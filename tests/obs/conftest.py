@@ -1,0 +1,42 @@
+"""Obs suite fixtures: flip the master switch per test, reset globals."""
+
+import time
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def obs_on():
+    """Observability enabled, process-global state reset around the test."""
+    was = obs.enabled()
+    obs.set_enabled(True)
+    obs.reset()
+    yield
+    obs.reset()
+    obs.set_enabled(was)
+
+
+@pytest.fixture
+def obs_off():
+    """Observability explicitly disabled (the default-path contract).
+
+    Globals are reset on entry: under a TDP_OBS=1 session the rest of
+    the suite has been filling the ring/store before this test runs.
+    """
+    was = obs.enabled()
+    obs.set_enabled(False)
+    obs.reset()
+    yield
+    obs.reset()
+    obs.set_enabled(was)
+
+
+def wait_until(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()

@@ -1,0 +1,51 @@
+"""Regression guard: with TDP_OBS unset, the obs hot path allocates nothing.
+
+The subsystem's design constraint (DESIGN.md observability model): every
+per-call obs structure — spans, flight events, histogram samples — must
+be gated so a daemon that never set ``TDP_OBS`` pays one bool test.
+This test pins that with tracemalloc: a hot loop over the disabled
+entry points must leave zero net allocations attributed to obs modules.
+"""
+
+import os
+import tracemalloc
+
+from repro import obs
+
+
+def test_disabled_path_leaves_no_obs_state(obs_off):
+    hist = obs.MetricsRegistry("overhead").histogram("h")
+    with obs.span("warm", actor="a"):
+        obs.record("warm", actor="a")
+    hist.observe(1.0)
+    assert len(obs.store()) == 0
+    assert len(obs.recorder()) == 0
+    assert hist.count == 0
+
+
+def test_disabled_path_is_allocation_free(obs_off):
+    hist = obs.MetricsRegistry("overhead2").histogram("h")
+    obs_dir = os.path.dirname(obs.__file__)
+
+    def hot_loop(rounds):
+        for _ in range(rounds):
+            with obs.span("hot", actor="a"):
+                pass
+            obs.record("hot", actor="a")
+            hist.observe(0.5)
+            obs.extract({})
+
+    hot_loop(10)  # warm up caches/bytecode before measuring
+    tracemalloc.start()
+    before = tracemalloc.take_snapshot()
+    hot_loop(2000)
+    after = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+
+    grown = [
+        stat
+        for stat in after.compare_to(before, "lineno")
+        if stat.size_diff > 0
+        and stat.traceback[0].filename.startswith(obs_dir)
+    ]
+    assert grown == [], "\n".join(str(s) for s in grown)

@@ -1,0 +1,84 @@
+"""Exporters: Chrome trace_event structure, JSON-lines, metrics report."""
+
+import json
+
+from repro import obs
+from repro.obs.trace import TraceContext
+
+
+def _linked_trace():
+    """Three spans in one trace across two actors (client -> server)."""
+    with obs.span("tdp_put", actor="client") as root:
+        pass
+    with obs.activate(root.context):
+        with obs.span("server.put", actor="lass") as srv:
+            pass
+    with obs.activate(srv.context):
+        with obs.span("notify.deliver", actor="lass"):
+            pass
+    return root.trace_id
+
+
+class TestChromeExport:
+    def test_document_structure(self, obs_on):
+        # Operate on the explicit trace: daemon threads from earlier
+        # suites may still be recording into the process-global store.
+        tid = _linked_trace()
+        doc = obs.export.chrome_trace_document(obs.spans(trace_id=tid))
+        assert doc["metadata"]["producer"] == "repro.obs"
+        events = doc["traceEvents"]
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert names == {"client", "lass"}          # one process row per actor
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in slices} == {
+            "tdp_put", "server.put", "notify.deliver"
+        }
+        for e in slices:
+            assert e["cat"] == "tdp" and e["dur"] >= 0
+
+    def test_flow_events_thread_a_trace(self, obs_on):
+        tid = _linked_trace()
+        events = obs.export.spans_to_chrome(obs.spans(trace_id=tid))
+        flows = [e for e in events if e.get("cat") == "tdp.flow" and e["id"] == tid]
+        assert [f["ph"] for f in flows] == ["s", "t", "f"]
+        assert flows[-1]["bp"] == "e"                # bind to enclosing slice
+
+    def test_single_span_trace_draws_no_flow(self, obs_on):
+        with obs.span("solo", actor="a") as s:
+            pass
+        events = obs.export.spans_to_chrome(obs.spans(trace_id=s.trace_id))
+        assert not any(e.get("cat") == "tdp.flow" for e in events)
+
+    def test_write_chrome_trace_roundtrip(self, obs_on, tmp_path):
+        tid = _linked_trace()
+        path = tmp_path / "trace.json"
+        n = obs.export.write_chrome_trace(str(path), obs.spans(trace_id=tid))
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert n == 3
+        assert sum(1 for e in doc["traceEvents"] if e["ph"] == "X") == 3
+
+
+class TestJsonl:
+    def test_lines_parse_and_carry_payload(self, obs_on, tmp_path):
+        mine = [
+            obs.record("session.lost", actor="client", attempt=2),
+            obs.record("session.reestablished", actor="client"),
+        ]
+        path = tmp_path / "events.jsonl"
+        n = obs.export.write_jsonl(str(path), mine)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert n == len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "session.lost" and first["attempt"] == 2
+
+
+class TestMetricsReport:
+    def test_report_keyed_by_registry_name(self, obs_on):
+        reg = obs.MetricsRegistry("expreg")
+        reg.counter("hits").increment(2)
+        report = obs.export.metrics_report()
+        assert report["expreg"]["hits"] == 2
+
+    def test_empty_registries_omitted(self, obs_on):
+        obs.MetricsRegistry("hollow")
+        assert "hollow" not in obs.export.metrics_report()

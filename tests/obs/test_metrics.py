@@ -1,0 +1,97 @@
+"""Metrics registry: counters, gauges, histograms, get-or-create rules."""
+
+import pytest
+
+from repro import obs
+
+
+class TestCounter:
+    def test_increment_and_value(self, obs_on):
+        reg = obs.MetricsRegistry("t1")
+        c = reg.counter("requests")
+        assert c.increment() == 1
+        assert c.increment(4) == 5
+        assert c.value == 5
+
+    def test_counters_stay_live_while_disabled(self, obs_off):
+        # Daemon statistics (server stats tables, fault counts) are part
+        # of the testable contract; they must count with TDP_OBS unset.
+        c = obs.MetricsRegistry("t2").counter("contract")
+        c.increment()
+        assert c.value == 1
+
+
+class TestGauge:
+    def test_set_and_add(self, obs_on):
+        g = obs.MetricsRegistry("t3").gauge("depth")
+        g.set(7)
+        assert g.value == 7.0
+        assert g.add(-2) == 5.0
+
+
+class TestHistogram:
+    def test_percentiles_and_summary(self, obs_on):
+        h = obs.MetricsRegistry("t4").histogram("latency")
+        for v in range(1, 101):
+            h.observe(v / 1000.0)
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["min"] == pytest.approx(0.001)
+        assert s["max"] == pytest.approx(0.100)
+        assert s["p50"] == pytest.approx(0.0505, abs=1e-4)
+        assert s["p95"] < s["p99"] <= s["max"]
+
+    def test_observe_is_noop_while_disabled(self, obs_off):
+        h = obs.MetricsRegistry("t5").histogram("latency")
+        h.observe(1.0)
+        assert h.count == 0
+        assert h.summary()["p50"] is None
+
+    def test_reservoir_is_bounded_but_aggregates_exact(self, obs_on):
+        h = obs.MetricsRegistry("t6").histogram("small", maxlen=8)
+        for v in range(100):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 100          # every sample counted
+        assert s["min"] == 0.0 and s["max"] == 99.0
+        assert s["p50"] >= 92.0           # percentile over the last 8 only
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self, obs_on):
+        reg = obs.MetricsRegistry("t7")
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_type_conflict_rejected(self, obs_on):
+        reg = obs.MetricsRegistry("t8")
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_bad_metric_name_rejected(self, obs_on):
+        reg = obs.MetricsRegistry("t9")
+        with pytest.raises(ValueError, match="bad metric name"):
+            reg.counter("Puts-Total")
+        with pytest.raises(ValueError, match="bad metric name"):
+            reg.counter("")
+
+    def test_registry_name_is_freeform(self, obs_on):
+        # Per-daemon registries carry daemon names ("lass@node1"); only
+        # metric names are restricted to [a-z0-9_.].
+        reg = obs.MetricsRegistry("lass@node1")
+        assert reg.counter("attrspace.server.puts").name == "attrspace.server.puts"
+
+    def test_snapshot_shape(self, obs_on):
+        reg = obs.MetricsRegistry("t10")
+        reg.counter("c").increment(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(0.25)
+        snap = reg.snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == 1.5
+        assert snap["h"]["count"] == 1 and snap["h"]["p50"] == 0.25
+
+    def test_all_registries_lists_live_ones(self, obs_on):
+        reg = obs.MetricsRegistry("t11")
+        assert reg in obs.all_registries()
+        assert obs.registry() in obs.all_registries()

@@ -1,0 +1,54 @@
+"""Flight recorder: bounded ring, filtering, disabled no-op."""
+
+import json
+
+from repro import obs
+from repro.obs.recorder import FlightRecorder
+
+
+class TestRecording:
+    def test_record_assigns_sequence_and_fields(self, obs_on):
+        ev = obs.record("session.lost", actor="client", attempt=1)
+        assert ev.seq >= 1
+        assert ev.kind == "session.lost" and ev.actor == "client"
+        assert ev.fields == {"attempt": 1}
+
+    def test_events_filter_by_kind_and_actor(self, obs_on):
+        ring = FlightRecorder(capacity=16)
+        ring.record("a", actor="x")
+        ring.record("b", actor="x")
+        ring.record("a", actor="y")
+        assert len(ring.events(kind="a")) == 2
+        assert len(ring.events(kind="a", actor="y")) == 1
+
+    def test_tail_returns_most_recent(self, obs_on):
+        ring = FlightRecorder(capacity=16)
+        for i in range(10):
+            ring.record("tick", actor="t", i=i)
+        assert [e.fields["i"] for e in ring.tail(3)] == [7, 8, 9]
+
+    def test_ring_is_bounded(self, obs_on):
+        ring = FlightRecorder(capacity=8)
+        for i in range(12):
+            ring.record("e", i=i)
+        assert len(ring) == 8
+        assert ring.events()[0].fields["i"] == 4   # oldest four evicted
+        assert ring.events()[-1].seq == 12         # seq keeps counting
+
+    def test_disabled_recording_is_noop(self, obs_off):
+        assert obs.record("e", actor="x") is None
+        assert len(obs.recorder()) == 0
+
+
+class TestEventShape:
+    def test_to_dict_flattens_fields(self, obs_on):
+        ev = obs.record("fault.injected", actor="faultinject", action="sever")
+        d = ev.to_dict()
+        assert d["kind"] == "fault.injected" and d["action"] == "sever"
+        json.dumps(d)  # must be JSON-serializable
+
+    def test_str_is_one_line(self, obs_on):
+        ev = obs.record("lease.expired", actor="lass@node1", member="m")
+        text = str(ev)
+        assert "lease.expired" in text and "member=m" in text
+        assert "\n" not in text

@@ -1,0 +1,49 @@
+"""Server statistics published into the space itself (``tdp.stats.*``).
+
+The migrated stats counters are not just dump fodder: any daemon can
+``tdp_get`` them like every other attribute, refreshed from the live
+counters at read time.  Counters stay live with TDP_OBS unset — they
+are part of the observable server contract.
+"""
+
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.net.topology import flat_network
+from repro.tdp.api import tdp_exit, tdp_get, tdp_init, tdp_put
+from repro.tdp.handle import Role
+from repro.tdp.wellknown import Attr
+from repro.transport.inmem import InMemoryTransport
+
+
+def test_stats_readable_via_tdp_get(obs_off):
+    transport = InMemoryTransport(flat_network(["node1"]))
+    server = AttributeSpaceServer(transport, "node1", role=ServerRole.LASS)
+    handle = tdp_init(transport, server.endpoint, member="RT", role=Role.RT,
+                      context="job", src_host="node1")
+    try:
+        tdp_put(handle, "a", "1")
+        tdp_put(handle, "b", "2")
+        puts = int(tdp_get(handle, Attr.stat("puts"), timeout=5.0))
+        assert puts == server.stats["puts"].value == 2
+        # Reading a second stat sees the get the first read performed.
+        gets = int(tdp_get(handle, Attr.stat("gets"), timeout=5.0))
+        assert gets >= 1
+        assert Attr.stat("puts") == "tdp.stats.puts"
+    finally:
+        tdp_exit(handle)
+        server.stop()
+
+
+def test_stats_refresh_on_every_read(obs_off):
+    transport = InMemoryTransport(flat_network(["node1"]))
+    server = AttributeSpaceServer(transport, "node1", role=ServerRole.LASS)
+    handle = tdp_init(transport, server.endpoint, member="RT", role=Role.RT,
+                      context="job", src_host="node1")
+    try:
+        tdp_put(handle, "a", "1")
+        first = int(tdp_get(handle, Attr.stat("puts"), timeout=5.0))
+        tdp_put(handle, "b", "2")
+        second = int(tdp_get(handle, Attr.stat("puts"), timeout=5.0))
+        assert (first, second) == (1, 2)
+    finally:
+        tdp_exit(handle)
+        server.stop()

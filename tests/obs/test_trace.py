@@ -1,0 +1,93 @@
+"""Trace contexts: spans, ambient nesting, wire inject/extract, the store."""
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import SpanStore, TraceContext
+
+
+class TestSpanNesting:
+    def test_root_span_starts_a_trace(self, obs_on):
+        with obs.span("root", actor="a") as s:
+            assert s.parent_id is None
+            assert obs.current() == s.context
+        assert obs.current() is None
+
+    def test_nested_span_shares_trace_and_links_parent(self, obs_on):
+        with obs.span("outer", actor="a") as outer:
+            with obs.span("inner", actor="a") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        assert obs.current() is None
+
+    def test_sibling_roots_get_distinct_traces(self, obs_on):
+        with obs.span("one") as a:
+            pass
+        with obs.span("two") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_exception_tags_error_and_still_stores(self, obs_on):
+        with pytest.raises(ValueError):
+            with obs.span("boom", actor="a"):
+                raise ValueError("x")
+        (stored,) = obs.spans(name="boom")
+        assert stored.tags["error"] == "ValueError"
+
+
+class TestWirePropagation:
+    def test_inject_extract_roundtrip(self, obs_on):
+        frame = {"op": "put"}
+        with obs.span("root") as s:
+            obs.inject(frame)
+        ctx = obs.extract(frame)
+        assert ctx == TraceContext(s.trace_id, s.span_id)
+
+    def test_inject_without_context_leaves_frame_alone(self, obs_on):
+        frame = {"op": "put"}
+        obs.inject(frame)
+        assert obs.WIRE_KEY not in frame
+
+    def test_extract_rejects_malformed_fields(self, obs_on):
+        assert obs.extract({}) is None
+        assert obs.extract({obs.WIRE_KEY: "junk"}) is None
+        assert obs.extract({obs.WIRE_KEY: {"t": 1, "s": "x"}}) is None
+
+    def test_activate_installs_remote_parent(self, obs_on):
+        remote = TraceContext("t00remote", 17)
+        with obs.activate(remote):
+            with obs.span("server.put", actor="lass") as s:
+                assert s.trace_id == "t00remote"
+                assert s.parent_id == 17
+        assert obs.current() is None
+
+    def test_activate_none_is_a_noop(self, obs_on):
+        with obs.activate(None):
+            assert obs.current() is None
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_null_singleton(self, obs_off):
+        assert obs.span("x") is obs.NULL_SPAN
+        assert obs.span("y", actor="a") is obs.NULL_SPAN
+        with obs.span("z") as s:
+            s.set_tag("k", 1)  # every method a no-op
+        assert len(obs.store()) == 0
+
+
+class TestSpanStore:
+    def test_filter_by_trace_and_name(self, obs_on):
+        with obs.span("a") as outer:
+            with obs.span("b"):
+                pass
+        assert {s.name for s in obs.spans(trace_id=outer.trace_id)} == {"a", "b"}
+        assert [s.name for s in obs.spans(name="b")] == ["b"]
+
+    def test_ring_evicts_oldest(self, obs_on):
+        store = SpanStore(limit=4)
+        for i in range(6):
+            with obs.span(f"s{i}") as s:
+                pass
+            store.add(s)
+        assert len(store) == 4
+        assert [s.name for s in store.spans()] == ["s2", "s3", "s4", "s5"]
