@@ -5,9 +5,11 @@ same rows/series the paper reports, so `pytest benchmarks/
 --benchmark-only -s` reproduces the evaluation narrative end to end.
 
 On session finish the suite additionally emits ``BENCH_attrspace.json``
-at the repo root: put/get ops/sec plus latency percentiles taken from
-the ``repro.obs`` RPC histograms, one stable record per run to seed the
-performance trajectory.
+at the repo root: put/get/put_many ops/sec plus latency percentiles
+taken from the ``repro.obs`` RPC histograms, one stable record per run
+to seed the performance trajectory.  Before overwriting, the committed
+record is compared against the fresh one: any shared ops/sec series
+that regressed by more than 30% fails the session.
 """
 
 import json
@@ -20,6 +22,14 @@ sys.setrecursionlimit(100_000)  # see tests/conftest.py
 #: runs after *every* bench session, including single-file ones)
 BENCH_ROUNDS = 400
 
+#: sub-ops per OP_BATCH frame in the put_many series — one round trip
+#: amortized over this many puts
+BENCH_BATCH_SIZE = 50
+
+#: a fresh ops/sec series below this fraction of the committed record
+#: is a regression and fails the bench session
+REGRESSION_FLOOR = 0.70
+
 
 def pytest_sessionfinish(session, exitstatus):
     if getattr(session.config.option, "collectonly", False):
@@ -30,8 +40,43 @@ def pytest_sessionfinish(session, exitstatus):
         print(f"\n[bench] BENCH_attrspace.json skipped: {exc!r}")
         return
     out = session.config.rootpath / "BENCH_attrspace.json"
+    committed = _load_committed(out)
     out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"\n[bench] wrote {out}")
+    regressions = _find_regressions(committed, payload)
+    if regressions:
+        for line in regressions:
+            print(f"[bench] REGRESSION: {line}")
+        session.exitstatus = 1
+
+
+def _load_committed(path):
+    """The previously committed record, or None when absent/unreadable."""
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def _find_regressions(committed: dict | None, fresh: dict) -> list[str]:
+    """ops/sec series present in both records that fell below the floor."""
+    if not isinstance(committed, dict):
+        return []
+    problems = []
+    for key, old_series in committed.items():
+        if not isinstance(old_series, dict) or "ops_per_sec" not in old_series:
+            continue
+        new_series = fresh.get(key)
+        if not isinstance(new_series, dict) or "ops_per_sec" not in new_series:
+            continue
+        old_ops = old_series["ops_per_sec"]
+        new_ops = new_series["ops_per_sec"]
+        if old_ops > 0 and new_ops < REGRESSION_FLOOR * old_ops:
+            problems.append(
+                f"{key}.ops_per_sec {new_ops:.1f} < "
+                f"{REGRESSION_FLOOR:.0%} of committed {old_ops:.1f}"
+            )
+    return problems
 
 
 def _ms(value):
@@ -63,6 +108,15 @@ def _attrspace_microbench(rounds: int = BENCH_ROUNDS) -> dict:
             for i in range(rounds):
                 client.get(f"bench.k{i % 64}", timeout=5.0)
             get_elapsed = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            for start in range(0, rounds, BENCH_BATCH_SIZE):
+                client.put_many(
+                    [
+                        (f"bench.b{(start + j) % 64}", "v")
+                        for j in range(BENCH_BATCH_SIZE)
+                    ]
+                )
+            put_many_elapsed = time.perf_counter() - t0
             client.close()
             lass.stop()
 
@@ -78,12 +132,17 @@ def _attrspace_microbench(rounds: int = BENCH_ROUNDS) -> dict:
                 "p99_ms": _ms(summary["p99"]),
             }
 
+        put_many = series("batch", put_many_elapsed)
+        put_many["batch_size"] = BENCH_BATCH_SIZE
         return {
             "suite": "attrspace",
             "transport": "inmem",
             "rounds": rounds,
             "put": series("put", put_elapsed),
             "get": series("get", get_elapsed),
+            # ops_per_sec counts sub-op puts; the percentiles are whole
+            # OP_BATCH round trips (count = rounds / batch_size frames)
+            "put_many": put_many,
         }
     finally:
         obs.set_enabled(was_enabled)

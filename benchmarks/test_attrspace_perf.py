@@ -78,6 +78,29 @@ def test_value_size_sweep(world, benchmark, size):
     client.close()
 
 
+@pytest.mark.parametrize("batch", [1, 10, 50])
+def test_batched_put_throughput(world, benchmark, batch):
+    """Sub-op throughput of put_many as the batch size grows: one
+    OP_BATCH round trip amortized over ``batch`` puts (batch=1 is the
+    single-op baseline frame for the same series)."""
+    client = _client_for(world, "local-lass")
+    n = [0]
+
+    def op():
+        n[0] += 1
+        base = n[0] * batch
+        if batch == 1:
+            client.put(f"bk{base % 64}", "v")
+        else:
+            client.put_many(
+                [(f"bk{(base + j) % 64}", "v") for j in range(batch)]
+            )
+
+    benchmark(op)
+    benchmark.extra_info["batch_size"] = batch
+    client.close()
+
+
 def test_blocking_get_wakeup_latency(world, benchmark):
     """The pilot handshake cost: how long between a put and the wake-up
     of a blocked getter."""

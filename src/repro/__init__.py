@@ -33,6 +33,7 @@ from repro.tdp import (
     tdp_init,
     tdp_exit,
     tdp_put,
+    tdp_put_many,
     tdp_get,
     tdp_try_get,
     tdp_remove,
@@ -63,6 +64,7 @@ __all__ = [
     "tdp_init",
     "tdp_exit",
     "tdp_put",
+    "tdp_put_many",
     "tdp_get",
     "tdp_try_get",
     "tdp_remove",

@@ -174,8 +174,9 @@ DEFAULT = LockHierarchy([
     LockDecl("paradyn.dyninst.TimerHandle._lock", 48, note="one timer's state"),
 
     # -- send locks (frame serialization; blocking sends sanctioned) ---------
-    LockDecl("attrspace.server._Connection.send_lock", 60, blocking_ok=True,
-             note="serializes reply frames onto one client channel"),
+    # (attrspace server replies no longer take a send lock: each
+    # connection's frames are enqueued onto a bounded outbound
+    # WaitableQueue and serialized by a dedicated writer thread.)
     LockDecl("tdp.stdio.StdioCollector._lock", 60, blocking_ok=True,
              note="stdin backlog + channel handoff"),
     LockDecl("tdp.stdio.StdioRelay._send_lock", 60, blocking_ok=True,
@@ -186,16 +187,19 @@ DEFAULT = LockHierarchy([
              note="per-channel fault RNG + send counter; decisions only, "
                   "the wrapped send runs outside the hold"),
     LockDecl("attrspace.server._SessionLease._lock", 64,
-             note="one session's reply cache + inflight table; taken under "
-                  "send_lock (cache-before-transmit) and under _lease_lock "
-                  "(sweeper expiry re-check)"),
+             note="one session's reply cache + inflight table; taken on "
+                  "request threads (cache-before-enqueue, ahead of the "
+                  "outbound queue offer) and under _lease_lock (sweeper "
+                  "expiry re-check)"),
     LockDecl("transport.inmem._InMemChannel._lock", 62, note="queue pair state"),
     LockDecl("transport.inmem.InMemoryTransport._lock", 62, note="listener table"),
     LockDecl("transport.tcp.TcpTransport._lock", 62, note="listener table"),
     LockDecl("transport.proxy.ProxyServer._lock", 62, note="tunnel table"),
 
     # -- clocks --------------------------------------------------------------
-    LockDecl("util.clock.VirtualClock._lock", 80, note="virtual now"),
+    LockDecl("util.clock.VirtualClock._cond", 80,
+             note="virtual now + pending-timer heap (timer service waits "
+                  "on it for due deadlines)"),
 
     # -- leaves (never call out while held) ----------------------------------
     LockDecl("util.sync.Latch._lock", 90, note="one-shot gate payload"),

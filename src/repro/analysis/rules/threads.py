@@ -1,4 +1,4 @@
-"""bare-thread: thread creation goes through repro.util.threads.spawn.
+"""bare-thread / raw-timer: thread and timer creation is funnelled.
 
 The library is deliberately thread-based (daemons are threads), which is
 exactly why ad-hoc ``threading.Thread(...)`` calls scattered across
@@ -6,6 +6,12 @@ modules are a liability: unnamed threads are undebuggable, non-daemon
 threads hang interpreter shutdown, and there is no single place to add
 diagnostics or accounting.  All creation funnels through
 :func:`repro.util.threads.spawn`, the one sanctioned call site.
+
+The same argument holds for ``threading.Timer``: a raw wall-clock timer
+in daemon code silently breaks simulated time (a blocking-get timeout
+armed on the wall clock fires mid-scenario regardless of the virtual
+clock), so delayed callbacks go through ``Clock.call_later`` and only
+``repro.util.clock`` may touch ``threading.Timer`` directly.
 """
 
 from __future__ import annotations
@@ -47,4 +53,39 @@ class BareThread(Rule):
                     node,
                     "bare threading.Thread() creation; use "
                     "repro.util.threads.spawn",
+                )
+
+
+_TIMER_SANCTIONED_MODULES = {"repro.util.clock"}
+
+
+@register
+class RawTimer(Rule):
+    name = "raw-timer"
+    description = (
+        "threading.Timer() outside repro.util.clock; use "
+        "Clock.call_later so timeouts follow the scenario clock"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.modname in _TIMER_SANCTIONED_MODULES:
+            return
+        imported_timer_directly = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == "threading"
+            and any(alias.name == "Timer" for alias in node.names)
+            for node in ast.walk(module.tree)
+        )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dn = dotted_name(node.func)
+            if dn == "threading.Timer" or (
+                imported_timer_directly and dn == "Timer"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "raw threading.Timer() creation; route delayed "
+                    "callbacks through repro.util.clock.Clock.call_later",
                 )

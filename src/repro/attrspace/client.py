@@ -596,12 +596,118 @@ class AttributeSpaceClient:
         reply = self._rpc(frame)
         return int(reply["version"])
 
+    def put_many(
+        self,
+        items: "Any",
+        *,
+        ephemeral: bool = False,
+    ) -> list[int]:
+        """Batched blocking put: one round trip for many attributes.
+
+        ``items`` is an iterable of ``(attribute, value)`` pairs or
+        ``(attribute, value, ephemeral)`` triples (the triple form
+        overrides the batch-wide ``ephemeral`` flag per item, so a
+        heartbeat can ride along with durable values).  Returns the
+        stored version numbers, positionally.  Raises the first sub-op's
+        error, if any — later sub-ops are still applied first (the batch
+        is a pipeline, not a transaction).
+        """
+        ops: list[dict[str, Any]] = []
+        for item in items:
+            if len(item) == 3:
+                attribute, value, item_ephemeral = item
+            else:
+                attribute, value = item
+                item_ephemeral = ephemeral
+            op: dict[str, Any] = {
+                "op": protocol.OP_PUT, "attribute": attribute, "value": value,
+            }
+            if item_ephemeral:
+                op["ephemeral"] = True
+            ops.append(op)
+        if not ops:
+            return []
+        replies = self._batch_rpc(ops)
+        versions: list[int] = []
+        for sub_reply in replies:
+            if not sub_reply.get("ok", False):
+                protocol.raise_error(sub_reply)
+            versions.append(int(sub_reply["version"]))
+        return versions
+
+    def get_many(self, attributes: "Any") -> list[str]:
+        """Batched non-blocking get: one round trip for many attributes.
+
+        Returns the values positionally; raises the first absent
+        attribute's :class:`~repro.errors.NoSuchAttributeError` (use
+        :meth:`batch` when partial results are wanted).
+        """
+        ops = [
+            {"op": protocol.OP_GET, "attribute": attribute}
+            for attribute in attributes
+        ]
+        if not ops:
+            return []
+        replies = self._batch_rpc(ops)
+        values: list[str] = []
+        for sub_reply in replies:
+            if not sub_reply.get("ok", False):
+                protocol.raise_error(sub_reply)
+            values.append(str(sub_reply["value"]))
+        return values
+
+    def batch(self) -> "_BatchBuilder":
+        """Pipelining context manager: coalesce ops into one frame.
+
+        Operations queued inside the ``with`` block return
+        :class:`BatchResult` handles; the single ``OP_BATCH`` frame is
+        sent on exit and the handles resolve then::
+
+            with client.batch() as b:
+                version = b.put("pid", "123")
+                status = b.try_get("proc.123.status")
+            print(version.value, status.value)
+
+        Ordering: sub-ops apply in queue order, atomically with respect
+        to concurrent readers (single store lock hold).  Partial
+        failure: every handle resolves — failed ones to their error —
+        and the block then raises the first error; inspect ``.error`` on
+        the handles before letting it propagate if partial results
+        matter.  Nothing is sent when the block exits via an exception.
+        """
+        return _BatchBuilder(self)
+
+    def _batch_rpc(self, ops: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Send one OP_BATCH frame; returns the positional reply list."""
+        reply = self._rpc(
+            {"op": protocol.OP_BATCH, "context": self.context, "ops": ops}
+        )
+        replies = reply.get("replies")
+        if not isinstance(replies, list) or len(replies) != len(ops):
+            got = len(replies) if isinstance(replies, list) else replies
+            raise errors.ProtocolError(
+                f"batch reply mismatch: sent {len(ops)} ops, got {got!r} replies"
+            )
+        return replies
+
     def get(self, attribute: str, timeout: float | None = None) -> str:
         """Blocking get: waits until the attribute exists.
 
         ``timeout`` bounds the wait (server-side timer); ``None`` waits
         indefinitely — the paradynd-waits-for-pid pattern of Section 4.3.
         """
+        if timeout is not None and (
+            isinstance(timeout, bool)
+            or not isinstance(timeout, (int, float))
+            or timeout < 0
+        ):
+            # Same validation the server applies; failing here saves the
+            # round trip and catches in-process misuse (timeout=True,
+            # timeout=-1) with a clear error.
+            raise errors.ProtocolError(
+                f"invalid get timeout {timeout!r}: "
+                "must be a non-negative number or None"
+            )
         reply = self._rpc(
             {
                 "op": protocol.OP_GET,
@@ -840,3 +946,116 @@ class AttributeSpaceClient:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class BatchResult:
+    """Deferred result of one op queued in a :meth:`~AttributeSpaceClient.batch`
+    block; resolves when the block exits and the batch reply arrives."""
+
+    _UNSET = object()
+
+    def __init__(self, description: str):
+        self._description = description
+        self._value: Any = BatchResult._UNSET
+        self.error: Exception | None = None
+
+    @property
+    def ready(self) -> bool:
+        return self._value is not BatchResult._UNSET or self.error is not None
+
+    @property
+    def ok(self) -> bool:
+        """Resolved without error?  (False while still pending, too.)"""
+        return self._value is not BatchResult._UNSET
+
+    @property
+    def value(self) -> Any:
+        """The op's result; raises its error, or RuntimeError if unsent."""
+        if self.error is not None:
+            raise self.error
+        if self._value is BatchResult._UNSET:
+            raise RuntimeError(
+                f"batch result for {self._description} read before the "
+                "batch block exited"
+            )
+        return self._value
+
+    def __repr__(self) -> str:
+        if self.error is not None:
+            state = f"error={type(self.error).__name__}"
+        elif self._value is BatchResult._UNSET:
+            state = "pending"
+        else:
+            state = f"value={self._value!r}"
+        return f"<BatchResult {self._description} {state}>"
+
+
+class _BatchBuilder:
+    """Collects ops inside a ``client.batch()`` block; sends on exit."""
+
+    def __init__(self, client: AttributeSpaceClient):
+        self._client = client
+        self._ops: list[dict[str, Any]] = []
+        self._results: list[tuple[BatchResult, Callable[[dict[str, Any]], Any]]] = []
+
+    def _queue(
+        self,
+        op: dict[str, Any],
+        description: str,
+        parse: Callable[[dict[str, Any]], Any],
+    ) -> BatchResult:
+        result = BatchResult(description)
+        self._ops.append(op)
+        self._results.append((result, parse))
+        return result
+
+    def put(self, attribute: str, value: str, *, ephemeral: bool = False) -> BatchResult:
+        """Queue a put; the result resolves to the stored version."""
+        op: dict[str, Any] = {
+            "op": protocol.OP_PUT, "attribute": attribute, "value": value,
+        }
+        if ephemeral:
+            op["ephemeral"] = True
+        return self._queue(
+            op, f"put({attribute!r})", lambda r: int(r["version"])
+        )
+
+    def try_get(self, attribute: str) -> BatchResult:
+        """Queue a non-blocking get; the result resolves to the value."""
+        return self._queue(
+            {"op": protocol.OP_GET, "attribute": attribute},
+            f"try_get({attribute!r})",
+            lambda r: str(r["value"]),
+        )
+
+    def remove(self, attribute: str) -> BatchResult:
+        """Queue a remove; the result resolves to the existed flag."""
+        return self._queue(
+            {"op": protocol.OP_REMOVE, "attribute": attribute},
+            f"remove({attribute!r})",
+            lambda r: bool(r["existed"]),
+        )
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __enter__(self) -> "_BatchBuilder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None or not self._ops:
+            return  # never send a half-built batch out of a failing block
+        replies = self._client._batch_rpc(self._ops)
+        first_error: Exception | None = None
+        for (result, parse), sub_reply in zip(self._results, replies):
+            if sub_reply.get("ok", False):
+                result._value = parse(sub_reply)
+                continue
+            try:
+                protocol.raise_error(sub_reply)
+            except errors.TdpError as e:
+                result.error = e
+                if first_error is None:
+                    first_error = e
+        if first_error is not None:
+            raise first_error

@@ -6,6 +6,12 @@ to hear immediately about the change" (Section 2.3).  A subscription
 names a context and a glob pattern over attribute names; every matching
 ``put`` or ``remove`` produces a :class:`Notification` that the server
 pushes to the subscribing connection.
+
+Delivery is decoupled from the publisher: a connection's ``deliver``
+only *enqueues* the frame onto that connection's bounded outbound queue
+(drained by its writer thread), so one slow or dead subscriber can never
+stall the thread that performed the put — it is disconnected when its
+queue overflows instead (the slow-subscriber policy, DESIGN.md §9).
 """
 
 from __future__ import annotations
@@ -61,8 +67,9 @@ class SubscriptionRegistry:
     """Thread-safe registry of pattern subscriptions.
 
     ``deliver`` callables must be non-blocking (the store invokes them
-    from the putter's thread); server connections satisfy this by queuing
-    onto the channel.
+    from the putter's thread); server connections satisfy this by
+    offering the frame to their bounded outbound queue and never by
+    writing to the channel inline.
     """
 
     def __init__(self) -> None:

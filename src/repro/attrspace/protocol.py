@@ -28,6 +28,13 @@ OP_SNAPSHOT = "snapshot"
 OP_SUBSCRIBE = "subscribe"  # fields: pattern
 OP_UNSUBSCRIBE = "unsubscribe"
 OP_PING = "ping"
+OP_BATCH = "batch"          # fields: ops (list of sub-requests, each a
+                            # req-less put/get/remove frame); answered by
+                            # one reply whose "replies" list matches the
+                            # sub-requests positionally.  Sub-ops apply
+                            # independently, in order — a failed sub-op
+                            # carries its own error entry and does not
+                            # abort the ones after it.
 
 # Server push
 OP_NOTIFY = "notify"
@@ -70,12 +77,28 @@ _TYPE_NAMES = {
 }
 
 
-def error_reply(req: int, exc: Exception) -> dict[str, Any]:
-    """Build the error reply frame for an exception."""
+def error_fields(exc: Exception) -> dict[str, Any]:
+    """The ``ok``/``error_type``/``error`` fields for an exception.
+
+    Shared by whole-request error replies and per-sub-op entries in a
+    batch reply.  ``NoSuchAttributeError`` additionally carries its
+    attribute/context so :func:`raise_error` reconstructs it losslessly.
+    """
+    fields: dict[str, Any] = {"ok": False, "error_type": "protocol", "error": str(exc)}
     for klass, name in _TYPE_NAMES.items():
         if isinstance(exc, klass):
-            return {"reply_to": req, "ok": False, "error_type": name, "error": str(exc)}
-    return {"reply_to": req, "ok": False, "error_type": "protocol", "error": str(exc)}
+            fields["error_type"] = name
+            break
+    if isinstance(exc, errors.NoSuchAttributeError):
+        fields["attribute"] = exc.attribute
+        if exc.context is not None:
+            fields["context"] = exc.context
+    return fields
+
+
+def error_reply(req: int, exc: Exception) -> dict[str, Any]:
+    """Build the error reply frame for an exception."""
+    return {"reply_to": req, **error_fields(exc)}
 
 
 def ok_reply(req: int, **fields: Any) -> dict[str, Any]:

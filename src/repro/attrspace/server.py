@@ -2,9 +2,21 @@
 
 One server instance wraps an :class:`~repro.attrspace.store.AttributeStore`
 and serves it over a transport listener.  Thread model: one acceptor
-thread plus one reader thread per connection.  Blocking GETs never park a
-server thread — they register store waiters whose completion callbacks
-send the reply from whichever thread performed the matching PUT.
+thread plus, per connection, one reader thread and one writer thread.
+Blocking GETs never park a server thread — they register store waiters
+whose completion callbacks send the reply from whichever thread
+performed the matching PUT.
+
+Every outbound frame (replies and notification pushes alike) goes
+through the connection's bounded outbound queue, drained by its writer
+thread.  Producers therefore never block on a peer's channel: a put
+that fans out to a hundred subscribers costs a hundred enqueues, not a
+hundred synchronous sends.  The **slow-subscriber policy** is explicit:
+a connection whose queue is full (it stopped reading while
+notifications kept coming) is disconnected — counted in the
+``slow_subscriber_disconnects`` statistic — rather than allowed to
+stall the put path.  Reconnecting clients recover through their session
+lease like after any other disconnect.
 
 Roles (paper Section 2.1): a **LASS** runs on each execution host,
 started by the RM; the **CASS** runs on the front-end host, started by
@@ -27,8 +39,9 @@ from repro.attrspace.notify import Notification
 from repro.attrspace.store import DEFAULT_CONTEXT, AttributeStore
 from repro.net.address import Endpoint
 from repro.transport.base import Channel, Transport
+from repro.util.clock import Clock, TimerHandle, WallClock
 from repro.util.log import get_logger
-from repro.util.sync import AtomicCounter, tracked_lock
+from repro.util.sync import AtomicCounter, WaitableQueue, tracked_lock
 from repro.util.threads import spawn
 
 _log = get_logger("attrspace.server")
@@ -37,6 +50,12 @@ _log = get_logger("attrspace.server")
 #: far above any client's in-flight window (one recv thread replays at
 #: most its pending tables, tens of entries).
 _REPLY_CACHE_LIMIT = 256
+
+#: Bound on one connection's outbound queue.  Generous for any reading
+#: client (the writer drains as fast as the channel accepts), small
+#: enough that a stalled subscriber is cut off long before its backlog
+#: costs real memory.
+OUTBOUND_QUEUE_LIMIT = 512
 
 
 class ServerRole(enum.Enum):
@@ -122,22 +141,31 @@ class _SessionLease:
 
 
 class _Connection:
-    """Server-side state for one client channel."""
+    """Server-side state for one client channel.
+
+    Outbound frames are enqueued (never sent inline) and drained by this
+    connection's dedicated writer thread — the single consumer of
+    ``outbound``, which also makes it the serialization point that the
+    old per-connection send lock used to provide.
+    """
 
     def __init__(self, server: "AttributeSpaceServer", channel: Channel, conn_id: int):
         self.server = server
         self.channel = channel
         self.conn_id = conn_id
         self.peer = f"{channel.remote_host}#{conn_id}"
-        self.send_lock = tracked_lock("attrspace.server._Connection.send_lock")
+        self.outbound: WaitableQueue[dict[str, Any]] = WaitableQueue()
         # (context, attribute, waiter_id) for pending blocking gets, so we
         # can cancel them if this client disconnects.
         self.pending_waiters: set[tuple[str, str, int]] = set()
         self.subscriptions: set[int] = set()
         self.contexts_joined: list[str] = []
-        self.timers: dict[int, threading.Timer] = {}
+        self.timers: dict[int, TimerHandle] = {}
         self.lease: _SessionLease | None = None
         self.member: str | None = None
+        self.writer = spawn(
+            self._writer_loop, name=f"{server.name}-w{conn_id}"
+        )
 
     @property
     def writer_id(self) -> str:
@@ -147,21 +175,42 @@ class _Connection:
         return self.member if self.member is not None else self.peer
 
     def send(self, message: dict[str, Any]) -> None:
+        """Enqueue a frame for the writer thread; never blocks.
+
+        A full queue means the peer stopped reading while frames kept
+        coming: the slow-subscriber policy disconnects it (with a stat)
+        so the producer — typically a putter mid-fan-out — is never
+        stalled by someone else's dead or wedged client.
+        """
         lease = self.lease
         reply_to = message.get("reply_to")
         if lease is not None and isinstance(reply_to, int):
-            # Cache BEFORE transmit: if the channel dies mid-send, the
-            # client's replay of this request must find the reply rather
-            # than re-execute a completed operation.
+            # Cache BEFORE enqueue: if the connection dies with this
+            # frame still queued, the client's replay of the request
+            # must find the reply rather than re-execute a completed
+            # operation.
             lease.cache_reply(reply_to, message)
         try:
-            # send_lock exists solely to serialize frames onto this channel;
-            # it guards no shared server state, so holding it across the
-            # send cannot deadlock the store.
-            with self.send_lock:
-                self.channel.send(message)  # tdp-lint: off(blocking-call-under-lock)
-        except errors.TdpError:
-            pass  # peer gone; reader loop will clean up
+            if not self.outbound.offer(message, OUTBOUND_QUEUE_LIMIT):
+                self.server._disconnect_slow(self)
+        except errors.ChannelClosedError:
+            pass  # connection torn down; leased replies stay cached
+
+    def _writer_loop(self) -> None:
+        """Drain the outbound queue onto the channel; exits on close.
+
+        Queue close is graceful: frames enqueued before the close are
+        still transmitted (teardown drains, it does not drop).
+        """
+        while True:
+            try:
+                frame = self.outbound.get()
+            except errors.ChannelClosedError:
+                return
+            try:
+                self.channel.send(frame)
+            except errors.TdpError:
+                return  # peer gone; reader loop will clean up
 
 
 class AttributeSpaceServer:
@@ -177,9 +226,15 @@ class AttributeSpaceServer:
         name: str | None = None,
         store: AttributeStore | None = None,
         local_only: bool = False,
+        clock: Clock | None = None,
     ):
         self.role = role
         self.host = host
+        #: timebase for blocking-get timeouts: wall time by default; the
+        #: sim's startds inject their cluster's VirtualClock so scenario
+        #: runs cannot have wall-time timers firing under virtual time
+        #: (the TraceRecorder precedent).
+        self.clock = clock if clock is not None else WallClock()
         #: the paper's LASS access rule ("a process … cannot access the
         #: LASS's of other nodes"): when set, connections from any other
         #: host are refused at accept time.  Production LASSes (those the
@@ -220,6 +275,7 @@ class AttributeSpaceServer:
                 "resumed_sessions",
                 "replayed_replies",
                 "expired_leases",
+                "slow_subscriber_disconnects",
             )
         }
         self._acceptor = spawn(self._accept_loop, name=f"{self.name}-accept")
@@ -243,6 +299,7 @@ class AttributeSpaceServer:
         for conn in conns:
             for timer in conn.timers.values():
                 timer.cancel()
+            conn.outbound.close()
             conn.channel.close()
         with self._lease_lock:
             sweeper = self._sweeper
@@ -304,10 +361,30 @@ class AttributeSpaceServer:
         for context, attribute, wid in list(conn.pending_waiters):
             self.store.cancel_waiter(context, attribute, wid)
         self.store.subscriptions.unsubscribe_many(conn.subscriptions)
+        # Close the queue first (graceful drain: the writer transmits
+        # what is already queued, then exits), then the channel.
+        conn.outbound.close()
         conn.channel.close()
         # The lease (if any) is deliberately NOT released here: the whole
         # point is surviving the connection.  The sweeper expires it when
         # no successor connection resumes it within the TTL.
+
+    def _disconnect_slow(self, conn: _Connection) -> None:
+        """Slow-subscriber policy: cut off a connection whose outbound
+        queue overflowed rather than ever blocking a producer.
+
+        Runs on the producer's thread (a putter mid-fan-out or a
+        dispatch thread), so it only closes — the reader thread observes
+        the dead channel and performs the normal :meth:`_cleanup`.
+        """
+        self.stats["slow_subscriber_disconnects"].increment()
+        obs.record("conn.slow_disconnect", actor=self.name, peer=conn.peer)
+        _log.warning(
+            "%s: disconnecting %s: outbound queue full (%d frames unread)",
+            self.name, conn.peer, OUTBOUND_QUEUE_LIMIT,
+        )
+        conn.outbound.close()
+        conn.channel.close()
 
     # -- request dispatch -----------------------------------------------------
 
@@ -543,11 +620,32 @@ class AttributeSpaceServer:
                 writer=self.name,
             )
 
+    @staticmethod
+    def _validate_timeout(timeout: Any) -> float | None:
+        """Reject anything but None or a non-negative real number.
+
+        ``bool`` is explicitly banned (``timeout=True`` would otherwise
+        arm a 1-second timer via ``isinstance(True, int)``), and a
+        negative value is an error, not an accidental block-forever.
+        """
+        if timeout is None:
+            return None
+        if (
+            isinstance(timeout, bool)
+            or not isinstance(timeout, (int, float))
+            or timeout < 0
+        ):
+            raise errors.ProtocolError(
+                f"invalid get timeout {timeout!r}: "
+                "must be a non-negative number or None"
+            )
+        return float(timeout)
+
     def _op_get(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
         context = self._context_of(request)
         attribute = str(request.get("attribute", ""))
         block = bool(request.get("block", True))
-        timeout = request.get("timeout")
+        timeout = self._validate_timeout(request.get("timeout"))
         self.stats["gets"].increment()
         if attribute.startswith(protocol.STATS_PREFIX):
             self._publish_stats(context)
@@ -555,17 +653,8 @@ class AttributeSpaceServer:
         if not block:
             try:
                 value = self.store.try_get(attribute, context=context)
-            except errors.NoSuchAttributeError:
-                conn.send(
-                    {
-                        "reply_to": req,
-                        "ok": False,
-                        "error_type": "no_such_attribute",
-                        "error": f"no attribute {attribute!r}",
-                        "attribute": attribute,
-                        "context": context,
-                    }
-                )
+            except errors.NoSuchAttributeError as e:
+                conn.send(protocol.error_reply(req, e))
                 return
             conn.send(protocol.ok_reply(req, value=value))
             return
@@ -615,7 +704,7 @@ class AttributeSpaceServer:
         key = (context, attribute, wid)
         waiter_key.append(key)
         conn.pending_waiters.add(key)
-        if isinstance(timeout, (int, float)) and timeout >= 0:
+        if timeout is not None:
 
             def on_timeout() -> None:
                 if self.store.cancel_waiter(context, attribute, wid):
@@ -630,10 +719,9 @@ class AttributeSpaceServer:
                         )
                     )
 
-            timer = threading.Timer(float(timeout), on_timeout)
-            timer.daemon = True
-            conn.timers[req] = timer
-            timer.start()
+            # On the server's clock: a wall timer for real deployments, a
+            # virtual-time timer when a sim cluster injected its clock.
+            conn.timers[req] = self.clock.call_later(timeout, on_timeout)
 
     def _op_remove(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
         context = self._context_of(request)
@@ -676,8 +764,66 @@ class AttributeSpaceServer:
         conn.send(protocol.ok_reply(req, sub=sub_id))
 
     def _op_unsubscribe(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
+        # Ownership check: sub ids come from a global allocator, so
+        # without it any client could cancel any other client's
+        # subscription by guessing small integers.
         sub_id = request.get("sub")
-        removed = isinstance(sub_id, int) and self.store.subscriptions.unsubscribe(sub_id)
-        if isinstance(sub_id, int):
+        removed = False
+        if isinstance(sub_id, int) and sub_id in conn.subscriptions:
+            removed = self.store.subscriptions.unsubscribe(sub_id)
             conn.subscriptions.discard(sub_id)
-        conn.send(protocol.ok_reply(req, removed=bool(removed)))
+        conn.send(protocol.ok_reply(req, removed=removed))
+
+    def _op_batch(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
+        """One frame, many ops: apply the sub-request list and answer
+        with a positionally matched reply list.
+
+        Sub-ops are applied by the store under a single lock hold; each
+        sub-reply carries its own ``ok``/error fields, so a failed sub-op
+        reports without aborting the ones after it (partial failure is
+        per-position, never whole-batch).  Blocking gets are rejected
+        per-op — a parked waiter inside a batch would stall the
+        positional reply.
+        """
+        context = self._context_of(request)
+        ops = request.get("ops")
+        if not isinstance(ops, list):
+            raise errors.ProtocolError(
+                f"batch ops must be a list, got {type(ops).__name__}"
+            )
+        if any(
+            isinstance(sub, dict)
+            and sub.get("op") == protocol.OP_GET
+            and str(sub.get("attribute", "")).startswith(protocol.STATS_PREFIX)
+            for sub in ops
+        ):
+            self._publish_stats(context)
+        results = self.store.apply_batch(
+            ops, default_context=context, writer=conn.writer_id
+        )
+        traced = obs.enabled()
+        replies: list[dict[str, Any]] = []
+        for sub, result in zip(ops, results):
+            sub_op = sub.get("op") if isinstance(sub, dict) else None
+            if traced:
+                # Child span per sub-op under the server.batch span that
+                # _dispatch opened, so one batch put fans out into
+                # followable per-op nodes in the trace tree.
+                with obs.span(
+                    f"batch.{sub_op if isinstance(sub_op, str) else 'op'}",
+                    actor=self.name,
+                    attribute=(
+                        str(sub.get("attribute", "")) if isinstance(sub, dict) else ""
+                    ),
+                ) as span_obj:
+                    if isinstance(result, Exception):
+                        span_obj.set_tag("error", type(result).__name__)
+            if sub_op == protocol.OP_PUT and not isinstance(result, Exception):
+                self.stats["puts"].increment()
+            elif sub_op == protocol.OP_GET:
+                self.stats["gets"].increment()
+            if isinstance(result, Exception):
+                replies.append(protocol.error_fields(result))
+            else:
+                replies.append({"ok": True, **result})
+        conn.send(protocol.ok_reply(req, replies=replies))

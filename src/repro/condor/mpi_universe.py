@@ -38,7 +38,12 @@ from repro.condor.tools import ToolRegistry
 from repro.mpisim.runtime import MpiRuntime, RankInfo
 from repro.net.address import Endpoint, parse_endpoint
 from repro.sim.host import SimHost
-from repro.tdp.api import tdp_create_process, tdp_exit, tdp_init, tdp_put
+from repro.tdp.api import (
+    tdp_create_process,
+    tdp_exit,
+    tdp_init,
+    tdp_put_many,
+)
 from repro.tdp.handle import Role, TdpHandle
 from repro.tdp.process import SimHostBackend
 from repro.tdp.wellknown import Attr, CreateMode
@@ -216,10 +221,18 @@ class MpiUniverseCoordinator:
             with self._lock:
                 self._tool_handles.append(tool_handle)
             self._record("tdp_put", rank=rank, attribute=Attr.PID, value=str(info.pid))
-            tdp_put(handle, Attr.PID, str(info.pid))
-            tdp_put(handle, Attr.EXECUTABLE_NAME, self._desc.executable)
-            tdp_put(handle, Attr.APP_HOST, slot.hostname)
-            tdp_put(handle, Attr.APP_ARGS, join_arguments(self._desc.arguments))
+            # One batched frame per rank: pid plus its standard
+            # companions land atomically before this rank's paradynd,
+            # blocked on ``pid``, is woken.
+            tdp_put_many(
+                handle,
+                [
+                    (Attr.PID, str(info.pid)),
+                    (Attr.EXECUTABLE_NAME, self._desc.executable),
+                    (Attr.APP_HOST, slot.hostname),
+                    (Attr.APP_ARGS, join_arguments(self._desc.arguments)),
+                ],
+            )
             # paradynd will attach and (auto_run) immediately continue —
             # "they immediately issue a run command".
 

@@ -20,8 +20,6 @@ Flow per job (the Figure 4 interaction the FIG4 bench traces):
 
 from __future__ import annotations
 
-import threading
-
 from repro import errors
 from repro.attrspace.server import AttributeSpaceServer, ServerRole
 from repro.condor.job import JobId, JobRecord, JobStatus, job_ad
@@ -30,6 +28,7 @@ from repro.condor.startd import description_to_wire
 from repro.condor.submit import SubmitDescription, parse_submit_file
 from repro.net.address import Endpoint, parse_endpoint
 from repro.transport.base import Transport
+from repro.util.clock import Clock, WallClock
 from repro.util.ids import IdAllocator, fresh_token
 from repro.util.log import TraceRecorder, get_logger
 from repro.util.sync import tracked_condition
@@ -55,17 +54,21 @@ class Schedd:
         submit_fs: dict[str, str] | None = None,
         trace: TraceRecorder | None = None,
         start_cass: bool = True,
+        clock: Clock | None = None,
     ):
         self._transport = transport
         self.submit_host = submit_host
         self._matchmaker_endpoint = matchmaker_endpoint
+        #: timebase for retry/requeue timers and the CASS's blocking-get
+        #: timeouts; wall clock unless a scenario injects its own.
+        self._clock = clock if clock is not None else WallClock()
         # "There is also a central attribute space server (CASS) process
         # on the host running the tool front-end", started by the RM
         # front-end (paper Section 2.1) — which is this daemon.
         self.cass: AttributeSpaceServer | None = (
             AttributeSpaceServer(
                 transport, submit_host, role=ServerRole.CASS,
-                name=f"cass@{submit_host}",
+                name=f"cass@{submit_host}", clock=self._clock,
             )
             if start_cass
             else None
@@ -158,9 +161,7 @@ class Schedd:
                         self._queue.append(rec)
                         self._cond.notify()
 
-            timer = threading.Timer(self.RETRY_INTERVAL, requeue)
-            timer.daemon = True
-            timer.start()
+            self._clock.call_later(self.RETRY_INTERVAL, requeue)
 
     def _matchmaker_rpc(self, message: dict) -> dict:
         channel = self._transport.connect(

@@ -29,7 +29,13 @@ from repro.condor.tools import (
 )
 from repro.net.address import Endpoint
 from repro.sim.host import SimHost
-from repro.tdp.api import tdp_create_process, tdp_exit, tdp_init, tdp_put
+from repro.tdp.api import (
+    tdp_create_process,
+    tdp_exit,
+    tdp_init,
+    tdp_put,
+    tdp_put_many,
+)
 from repro.tdp.handle import Role, TdpHandle
 from repro.tdp.process import SimHostBackend
 from repro.tdp.stdio import StdioRelay
@@ -403,6 +409,7 @@ class Starter:
             return
         from repro.tdp.wellknown import Attr as A
 
+        items: list[tuple[str, str]] = []
         for attribute in (A.RT_FRONTEND, A.RM_PROXY, A.STDIO_ENDPOINT):
             try:
                 value = handle.cass.try_get(attribute)
@@ -410,7 +417,11 @@ class Starter:
                 continue
             except errors.TdpError:
                 return
-            handle.attrs.put(attribute, value)
+            items.append((attribute, value))
+        if not items:
+            return
+        handle.attrs.put_many(items)
+        for attribute, value in items:
             self._record("disseminate", attribute=attribute, value=value)
 
     def _launch_tool_daemon(self, handle: TdpHandle, app_pid: int) -> None:
@@ -447,12 +458,19 @@ class Starter:
         requested = set(percent_names(tool.args_template)) | {"pid"}
         assert "pid" in requested
         self._record("tdp_put", attribute=Attr.PID, value=str(app_pid))
-        tdp_put(handle, Attr.PID, str(app_pid))
-        # Standard companions of the pid (always published so any tool
-        # can discover the application without extra %names).
-        tdp_put(handle, Attr.EXECUTABLE_NAME, desc.executable)
-        tdp_put(handle, Attr.APP_HOST, self._host.name)
-        tdp_put(handle, Attr.APP_ARGS, join_arguments(desc.arguments))
+        # The pid and its standard companions (always published so any
+        # tool can discover the application without extra %names) go out
+        # as one batched frame: the tool daemon blocked on ``pid`` wakes
+        # to find the whole launch record already in place.
+        tdp_put_many(
+            handle,
+            [
+                (Attr.PID, str(app_pid)),
+                (Attr.EXECUTABLE_NAME, desc.executable),
+                (Attr.APP_HOST, self._host.name),
+                (Attr.APP_ARGS, join_arguments(desc.arguments)),
+            ],
+        )
 
     def _make_tool_output_sink(self, path: str | None):
         if path is None:

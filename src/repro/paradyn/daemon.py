@@ -34,7 +34,7 @@ from repro.tdp.api import (
     tdp_get,
     tdp_init,
 )
-from repro.tdp.faults import heartbeat
+from repro.tdp.faults import heartbeat_item
 from repro.tdp.handle import Role, TdpHandle
 from repro.tdp.proxycfg import connect_to_frontend
 from repro.tdp.wellknown import Attr, ProcStatus
@@ -260,7 +260,6 @@ class ParadynDaemon:
             handle.service_events()
             self._apply_enable_requests()
             self._emit_samples()
-            heartbeat(handle, f"paradynd/{ctx.job_id}")
             try:
                 status = handle.attrs.try_get(Attr.proc_status(pid))
             except errors.NoSuchAttributeError:
@@ -338,7 +337,8 @@ class ParadynDaemon:
 
     def _emit_samples(self, final: bool = False) -> None:
         assert self.collector is not None
-        for sample in self.collector.sample_all():
+        samples = self.collector.sample_all()
+        for sample in samples:
             self.samples_sent += 1
             self._send_frontend(
                 {
@@ -350,6 +350,20 @@ class ParadynDaemon:
                     "final": final,
                 }
             )
+        # Publish the whole sampling pass — every value plus this pass's
+        # heartbeat — to the attribute space in one batched frame, so
+        # other TDP participants see live data without per-sample RPCs.
+        if self.handle is None:
+            return
+        items: list[tuple[str, str, bool]] = [
+            (Attr.metric_sample(s.metric, s.focus), f"{s.value:.6f}", True)
+            for s in samples
+        ]
+        items.append(heartbeat_item(f"paradynd/{self.ctx.job_id}"))
+        try:
+            self.handle.attrs.put_many(items)
+        except errors.TdpError:
+            pass  # space gone: the status check in the loop will notice
 
     def _write_trace_file(self) -> None:
         """Leave a summary data file behind for TDP's stage-out path."""

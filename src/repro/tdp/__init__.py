@@ -24,6 +24,7 @@ from repro.tdp.api import (
     tdp_init,
     tdp_exit,
     tdp_put,
+    tdp_put_many,
     tdp_get,
     tdp_try_get,
     tdp_remove,
@@ -55,6 +56,7 @@ __all__ = [
     "tdp_init",
     "tdp_exit",
     "tdp_put",
+    "tdp_put_many",
     "tdp_get",
     "tdp_try_get",
     "tdp_remove",

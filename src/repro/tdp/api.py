@@ -97,6 +97,28 @@ def tdp_put(
         handle.attrs.put(attribute, value, ephemeral=ephemeral)
 
 
+def tdp_put_many(
+    handle: TdpHandle,
+    items: Any,
+    *,
+    ephemeral: bool = False,
+) -> list[int]:
+    """Batched blocking put: many attributes, one round trip.
+
+    ``items`` is an iterable of ``(attribute, value)`` pairs or
+    ``(attribute, value, ephemeral)`` triples (per-item override of the
+    batch-wide flag).  Returns stored version numbers positionally.
+    Equivalent to a ``tdp_put`` per item, but the server applies the
+    whole list under one store-lock hold and concurrent readers see it
+    atomically — the bulk-state-operation lever of the hot publishers
+    (metric samples, heartbeats, process-launch attribute sets).
+    """
+    handle._check_open()
+    items = list(items)
+    with obs.span("tdp_put_many", actor=handle.member, count=len(items)):
+        return handle.attrs.put_many(items, ephemeral=ephemeral)
+
+
 def tdp_get(handle: TdpHandle, attribute: str, timeout: float | None = None) -> str:
     """Blocking get: waits until the attribute exists, then returns it."""
     handle._check_open()

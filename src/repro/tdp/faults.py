@@ -36,6 +36,16 @@ class FaultRecord:
     reason: str
 
 
+def heartbeat_item(entity_id: str) -> tuple[str, str, bool]:
+    """The ``(attribute, value, ephemeral)`` triple of one liveness beat.
+
+    Hot publishers batch this into their existing ``put_many`` (one
+    frame carries the samples *and* the beat); :func:`heartbeat` wraps
+    it for daemons with nothing else to send.
+    """
+    return (Attr.heartbeat(entity_id), repr(time.monotonic()), True)
+
+
 def heartbeat(handle: TdpHandle, entity_id: str) -> None:
     """Daemon-side: record liveness (a monotonically fresh timestamp).
 
@@ -43,7 +53,7 @@ def heartbeat(handle: TdpHandle, entity_id: str) -> None:
     daemon's last beat is purged when its lease expires instead of
     lingering as a stale claim of liveness.
     """
-    handle.attrs.put(Attr.heartbeat(entity_id), repr(time.monotonic()), ephemeral=True)
+    handle.attrs.put_many([heartbeat_item(entity_id)])
 
 
 class FaultMonitor:

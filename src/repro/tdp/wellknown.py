@@ -69,6 +69,21 @@ class Attr:
 
     CTL_REQUEST_PATTERN = "ctl.req.*"
 
+    # -- tool metric samples (extension; pilot sent samples only on the
+    # -- tool's private channel) ------------------------------------------------
+    @staticmethod
+    def metric_sample(metric: str, focus: str) -> str:
+        """Latest sampled value of one (metric, focus) pair, published
+        by the tool daemon each sampling pass so any TDP participant
+        can read live performance data through the space.
+
+        Focus strings embed ``host:pid``; ``:`` is not legal in
+        attribute names, so it maps to ``+`` (legal, unused by foci).
+        """
+        return f"paradyn.sample.{metric}.{focus.replace(':', '+')}"
+
+    METRIC_SAMPLE_PATTERN = "paradyn.sample.*"
+
     # -- heartbeats / fault detection (extension; paper defers fault model) -----
     @staticmethod
     def heartbeat(entity: str) -> str:

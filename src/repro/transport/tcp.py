@@ -30,17 +30,36 @@ class _TcpChannel(Channel):
     blocked readers deterministically.
     """
 
-    def __init__(self, sock: socket.socket, local_host: str, remote_host: str):
+    def __init__(
+        self,
+        sock: socket.socket,
+        local_host: str,
+        remote_host: str,
+        *,
+        frame_reader: framing.FrameReader | None = None,
+        pending: tuple[Message, ...] = (),
+    ):
         self._sock = sock
         self._local = local_host
         self._remote = remote_host
         self._rx: WaitableQueue[Message] = WaitableQueue()
+        # Frames the accept-side preamble read pulled off the socket
+        # along with the hello (one recv can return several coalesced
+        # frames) — they must reach the receiver, in order, ahead of
+        # anything the reader thread decodes.
+        for message in pending:
+            self._rx.put(message)
+        self._frame_reader = (
+            frame_reader if frame_reader is not None else framing.FrameReader()
+        )
         self._send_lock = tracked_lock("transport.tcp._TcpChannel._send_lock")
         self._closed = False
         self._reader = spawn(self._read_loop, name=f"tcp-reader-{local_host}")
 
     def _read_loop(self) -> None:
-        reader = framing.FrameReader()
+        # Continue from the preamble's reader: its buffer may hold the
+        # partial tail of a frame whose head arrived with the hello.
+        reader = self._frame_reader
         try:
             while True:
                 data = self._sock.recv(65536)
@@ -127,10 +146,16 @@ class _TcpListener(Listener):
             raise GetTimeoutError(f"accept timed out after {timeout}s") from None
         except OSError:
             raise ChannelClosedError(f"listener {self._endpoint} closed") from None
-        # Preamble: the client announces its logical host name.
+        # Preamble: the client announces its logical host name.  The
+        # recv can return protocol frames coalesced behind the hello
+        # (the client sends its first request immediately after
+        # connecting); everything past the hello — decoded frames and
+        # the reader's partial-frame buffer — is handed to the channel,
+        # not dropped.
         conn.settimeout(5.0)
         reader = framing.FrameReader()
         peer_host = "?"
+        extra: tuple[Message, ...] = ()
         try:
             while True:
                 data = conn.recv(4096)
@@ -139,17 +164,28 @@ class _TcpListener(Listener):
                 msgs = reader.feed(data)
                 if msgs:
                     peer_host = str(msgs[0].get("hello", "?"))
+                    extra = tuple(msgs[1:])
                     break
         except OSError:
             pass
         conn.settimeout(None)
-        return _TcpChannel(conn, self._host, peer_host)
+        return _TcpChannel(
+            conn, self._host, peer_host, frame_reader=reader, pending=extra
+        )
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
         self._transport._unbind(self._endpoint)
+        # Shutdown before close: a thread blocked in accept() does not
+        # wake on close() alone (Linux), and once the fd number is
+        # recycled for a new listener the stale accept steals its
+        # connections.  shutdown() forces the blocked accept to return.
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         self._sock.close()
 
     @property

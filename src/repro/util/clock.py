@@ -5,15 +5,45 @@ The simulated cluster charges virtual CPU cost for each program operation
 bottleneck search) are deterministic.  Real-process backends and transport
 latency measurements use wall time.  Code that needs "a clock" takes a
 :class:`Clock` so either can be injected.
+
+Deferred callbacks go through the same abstraction: :meth:`Clock.call_later`
+arms a one-shot timer on the clock's own timebase.  On a
+:class:`WallClock` that is a real ``threading.Timer`` (this module is the
+one sanctioned site for it — see the ``raw-timer`` lint rule); on a
+:class:`VirtualClock` the timer fires when :meth:`~VirtualClock.advance`
+moves virtual time past the deadline, so a scenario-clock run cannot
+have wall-time timeouts firing under it.  Either way the callback runs
+on a dedicated timer thread with no locks held.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import threading
 import time
 from abc import ABC, abstractmethod
 
-from repro.util.sync import tracked_lock
+from repro.util.sync import tracked_condition
+
+
+class TimerHandle:
+    """Cancellation handle for one :meth:`Clock.call_later` registration.
+
+    ``cancel()`` is idempotent and returns True when it prevented the
+    callback from running (best-effort: a callback already started on
+    the timer thread cannot be recalled).
+    """
+
+    def __init__(self, cancel_fn) -> None:
+        self._cancel_fn = cancel_fn
+        self._cancelled = False
+
+    def cancel(self) -> bool:
+        if self._cancelled:
+            return False
+        self._cancelled = True
+        return bool(self._cancel_fn())
 
 
 class Clock(ABC):
@@ -27,12 +57,44 @@ class Clock(ABC):
         """Seconds elapsed since a previous ``now()`` reading."""
         return self.now() - t0
 
+    def call_later(self, delay: float, callback) -> TimerHandle:
+        """Run ``callback()`` once ``delay`` seconds of *this clock's*
+        time have passed; returns a :class:`TimerHandle`."""
+        raise NotImplementedError(f"{type(self).__name__} has no timer support")
+
 
 class WallClock(Clock):
     """Real monotonic wall-clock time."""
 
     def now(self) -> float:
         return time.monotonic()
+
+    def call_later(self, delay: float, callback) -> TimerHandle:
+        timer = threading.Timer(max(0.0, float(delay)), callback)
+        timer.daemon = True
+        timer.name = "wallclock-timer"
+        timer.start()
+
+        def cancel() -> bool:
+            timer.cancel()
+            return True
+
+        return TimerHandle(cancel)
+
+
+class _VTimer:
+    """One pending virtual-clock timer (heap entry)."""
+
+    __slots__ = ("deadline", "seq", "callback", "cancelled")
+
+    def __init__(self, deadline: float, seq: int, callback) -> None:
+        self.deadline = deadline
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "_VTimer") -> bool:
+        return (self.deadline, self.seq) < (other.deadline, other.seq)
 
 
 class VirtualClock(Clock):
@@ -41,30 +103,88 @@ class VirtualClock(Clock):
     Thread-safe: the scheduler thread advances it while daemon threads
     read it.  Time never goes backwards; ``advance`` with a negative
     delta raises ``ValueError``.
+
+    Timers armed with :meth:`call_later` fire when an ``advance`` /
+    ``advance_to`` moves ``now`` past their deadline.  Callbacks run on
+    a lazily spawned timer-service thread, never on the advancing
+    thread — the scheduler may advance while holding process locks, and
+    a timeout callback is free to take store/connection locks.
     """
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
-        self._lock = tracked_lock("util.clock.VirtualClock._lock")
+        # One condition guards now + the timer heap: readers/advancers
+        # take it as the old _lock, and the timer-service thread waits
+        # on it for due deadlines.
+        self._cond = tracked_condition("util.clock.VirtualClock._cond")
+        self._timers: list[_VTimer] = []
+        self._timer_seq = itertools.count()
+        self._service: threading.Thread | None = None
 
     def now(self) -> float:
-        with self._lock:
+        with self._cond:
             return self._now
 
     def advance(self, delta: float) -> float:
         """Advance virtual time by ``delta`` seconds; returns the new time."""
         if delta < 0:
             raise ValueError(f"cannot advance virtual clock by {delta!r}")
-        with self._lock:
+        with self._cond:
             self._now += delta
+            if self._timers:
+                self._cond.notify_all()
             return self._now
 
     def advance_to(self, t: float) -> float:
         """Advance to absolute time ``t`` if it is in the future."""
-        with self._lock:
+        with self._cond:
             if t > self._now:
                 self._now = t
+                if self._timers:
+                    self._cond.notify_all()
             return self._now
+
+    def call_later(self, delay: float, callback) -> TimerHandle:
+        entry: _VTimer
+        with self._cond:
+            entry = _VTimer(
+                self._now + max(0.0, float(delay)), next(self._timer_seq), callback
+            )
+            heapq.heappush(self._timers, entry)
+            if self._service is None:
+                from repro.util.threads import spawn
+
+                self._service = spawn(self._serve_timers, name="vclock-timers")
+            self._cond.notify_all()
+
+        def cancel() -> bool:
+            with self._cond:
+                entry.cancelled = True
+                return True
+
+        return TimerHandle(cancel)
+
+    def _serve_timers(self) -> None:
+        """Timer-service loop: pop due timers, run their callbacks.
+
+        Runs forever (daemon thread); parked on the condition whenever
+        nothing is due, so an idle clock costs nothing.
+        """
+        while True:
+            due: list[_VTimer] = []
+            with self._cond:
+                while True:
+                    while self._timers and self._timers[0].cancelled:
+                        heapq.heappop(self._timers)
+                    if self._timers and self._timers[0].deadline <= self._now:
+                        due.append(heapq.heappop(self._timers))
+                        continue
+                    if due:
+                        break
+                    self._cond.wait()
+            for entry in due:
+                if not entry.cancelled:
+                    entry.callback()
 
 
 class StopwatchResult:

@@ -319,6 +319,24 @@ class WaitableQueue(Generic[T]):
             self._items.append(item)
             self._cond.notify()
 
+    def offer(self, item: T, maxsize: int) -> bool:
+        """Bounded non-blocking put: enqueue unless ``maxsize`` items are
+        already queued.
+
+        Returns False when the queue is full — the caller applies its
+        overflow policy (the attribute-space server disconnects the slow
+        subscriber).  Raises ``ChannelClosedError`` on a closed queue,
+        like :meth:`put`.
+        """
+        with self._cond:
+            if self._closed:
+                raise ChannelClosedError("offer on closed queue")
+            if len(self._items) >= maxsize:
+                return False
+            self._items.append(item)
+            self._cond.notify()
+            return True
+
     def get(self, timeout: float | None = None) -> T:
         """Pop the oldest item, blocking until one arrives.
 

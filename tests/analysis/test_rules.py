@@ -345,6 +345,50 @@ class TestBareThread:
         assert lint_snippet(tmp_path, code, rule="bare-thread") == []
 
 
+class TestRawTimer:
+    def test_fires_on_threading_timer(self, tmp_path):
+        code = """
+            import threading
+            t = threading.Timer(1.0, callback)
+            t.start()
+            """
+        findings = lint_snippet(tmp_path, code, rule="raw-timer")
+        assert len(findings) == 1
+        assert "call_later" in findings[0].message
+
+    def test_fires_on_direct_import(self, tmp_path):
+        code = """
+            from threading import Timer
+            Timer(0.5, callback).start()
+            """
+        findings = lint_snippet(tmp_path, code, rule="raw-timer")
+        assert len(findings) == 1
+
+    def test_clock_module_exempt(self, tmp_path):
+        code = """
+            import threading
+            t = threading.Timer(1.0, callback)
+            """
+        findings = lint_snippet(
+            tmp_path, code, modname="repro.util.clock", rule="raw-timer"
+        )
+        assert findings == []
+
+    def test_other_timer_classes_not_flagged(self, tmp_path):
+        code = """
+            from repro.util.clock import TimerHandle
+            h = TimerHandle(lambda: True)
+            """
+        assert lint_snippet(tmp_path, code, rule="raw-timer") == []
+
+    def test_suppressed_by_directive(self, tmp_path):
+        code = """
+            import threading
+            t = threading.Timer(1.0, callback)  # tdp-lint: off(raw-timer)
+            """
+        assert lint_snippet(tmp_path, code, rule="raw-timer") == []
+
+
 class TestAdHocCounter:
     def test_fires_on_atomic_counter_dict(self, tmp_path):
         code = """

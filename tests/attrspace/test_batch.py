@@ -1,0 +1,412 @@
+"""Batched, pipelined attribute-space operations (OP_BATCH).
+
+Like test_client_server.py, the client-API classes here double as a
+chaos suite: under ``TDP_FAULTPLAN`` the clients become reconnecting
+leased sessions, so every batch is also exercised across severed
+channels — replayed batches must dedup through the session lease's
+reply cache.  The raw-wire classes pin down the frame format and the
+replay semantics deterministically.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import (
+    AttributeFormatError,
+    NoSuchAttributeError,
+    ProtocolError,
+)
+from repro.attrspace.client import AttributeSpaceClient, ReconnectPolicy
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.net.topology import flat_network
+from repro.transport.faultinject import from_env
+from repro.transport.inmem import InMemoryTransport
+from repro.transport.tcp import TcpTransport
+
+
+@pytest.fixture(params=["inmem", "tcp"])
+def transport(request):
+    if request.param == "inmem":
+        base = InMemoryTransport(flat_network(["node1", "submit"]))
+    else:
+        base = TcpTransport()
+    return from_env(base)
+
+
+@pytest.fixture
+def server(transport):
+    srv = AttributeSpaceServer(transport, "node1", role=ServerRole.LASS)
+    yield srv
+    srv.stop()
+
+
+def make_client(transport, server, *, context="default", member="test"):
+    if os.environ.get("TDP_FAULTPLAN"):
+        return AttributeSpaceClient.connect(
+            transport, "submit", server.endpoint,
+            context=context, member=member,
+            reconnect=ReconnectPolicy(base_delay=0.02, max_delay=0.2,
+                                      deadline=2.0, seed=7),
+            lease_ttl=30.0,
+        )
+    channel = transport.connect("submit", server.endpoint, timeout=5.0)
+    return AttributeSpaceClient(channel, context=context, member=member)
+
+
+class TestPutMany:
+    def test_roundtrip_versions(self, transport, server):
+        with make_client(transport, server) as client:
+            versions = client.put_many([("a", "1"), ("b", "2"), ("c", "3")])
+            assert versions == [1, 1, 1]
+            assert client.snapshot() == {"a": "1", "b": "2", "c": "3"}
+
+    def test_version_bump_within_one_batch(self, transport, server):
+        with make_client(transport, server) as client:
+            versions = client.put_many([("k", "old"), ("k", "new")])
+            assert versions == [1, 2]
+            assert client.try_get("k") == "new"
+
+    def test_empty_batch_is_free(self, transport, server):
+        with make_client(transport, server) as client:
+            assert client.put_many([]) == []
+            assert client.get_many([]) == []
+
+    def test_first_error_raised_later_ops_still_applied(self, transport, server):
+        with make_client(transport, server) as client:
+            with pytest.raises(AttributeFormatError):
+                client.put_many([("ok1", "v"), ("bad name", "v"), ("ok2", "v")])
+            # The batch is a pipeline, not a transaction: the failure at
+            # position 1 did not roll back 0 or skip 2.
+            assert client.try_get("ok1") == "v"
+            assert client.try_get("ok2") == "v"
+
+    def test_wakes_blocked_getter_with_whole_batch_visible(self, transport, server):
+        """The starter's launch-record pattern: paradynd blocked on
+        ``pid`` must find the companion attributes already stored when
+        it wakes, because the batch applied under one lock hold."""
+        putter = make_client(transport, server, member="starter")
+        getter = make_client(transport, server, member="paradynd")
+        try:
+            result = {}
+
+            def tool():
+                result["pid"] = getter.get("pid", timeout=10.0)
+                result["exe"] = getter.try_get("executable_name")
+
+            t = threading.Thread(target=tool)
+            t.start()
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while server.store.pending_waiter_count() == 0 \
+                    and time.monotonic() < deadline:
+                time.sleep(0.005)
+            putter.put_many([("pid", "4711"), ("executable_name", "a.out")])
+            t.join(timeout=10.0)
+            assert result == {"pid": "4711", "exe": "a.out"}
+        finally:
+            putter.close()
+            getter.close()
+
+    def test_single_batch_put_counts_in_stats(self, transport, server):
+        with make_client(transport, server) as client:
+            client.put_many([("x", "1"), ("y", "2")])
+            assert server.stats["puts"].value == 2
+
+
+class TestGetMany:
+    def test_positional_values(self, transport, server):
+        with make_client(transport, server) as client:
+            client.put_many([("a", "1"), ("b", "2")])
+            assert client.get_many(["b", "a"]) == ["2", "1"]
+
+    def test_missing_attribute_raises(self, transport, server):
+        with make_client(transport, server) as client:
+            client.put("a", "1")
+            with pytest.raises(NoSuchAttributeError):
+                client.get_many(["a", "ghost"])
+
+
+class TestBatchBuilder:
+    def test_mixed_ops_resolve_positionally(self, transport, server):
+        with make_client(transport, server) as client:
+            client.put("old", "x")
+            with client.batch() as b:
+                v = b.put("pid", "99")
+                g = b.try_get("old")
+                r = b.remove("old")
+            assert v.value == 1
+            assert g.value == "x"
+            assert r.value is True
+
+    def test_results_unreadable_before_exit(self, transport, server):
+        with make_client(transport, server) as client:
+            with client.batch() as b:
+                res = b.put("k", "v")
+                assert not res.ready
+                with pytest.raises(RuntimeError):
+                    _ = res.value
+            assert res.ready and res.ok
+
+    def test_partial_failure_raises_first_error(self, transport, server):
+        with make_client(transport, server) as client:
+            with pytest.raises(NoSuchAttributeError):
+                with client.batch() as b:
+                    ok = b.put("k", "v")
+                    bad = b.try_get("ghost")
+            assert ok.value == 1
+            assert isinstance(bad.error, NoSuchAttributeError)
+            with pytest.raises(NoSuchAttributeError):
+                _ = bad.value
+
+    def test_empty_block_sends_nothing(self, transport, server):
+        with make_client(transport, server) as client:
+            with client.batch():
+                pass
+            assert server.stats["puts"].value == 0
+
+    def test_exception_in_block_sends_nothing(self, transport, server):
+        with make_client(transport, server) as client:
+            with pytest.raises(RuntimeError):
+                with client.batch() as b:
+                    b.put("never", "sent")
+                    raise RuntimeError("abort")
+            with pytest.raises(NoSuchAttributeError):
+                client.try_get("never")
+
+
+class TestTimeoutValidation:
+    def test_negative_timeout_rejected_client_side(self, transport, server):
+        with make_client(transport, server) as client:
+            with pytest.raises(ProtocolError):
+                client.get("k", timeout=-1)
+
+    def test_bool_timeout_rejected_client_side(self, transport, server):
+        with make_client(transport, server) as client:
+            with pytest.raises(ProtocolError):
+                client.get("k", timeout=True)
+
+
+# ---------------------------------------------------------------------------
+# Raw-wire semantics (no client library, no chaos wrapper)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def world():
+    from repro.sim.cluster import SimCluster
+
+    with SimCluster.flat(["node1"]) as cluster:
+        server = AttributeSpaceServer(cluster.transport, "node1")
+        channel = cluster.transport.connect("node1", server.endpoint)
+        yield cluster, server, channel
+        channel.close()
+        server.stop()
+
+
+class TestBatchWire:
+    def test_positional_reply_list(self, world):
+        _cluster, _server, channel = world
+        reply = channel.request(
+            {
+                "op": "batch", "req": 1,
+                "ops": [
+                    {"op": "put", "attribute": "a", "value": "1"},
+                    {"op": "get", "attribute": "a"},
+                    {"op": "get", "attribute": "ghost"},
+                    {"op": "remove", "attribute": "a"},
+                ],
+            },
+            timeout=5.0,
+        )
+        assert reply["ok"] is True
+        replies = reply["replies"]
+        assert len(replies) == 4
+        assert replies[0] == {"ok": True, "version": 1}
+        assert replies[1] == {"ok": True, "value": "1"}
+        assert replies[2]["ok"] is False
+        assert replies[2]["error_type"] == "no_such_attribute"
+        assert replies[3] == {"ok": True, "existed": True}
+
+    def test_ops_must_be_a_list(self, world):
+        _cluster, _server, channel = world
+        reply = channel.request({"op": "batch", "req": 2, "ops": "nope"}, timeout=5.0)
+        assert reply["ok"] is False
+        assert reply["error_type"] == "protocol"
+
+    def test_non_dict_sub_op_fails_its_position_only(self, world):
+        _cluster, _server, channel = world
+        reply = channel.request(
+            {
+                "op": "batch", "req": 3,
+                "ops": [42, {"op": "put", "attribute": "k", "value": "v"}],
+            },
+            timeout=5.0,
+        )
+        assert reply["ok"] is True
+        assert reply["replies"][0]["ok"] is False
+        assert reply["replies"][1] == {"ok": True, "version": 1}
+
+    def test_blocking_get_rejected_per_op(self, world):
+        """A parked waiter inside a batch would stall the positional
+        reply, so ``block`` is rejected for that position only."""
+        _cluster, _server, channel = world
+        reply = channel.request(
+            {
+                "op": "batch", "req": 4,
+                "ops": [
+                    {"op": "get", "attribute": "missing", "block": True},
+                    {"op": "put", "attribute": "k", "value": "v"},
+                ],
+            },
+            timeout=5.0,
+        )
+        assert reply["ok"] is True
+        assert reply["replies"][0]["ok"] is False
+        assert reply["replies"][0]["error_type"] == "protocol"
+        assert reply["replies"][1]["ok"] is True
+
+    def test_unknown_sub_op_fails_its_position(self, world):
+        _cluster, _server, channel = world
+        reply = channel.request(
+            {"op": "batch", "req": 5,
+             "ops": [{"op": "frobnicate", "attribute": "k"}]},
+            timeout=5.0,
+        )
+        assert reply["ok"] is True
+        assert reply["replies"][0]["ok"] is False
+        assert reply["replies"][0]["error_type"] == "protocol"
+
+
+class TestBatchReplayDedup:
+    def test_replayed_batch_returns_cached_reply(self, world):
+        """A leased client replaying an OP_BATCH after reconnect must get
+        the cached reply verbatim, not a re-execution (versions would
+        bump and ephemeral side effects would double)."""
+        cluster, server, _channel = world
+        channel = cluster.transport.connect("node1", server.endpoint)
+        attach = channel.request(
+            {
+                "op": "attach", "req": 1, "context": "default",
+                "member": "replayer", "session": "sess-batch-1",
+                "lease_ttl": 30.0,
+            },
+            timeout=5.0,
+        )
+        assert attach["ok"] is True
+        frame = {
+            "op": "batch", "req": 2,
+            "ops": [{"op": "put", "attribute": "k", "value": "v"}],
+        }
+        first = channel.request(dict(frame), timeout=5.0)
+        assert first["replies"] == [{"ok": True, "version": 1}]
+        replayed = channel.request(dict(frame), timeout=5.0)
+        assert replayed == first
+        assert server.stats["replayed_replies"].value == 1
+        # The store was not touched again: a fresh put bumps to 2, not 3.
+        bump = channel.request(
+            {
+                "op": "batch", "req": 3,
+                "ops": [{"op": "put", "attribute": "k", "value": "v2"}],
+            },
+            timeout=5.0,
+        )
+        assert bump["replies"] == [{"ok": True, "version": 2}]
+        channel.close()
+
+
+class TestServerSideTimeoutValidation:
+    @pytest.mark.parametrize("timeout", [-1, -0.5, True, False, "soon", [1]])
+    def test_bad_timeouts_rejected(self, world, timeout):
+        _cluster, _server, channel = world
+        reply = channel.request(
+            {"op": "get", "req": 7, "attribute": "k",
+             "block": True, "timeout": timeout},
+            timeout=5.0,
+        )
+        assert reply["ok"] is False
+        assert reply["error_type"] == "protocol"
+        assert "timeout" in reply["error"]
+
+    def test_bool_timeout_arms_no_timer(self, world):
+        """``timeout=True`` must be rejected outright, not arm a 1s
+        timer via bool's int-ness."""
+        _cluster, server, channel = world
+        channel.request(
+            {"op": "get", "req": 8, "attribute": "k",
+             "block": True, "timeout": True},
+            timeout=5.0,
+        )
+        with server._conn_lock:
+            conns = list(server._connections.values())
+        assert all(not conn.timers for conn in conns)
+        assert server.store.pending_waiter_count() == 0
+
+
+class TestCrossConnectionUnsubscribe:
+    def test_foreign_sub_id_is_refused(self, world):
+        """Sub ids come from a global allocator: connection B guessing
+        connection A's id must not be able to cancel A's subscription."""
+        cluster, server, chan_a = world
+        sub_reply = chan_a.request(
+            {"op": "subscribe", "req": 1, "pattern": "watch*"}, timeout=5.0
+        )
+        sub_id = sub_reply["sub"]
+
+        chan_b = cluster.transport.connect("node1", server.endpoint)
+        hostile = chan_b.request(
+            {"op": "unsubscribe", "req": 1, "sub": sub_id}, timeout=5.0
+        )
+        assert hostile["ok"] is True
+        assert hostile["removed"] is False
+
+        # A's subscription still delivers.
+        chan_b.request(
+            {"op": "put", "req": 2, "attribute": "watch.me", "value": "v"},
+            timeout=5.0,
+        )
+        note = chan_a.recv(timeout=5.0)
+        assert note["op"] == "notify"
+        assert note["attribute"] == "watch.me"
+
+        # The owner can still remove it for real.
+        own = chan_a.request(
+            {"op": "unsubscribe", "req": 2, "sub": sub_id}, timeout=5.0
+        )
+        assert own["removed"] is True
+        chan_b.close()
+
+
+class TestBatchObservability:
+    def test_batch_parent_span_with_per_op_children(self, world):
+        was = obs.enabled()
+        obs.set_enabled(True)
+        obs.reset()
+        try:
+            cluster, server, _channel = world
+            channel = cluster.transport.connect("node1", server.endpoint)
+            channel.request(
+                {
+                    "op": "batch", "req": 1,
+                    "ops": [
+                        {"op": "put", "attribute": "a", "value": "1"},
+                        {"op": "get", "attribute": "ghost"},
+                    ],
+                },
+                timeout=5.0,
+            )
+            channel.close()
+            parents = obs.spans(name="server.batch")
+            assert len(parents) == 1
+            children = [
+                s for s in obs.spans(trace_id=parents[0].trace_id)
+                if s.parent_id == parents[0].span_id
+            ]
+            assert {s.name for s in children} == {"batch.put", "batch.get"}
+            failed = next(s for s in children if s.name == "batch.get")
+            assert failed.tags.get("error") == "NoSuchAttributeError"
+        finally:
+            obs.reset()
+            obs.set_enabled(was)

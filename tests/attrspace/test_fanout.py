@@ -1,0 +1,175 @@
+"""Decoupled notification fan-out: bounded outbound queues, writer
+threads, and the slow-subscriber policy.
+
+The invariant under test: the put path NEVER blocks on any subscriber's
+channel.  Delivery is an enqueue onto the subscriber connection's
+bounded outbound queue; a connection whose queue overflows is
+disconnected (with a stat), and a connection that died mid-publish is
+simply skipped.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.attrspace.client import AttributeSpaceClient
+from repro.attrspace.server import (
+    OUTBOUND_QUEUE_LIMIT,
+    AttributeSpaceServer,
+)
+from repro.sim.cluster import SimCluster
+
+
+@pytest.fixture
+def world():
+    with SimCluster.flat(["node1"]) as cluster:
+        server = AttributeSpaceServer(cluster.transport, "node1")
+        yield cluster, server
+        server.stop()
+
+
+def _subscriber_conn(server, sub_id):
+    with server._conn_lock:
+        for conn in server._connections.values():
+            if sub_id in conn.subscriptions:
+                return conn
+    raise AssertionError("no connection owns the subscription")
+
+
+class TestSlowSubscriberPolicy:
+    def test_wedged_subscriber_does_not_block_put(self, world):
+        """The regression the writer thread exists for: with a
+        subscriber whose channel accepts no writes, a put must still
+        return promptly (pre-refactor, delivery wrote to the channel
+        inline on the putter's thread and would wedge with it)."""
+        cluster, server = world
+        sub_chan = cluster.transport.connect("node1", server.endpoint)
+        sub_id = sub_chan.request(
+            {"op": "subscribe", "req": 1, "pattern": "k*"}, timeout=5.0
+        )["sub"]
+        conn = _subscriber_conn(server, sub_id)
+
+        release = threading.Event()
+        conn.channel.send = lambda message: release.wait()  # wedge the wire
+        try:
+            pub_chan = cluster.transport.connect("node1", server.endpoint)
+            publisher = AttributeSpaceClient(pub_chan, member="publisher")
+            done = threading.Event()
+            result = {}
+
+            def put():
+                result["version"] = publisher.put("k1", "v")
+                done.set()
+
+            threading.Thread(target=put, daemon=True).start()
+            assert done.wait(timeout=5.0), "put blocked behind a wedged subscriber"
+            assert result["version"] == 1
+            publisher.close()
+        finally:
+            release.set()
+        sub_chan.close()
+
+    def test_overflowing_subscriber_is_disconnected_with_stat(self, world):
+        cluster, server = world
+        sub_chan = cluster.transport.connect("node1", server.endpoint)
+        sub_id = sub_chan.request(
+            {"op": "subscribe", "req": 1, "pattern": "k*"}, timeout=5.0
+        )["sub"]
+        conn = _subscriber_conn(server, sub_id)
+
+        release = threading.Event()
+        conn.channel.send = lambda message: release.wait()  # wedge the wire
+        try:
+            pub_chan = cluster.transport.connect("node1", server.endpoint)
+            publisher = AttributeSpaceClient(pub_chan, member="publisher")
+            # One frame is parked in the wedged send; the queue holds the
+            # rest.  Overflow it and the server must cut the laggard off
+            # rather than ever stalling the put path.
+            for i in range(OUTBOUND_QUEUE_LIMIT + 10):
+                publisher.put("k", str(i))
+            assert server.stats["slow_subscriber_disconnects"].value == 1
+            # The put path stayed healthy throughout.
+            assert publisher.try_get("k") == str(OUTBOUND_QUEUE_LIMIT + 9)
+            publisher.close()
+        finally:
+            release.set()
+        sub_chan.close()
+        # The dead subscriber's subscription is reaped by its reader's
+        # cleanup, so later puts stop fanning out to it.
+        deadline = time.monotonic() + 5.0
+        while len(server.store.subscriptions) > 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert len(server.store.subscriptions) == 0
+
+
+class TestDeadSubscriber:
+    def test_publish_to_connection_died_mid_publish(self, world):
+        """The window where a connection's queue is already closed but
+        its subscription is not yet reaped: delivery must be skipped
+        silently, never raised into the putter."""
+        cluster, server = world
+        sub_chan = cluster.transport.connect("node1", server.endpoint)
+        sub_id = sub_chan.request(
+            {"op": "subscribe", "req": 1, "pattern": "k*"}, timeout=5.0
+        )["sub"]
+        conn = _subscriber_conn(server, sub_id)
+        # Simulate the connection dying without its cleanup having run:
+        # the subscription is still registered, the outbound queue is
+        # already closed.
+        conn.outbound.close()
+
+        pub_chan = cluster.transport.connect("node1", server.endpoint)
+        publisher = AttributeSpaceClient(pub_chan, member="publisher")
+        assert publisher.put("k1", "v") == 1  # must not raise or hang
+        assert publisher.try_get("k1") == "v"
+        publisher.close()
+        sub_chan.close()
+
+
+class TestTeardownDrain:
+    def test_queued_frames_survive_queue_close(self, world):
+        """Teardown is a graceful drain: frames enqueued before the
+        outbound queue closed are still transmitted by the writer."""
+        cluster, server = world
+        chan = cluster.transport.connect("node1", server.endpoint)
+        chan.request({"op": "ping", "req": 1}, timeout=5.0)  # conn exists
+        with server._conn_lock:
+            conn = next(iter(server._connections.values()))
+        for i in range(10):
+            conn.send({"op": "notify", "sub": 0, "seq": i})
+        conn.outbound.close()
+        got = [chan.recv(timeout=5.0) for _ in range(10)]
+        assert [frame["seq"] for frame in got] == list(range(10))
+        conn.writer.join(timeout=5.0)
+        assert not conn.writer.is_alive(), "writer thread leaked after drain"
+        chan.close()
+
+    def test_subscriber_close_with_inflight_notifications_no_deadlock(self, world):
+        """Closing a subscriber while a notification flood is in flight
+        must not deadlock server teardown or the put path."""
+        cluster, server = world
+        sub_chan = cluster.transport.connect("node1", server.endpoint)
+        subscriber = AttributeSpaceClient(sub_chan, member="sub")
+        subscriber.subscribe("k*", lambda n, a: None)
+
+        pub_chan = cluster.transport.connect("node1", server.endpoint)
+        publisher = AttributeSpaceClient(pub_chan, member="pub")
+        stop = threading.Event()
+
+        def flood():
+            i = 0
+            while not stop.is_set():
+                publisher.put("k", str(i))
+                i += 1
+
+        t = threading.Thread(target=flood, daemon=True)
+        t.start()
+        time.sleep(0.05)  # let notifications pile into the queue
+        subscriber.close(detach=False)
+        stop.set()
+        t.join(timeout=10.0)
+        assert not t.is_alive(), "put path deadlocked on subscriber teardown"
+        # Server is still fully responsive.
+        assert publisher.ping()["role"] == "lass"
+        publisher.close()

@@ -164,14 +164,17 @@ class TestParadorChromeExport:
             assert run.job.wait_terminal(timeout=60.0) is not None
             run.session.wait_state("exited", timeout=30.0)
 
-        # Some tdp_put of the pilot crossed to a server: pick one whose
-        # trace includes the server-side handling on another actor.
+        # Some tdp_put_many of the pilot (the starter's batched launch
+        # record, paradynd's sample batches) crossed to a server: pick
+        # one whose trace includes the server-side handling on another
+        # actor, with the per-sub-op child spans under the batch parent.
         linked = [
             tid
-            for tid in {s.trace_id for s in obs.spans(name="tdp_put")}
-            if {s.name for s in obs.spans(trace_id=tid)} >= {"tdp_put", "server.put"}
+            for tid in {s.trace_id for s in obs.spans(name="tdp_put_many")}
+            if {s.name for s in obs.spans(trace_id=tid)}
+            >= {"tdp_put_many", "server.batch", "batch.put"}
         ]
-        assert linked, "no tdp_put trace reached a server"
+        assert linked, "no tdp_put_many trace reached a server"
         tid = linked[0]
         assert len({s.actor for s in obs.spans(trace_id=tid)}) >= 2
 

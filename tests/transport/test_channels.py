@@ -157,6 +157,42 @@ class TestConnectFailures:
             transport.connect("alpha", ep, timeout=1.0)
 
 
+class TestTcpSpecifics:
+    def test_frames_coalesced_with_hello_not_dropped(self):
+        """One TCP segment can carry the hello preamble AND the
+        client's first requests (the client sends its attach right
+        after connecting).  The accept-side preamble read must hand
+        everything past the hello to the channel, not drop it."""
+        import socket as socketlib
+
+        from repro.transport import framing
+
+        transport = TcpTransport()
+        listener = transport.listen("beta")
+        real_port = transport._bound[listener.endpoint]
+        raw = socketlib.create_connection(("127.0.0.1", real_port), timeout=5.0)
+        try:
+            # Hello + two frames + the HEAD of a third, all in one send:
+            # the trailing partial frame exercises the reader-buffer
+            # handoff, not just the decoded-frame handoff.
+            third = framing.encode_frame({"op": "put", "seq": 3})
+            raw.sendall(
+                framing.encode_frame({"hello": "alpha"})
+                + framing.encode_frame({"op": "attach", "seq": 1})
+                + framing.encode_frame({"op": "put", "seq": 2})
+                + third[: len(third) // 2]
+            )
+            server = listener.accept(timeout=5.0)
+            raw.sendall(third[len(third) // 2:])
+            assert server.remote_host == "alpha"
+            got = [server.recv(timeout=5.0)["seq"] for _ in range(3)]
+            assert got == [1, 2, 3]
+            server.close()
+        finally:
+            raw.close()
+            listener.close()
+
+
 class TestInMemorySpecifics:
     def test_firewall_blocks_connect(self):
         net = Network()

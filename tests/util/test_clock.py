@@ -1,5 +1,8 @@
 """Unit tests for clock abstractions."""
 
+import threading
+import time
+
 import pytest
 
 from repro.util.clock import Stopwatch, VirtualClock, WallClock
@@ -52,3 +55,70 @@ def test_stopwatch_wall_default():
     with Stopwatch() as sw:
         pass
     assert sw.seconds >= 0.0
+
+
+class TestCallLater:
+    def test_wall_timer_fires(self):
+        fired = threading.Event()
+        WallClock().call_later(0.01, fired.set)
+        assert fired.wait(timeout=5.0)
+
+    def test_wall_timer_cancel(self):
+        fired = threading.Event()
+        handle = WallClock().call_later(5.0, fired.set)
+        assert handle.cancel() is True
+        assert handle.cancel() is False  # idempotent
+        assert not fired.wait(timeout=0.05)
+
+    def test_virtual_timer_fires_on_advance(self):
+        c = VirtualClock()
+        fired = threading.Event()
+        c.call_later(10.0, fired.set)
+        c.advance(5.0)
+        assert not fired.wait(timeout=0.05), "fired before its deadline"
+        c.advance(5.0)
+        assert fired.wait(timeout=5.0)
+
+    def test_virtual_timer_never_fires_without_advance(self):
+        c = VirtualClock()
+        fired = threading.Event()
+        c.call_later(0.001, fired.set)
+        # Wall time passing is irrelevant to a virtual deadline.
+        assert not fired.wait(timeout=0.1)
+
+    def test_virtual_timer_cancel(self):
+        c = VirtualClock()
+        fired = threading.Event()
+        handle = c.call_later(1.0, fired.set)
+        assert handle.cancel() is True
+        c.advance(2.0)
+        assert not fired.wait(timeout=0.05)
+
+    def test_virtual_timers_fire_in_deadline_order(self):
+        c = VirtualClock()
+        order: list[str] = []
+        done = threading.Event()
+        c.call_later(2.0, lambda: (order.append("late"), done.set()))
+        c.call_later(1.0, lambda: order.append("early"))
+        c.advance(3.0)
+        assert done.wait(timeout=5.0)
+        assert order == ["early", "late"]
+
+    def test_virtual_callback_runs_off_advancing_thread(self):
+        c = VirtualClock()
+        seen: list[threading.Thread] = []
+        done = threading.Event()
+        c.call_later(1.0, lambda: (seen.append(threading.current_thread()), done.set()))
+        c.advance(1.0)
+        assert done.wait(timeout=5.0)
+        assert seen[0] is not threading.current_thread()
+
+    def test_zero_delay_virtual_timer_needs_any_advance(self):
+        c = VirtualClock()
+        fired = threading.Event()
+        c.call_later(0.0, fired.set)
+        c.advance(0.0)
+        deadline = time.monotonic() + 5.0
+        while not fired.is_set() and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert fired.is_set()
