@@ -9,6 +9,8 @@ writing code:
   bottleneck workload;
 * ``info`` — version, registered executables, standard attributes;
 * ``lint`` — AST linter for TDP invariants (``lint --list-rules``);
+* ``protocol dump|check`` — regenerate / verify the committed wire
+  schema lock file (``protocol.lock.json``);
 * ``obs dump`` — print the flight recorder + metrics, export traces
   (``TDP_OBS=1`` enables recording; ``--run-pilot`` generates a run).
 """
@@ -107,6 +109,48 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(args.lint_args)
 
 
+def _default_lock_path():
+    """``protocol.lock.json`` at the repo root (two levels above ``repro``)."""
+    from pathlib import Path
+
+    from repro.analysis import wireschema
+
+    src_root = Path(__file__).resolve().parents[1]
+    return src_root.parent / wireschema.LOCK_FILENAME
+
+
+def cmd_protocol(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import wireschema
+
+    lock_path = Path(args.lock) if args.lock else _default_lock_path()
+    schema = wireschema.infer_from_tree()
+    current = wireschema.to_lock(schema)
+    if args.protocol_command == "dump":
+        lock_path.write_text(wireschema.render_lock(current), encoding="utf-8")
+        print(f"wrote {lock_path} ({len(schema.ops)} ops, "
+              f"{len(schema.sub_ops)} batch sub-ops)")
+        return 0
+    # check
+    if not lock_path.exists():
+        print(f"missing lock file: {lock_path} "
+              "(run `python -m repro protocol dump`)", file=sys.stderr)
+        return 1
+    committed = wireschema.load_lock(lock_path)
+    drift = wireschema.lock_drift(committed, current)
+    if drift:
+        print(f"wire schema drift against {lock_path}:", file=sys.stderr)
+        for line in drift:
+            print(f"  {line}", file=sys.stderr)
+        print("run `python -m repro protocol dump` and review the diff",
+              file=sys.stderr)
+        return 1
+    print(f"{lock_path} matches the source tree "
+          f"({len(schema.ops)} ops, {len(schema.sub_ops)} batch sub-ops)")
+    return 0
+
+
 def cmd_obs_dump(args: argparse.Namespace) -> int:
     from repro import obs
 
@@ -198,6 +242,18 @@ def main(argv: list[str] | None = None) -> int:
     dump.add_argument("--run-pilot", action="store_true",
                       help="run the monitored-job pilot first, obs enabled")
     dump.set_defaults(func=cmd_obs_dump)
+    proto = sub.add_parser(
+        "protocol", help="wire schema lock file: regenerate or verify"
+    )
+    proto_sub = proto.add_subparsers(dest="protocol_command", required=True)
+    for name, help_text in (
+        ("dump", "re-infer the wire schema and rewrite protocol.lock.json"),
+        ("check", "verify protocol.lock.json matches the source tree"),
+    ):
+        p = proto_sub.add_parser(name, help=help_text)
+        p.add_argument("--lock", metavar="PATH",
+                       help="lock file location (default: repo root)")
+        p.set_defaults(func=cmd_protocol)
     lint = sub.add_parser(
         "lint",
         help="run the TDP invariant linter (see `lint --help`)",

@@ -8,6 +8,13 @@ sim clock, not wall-clock.  The :mod:`repro.analysis` package encodes
 those invariants as lint rules so they fail the test suite instead of
 silently rotting.
 
+The wire contract gets the same treatment: :mod:`.wireschema` infers the
+full per-op frame schema from both sides of the protocol (client
+encoders, server handlers, batch sub-op application, notify delivery),
+the rules in :mod:`.rules.wire` check the two views for symmetry, and
+``python -m repro protocol dump|check`` pins the result as the committed
+``protocol.lock.json``.
+
 Usage::
 
     python -m repro lint src/repro            # text report, exit 1 on findings

@@ -11,6 +11,7 @@ from repro.analysis.rules import (
     protocol,
     simclock,
     threads,
+    wire,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "protocol",
     "simclock",
     "threads",
+    "wire",
 ]

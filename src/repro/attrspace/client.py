@@ -100,6 +100,10 @@ class _PendingSync:
     latch: Latch[dict]
     frame: dict[str, Any]
     replay: bool = True
+    #: for in-flight subscribes: the local ledger id, so the reconnect
+    #: handshake can answer the latch from the re-established ledger
+    #: (kept client-side — the server never sees local ids)
+    local_sub: int | None = None
 
 
 @dataclass
@@ -181,7 +185,7 @@ class AttributeSpaceClient:
         #: the "descriptor": non-empty means tdp_service_events has work
         self.events: WaitableQueue[_Event] = WaitableQueue()
         self._receiver = spawn(self._recv_loop, name=f"attr-client-{self.member}")
-        self._rpc(self._attach_frame(), replay=False)
+        self._adopt_attach_reply(self._rpc(self._attach_frame(), replay=False))
 
     @classmethod
     def connect(
@@ -228,8 +232,28 @@ class AttributeSpaceClient:
             frame["lease_ttl"] = self._lease_ttl
         return frame
 
+    def _adopt_attach_reply(self, reply: dict[str, Any]) -> None:
+        """Validate the attach confirmation and adopt server lease terms.
+
+        The server echoes the context it attached — a mismatch means the
+        frames crossed sessions and nothing after this point can be
+        trusted — and, for leased sessions, replies with the lease TTL
+        it actually granted (it may clamp the requested one), which the
+        client adopts as its own.
+        """
+        echoed = reply.get("context")
+        if echoed is not None and str(echoed) != self.context:
+            raise protocol.frame_error(
+                f"server attached context {echoed!r}, requested {self.context!r}",
+                frame=reply,
+                op=protocol.OP_ATTACH,
+            )
+        granted = reply.get("lease_ttl")
+        if granted is not None and self._lease_ttl is not None:
+            self._lease_ttl = float(granted)
+
     def _register_sync(
-        self, request: dict[str, Any], replay: bool
+        self, request: dict[str, Any], replay: bool, local_sub: int | None = None
     ) -> tuple[int, _PendingSync]:
         stamp_trace = obs.enabled()
         with self._lock:
@@ -243,7 +267,7 @@ class AttributeSpaceClient:
                 # Stamped at registration, not send, so reconnect replays
                 # carry the original context.
                 obs.inject(frame)
-            entry = _PendingSync(Latch(), frame, replay)
+            entry = _PendingSync(Latch(), frame, replay, local_sub)
             self._pending_sync[req] = entry
             return req, entry
 
@@ -272,10 +296,11 @@ class AttributeSpaceClient:
         timeout: float | None = 30.0,
         *,
         replay: bool = True,
+        local_sub: int | None = None,
     ) -> dict[str, Any]:
         """Send a request and block for its reply."""
         started = time.perf_counter() if obs.enabled() else 0.0
-        req, entry = self._register_sync(request, replay)
+        req, entry = self._register_sync(request, replay, local_sub)
         try:
             self._send_or_defer(entry.frame)
         except errors.TdpError:
@@ -291,7 +316,7 @@ class AttributeSpaceClient:
                 self._pending_sync.pop(req, None)
             raise
         if not reply.get("ok", False):
-            protocol.raise_error(reply)
+            protocol.raise_error(reply, op=request.get("op"))
         if started:
             obs.registry().histogram(
                 f"attrspace.client.rpc.{request.get('op', 'op')}"
@@ -397,7 +422,8 @@ class AttributeSpaceClient:
         attach = dict(self._attach_frame(), req=self._req_ids.next())
         reply = call(attach)
         if not reply.get("ok", False):
-            protocol.raise_error(reply)
+            protocol.raise_error(reply, op=protocol.OP_ATTACH)
+        self._adopt_attach_reply(reply)
         resumed = bool(reply.get("resumed", False))
 
         with self._lock:
@@ -412,7 +438,7 @@ class AttributeSpaceClient:
                 }
             )
             if not sub_reply.get("ok", False):
-                protocol.raise_error(sub_reply)
+                protocol.raise_error(sub_reply, op=protocol.OP_SUBSCRIBE)
             server_id = int(sub_reply["sub"])
             with self._lock:
                 if entry.server_id is not None:
@@ -444,7 +470,7 @@ class AttributeSpaceClient:
                 if op == protocol.OP_ATTACH:
                     reply = {"reply_to": req, "ok": True, "context": self.context}
                 elif op == protocol.OP_SUBSCRIBE:
-                    ledger_entry = self._subs.get(entry.frame.get("local_sub"))
+                    ledger_entry = self._subs.get(entry.local_sub)
                     if ledger_entry is None or ledger_entry.server_id is None:
                         continue
                     reply = {"reply_to": req, "ok": True, "sub": ledger_entry.server_id}
@@ -529,6 +555,10 @@ class AttributeSpaceClient:
             return
         reply_to = message.get("reply_to")
         if not isinstance(reply_to, int):
+            if obs.enabled():
+                obs.record(
+                    "client.unroutable", actor=self.member, frame=repr(message)[:512]
+                )
             _log.warning("dropping unroutable message: %r", message)
             return
         with self._lock:
@@ -631,7 +661,7 @@ class AttributeSpaceClient:
         versions: list[int] = []
         for sub_reply in replies:
             if not sub_reply.get("ok", False):
-                protocol.raise_error(sub_reply)
+                protocol.raise_error(sub_reply, op=protocol.OP_PUT)
             versions.append(int(sub_reply["version"]))
         return versions
 
@@ -652,7 +682,7 @@ class AttributeSpaceClient:
         values: list[str] = []
         for sub_reply in replies:
             if not sub_reply.get("ok", False):
-                protocol.raise_error(sub_reply)
+                protocol.raise_error(sub_reply, op=protocol.OP_GET)
             values.append(str(sub_reply["value"]))
         return values
 
@@ -685,8 +715,10 @@ class AttributeSpaceClient:
         replies = reply.get("replies")
         if not isinstance(replies, list) or len(replies) != len(ops):
             got = len(replies) if isinstance(replies, list) else replies
-            raise errors.ProtocolError(
-                f"batch reply mismatch: sent {len(ops)} ops, got {got!r} replies"
+            raise protocol.frame_error(
+                f"batch reply mismatch: sent {len(ops)} ops, got {got!r} replies",
+                frame=reply,
+                op=protocol.OP_BATCH,
             )
         return replies
 
@@ -805,11 +837,12 @@ class AttributeSpaceClient:
                     "op": protocol.OP_SUBSCRIBE,
                     "context": self.context,
                     "pattern": pattern,
-                    # Server ignores this; the reconnect handshake uses it
-                    # to answer an in-flight subscribe from the ledger.
-                    "local_sub": local_id,
                 },
                 replay=False,
+                # Not a wire field: the reconnect handshake uses the
+                # pending entry's local id to answer an in-flight
+                # subscribe from the re-established ledger.
+                local_sub=local_id,
             )
         except errors.TdpError:
             with self._lock:

@@ -6,13 +6,22 @@ may also push unsolicited ``{"op": "notify", ...}`` frames for
 subscriptions.  Errors travel as ``{"ok": false, "error_type": ...,
 "error": ...}`` and are re-raised client-side as the matching exception
 from :mod:`repro.errors`.
+
+This module is also the **sanctioned wire codec**: the only place that
+may call ``json.dumps``/``json.loads`` on protocol data (enforced by the
+``raw-wire-codec`` lint rule).  The transport framing layer delegates
+its body serialization here, so the roadmap's binary codec can later
+swap in behind :func:`encode_body`/:func:`decode_body` without touching
+any other module.  The inferred per-op field schema lives in the
+committed ``protocol.lock.json`` (see ``python -m repro protocol``).
 """
 
 from __future__ import annotations
 
+import json
 from typing import Any
 
-from repro import errors
+from repro import errors, obs
 
 # Request operations
 OP_ATTACH = "attach"        # join a context (tdp_init); optional fields
@@ -107,8 +116,14 @@ def ok_reply(req: int, **fields: Any) -> dict[str, Any]:
     return reply
 
 
-def raise_error(reply: dict[str, Any]) -> None:
-    """Re-raise the server-side error carried in an error reply."""
+def raise_error(reply: dict[str, Any], *, op: str | None = None) -> None:
+    """Re-raise the server-side error carried in an error reply.
+
+    ``op`` (when the caller knows which request this reply answers)
+    annotates decode-side :class:`~repro.errors.ProtocolError`s with the
+    op name and req id, so a drifted frame is attributable from the
+    message alone.
+    """
     error_type = str(reply.get("error_type", "protocol"))
     message = str(reply.get("error", "unknown server error"))
     klass = _ERROR_TYPES.get(error_type, errors.ProtocolError)
@@ -116,4 +131,104 @@ def raise_error(reply: dict[str, Any]) -> None:
         attribute = str(reply.get("attribute", message))
         context = reply.get("context")
         raise errors.NoSuchAttributeError(attribute, context)
+    if klass is errors.ProtocolError:
+        raise frame_error(message, frame=reply, op=op)
     raise klass(message)
+
+
+# -- sanctioned codec ---------------------------------------------------------
+
+
+def encode_body(message: dict[str, Any]) -> bytes:
+    """Serialize one frame body to bytes (no transport length prefix)."""
+    try:
+        return json.dumps(message, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as e:
+        raise errors.ProtocolError(f"unserializable message: {e}") from e
+
+
+def decode_body(data: bytes) -> dict[str, Any]:
+    """Deserialize a frame body; raises ProtocolError on malformed input."""
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as e:
+        raise frame_error(f"malformed frame body: {e}") from e
+    if not isinstance(obj, dict):
+        raise frame_error(
+            f"frame body must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def encode_payload(payload: dict[str, Any]) -> str:
+    """Serialize a control payload that rides an attribute *value*.
+
+    The RT-request channel (``repro.tdp.process``) tunnels structured
+    requests through string-valued attributes; those payloads go through
+    the sanctioned codec too so they follow the wire format when the
+    codec changes.
+    """
+    try:
+        return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    except (TypeError, ValueError) as e:
+        raise errors.ProtocolError(f"unserializable payload: {e}") from e
+
+
+def decode_payload(text: str) -> dict[str, Any]:
+    """Deserialize an attribute-value control payload."""
+    try:
+        obj = json.loads(text)
+    except ValueError as e:
+        raise errors.ProtocolError(f"malformed control payload: {e}") from e
+    if not isinstance(obj, dict):
+        raise errors.ProtocolError(
+            f"control payload must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+# -- decode/dispatch error context -------------------------------------------
+
+
+def _trim_frame(frame: Any) -> str:
+    text = repr(frame)
+    return text[:509] + "..." if len(text) > 512 else text
+
+
+def frame_error(
+    message: str,
+    *,
+    frame: dict[str, Any] | None = None,
+    op: str | None = None,
+    req: Any = None,
+) -> errors.ProtocolError:
+    """Build a :class:`~repro.errors.ProtocolError` with frame context.
+
+    The op name and req id (taken from ``frame`` when not given) are
+    appended to the message, and — when observability is on — the
+    offending frame is captured in the flight recorder, so a protocol
+    failure in a long-running daemon is diagnosable after the fact.
+    Allocation-free when observability is disabled beyond the message
+    itself.
+    """
+    if isinstance(frame, dict):
+        if op is None:
+            raw_op = frame.get("op")
+            op = raw_op if isinstance(raw_op, str) else None
+        if req is None:
+            req = frame.get("req", frame.get("reply_to"))
+    context = []
+    if op is not None:
+        context.append(f"op={op!r}")
+    if req is not None:
+        context.append(f"req={req}")
+    if context:
+        message = f"{message} ({', '.join(context)})"
+    if frame is not None and obs.enabled():
+        obs.record(
+            "protocol.frame_error",
+            actor="codec",
+            error=message,
+            frame=_trim_frame(frame),
+        )
+    return errors.ProtocolError(message)

@@ -31,7 +31,7 @@ import collections
 import enum
 import threading
 import time
-from typing import Any
+from typing import Any, Callable
 
 from repro import errors, obs
 from repro.attrspace import protocol
@@ -395,7 +395,7 @@ class AttributeSpaceServer:
             conn.send(
                 protocol.error_reply(
                     req if isinstance(req, int) else -1,
-                    errors.ProtocolError(f"malformed request: {request!r}"),
+                    protocol.frame_error("malformed request", frame=request),
                 )
             )
             return
@@ -411,15 +411,29 @@ class AttributeSpaceServer:
             # one tdp_put is followable client -> server -> deliveries.
             with obs.activate(obs.extract(request)):
                 with obs.span(f"server.{op}", actor=self.name, peer=conn.peer):
-                    try:
-                        handler(conn, req, request)
-                    except errors.TdpError as e:
-                        conn.send(protocol.error_reply(req, e))
+                    self._invoke(handler, conn, req, op, request)
             return
+        self._invoke(handler, conn, req, op, request)
+
+    def _invoke(
+        self,
+        handler: "Callable[[_Connection, int, dict[str, Any]], None]",
+        conn: _Connection,
+        req: int,
+        op: str,
+        request: dict[str, Any],
+    ) -> None:
         try:
             handler(conn, req, request)
         except errors.TdpError as e:
             conn.send(protocol.error_reply(req, e))
+        except Exception as e:  # noqa: BLE001 — a handler bug must not kill the serve thread
+            _log.exception("%s: handler _op_%s crashed", self.name, op)
+            conn.send(
+                protocol.error_reply(
+                    req, protocol.frame_error(f"internal error: {e}", frame=request)
+                )
+            )
 
     def _begin_leased(self, conn: _Connection, req: int) -> bool:
         """At-most-once gate for requests on a leased connection.
@@ -487,7 +501,8 @@ class AttributeSpaceServer:
         conn.contexts_joined.append(context)
         reply = protocol.ok_reply(req, context=context, resumed=resumed)
         if leased:
-            reply["session"] = session
+            # The granted TTL, which the client adopts (the request's
+            # session token needs no echo: the client owns it already).
             reply["lease_ttl"] = float(ttl)
         conn.send(reply)
         if leased:
@@ -578,7 +593,7 @@ class AttributeSpaceServer:
         member = str(request.get("member", conn.peer))
         # A clean exit takes the member's session-scoped values with it.
         self.store.purge_ephemeral(context, member)
-        destroyed = self.store.detach(context, member)
+        self.store.detach(context, member)
         lease = conn.lease
         if lease is None:
             session = request.get("session")
@@ -589,7 +604,7 @@ class AttributeSpaceServer:
             with self._lease_lock:
                 if self._leases.get(lease.token) is lease:
                     del self._leases[lease.token]
-        conn.send(protocol.ok_reply(req, destroyed=destroyed))
+        conn.send(protocol.ok_reply(req))
 
     def _op_put(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
         context = self._context_of(request)

@@ -245,7 +245,10 @@ class AttributeStore:
                 f"batch sub-op must be an object, got {type(sub).__name__}"
             )
         op = sub.get("op")
-        context = sub.get("context", default_context)
+        # Sub-ops inherit the batch frame's context: a per-sub-op
+        # override was never encodable client-side, so reading one here
+        # would just mask drift (frame-field-phantom).
+        context = default_context
         if not isinstance(context, str) or not context:
             raise ProtocolError(f"bad context field: {context!r}")
         attribute = str(sub.get("attribute", ""))

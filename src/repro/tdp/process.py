@@ -17,13 +17,13 @@ Two layers:
 
 from __future__ import annotations
 
-import json
 import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable
 
 from repro import errors, obs
+from repro.attrspace import protocol
 from repro.attrspace.client import AttributeSpaceClient
 from repro.attrspace.notify import Notification
 from repro.tdp.wellknown import Attr, CreateMode, ProcStatus
@@ -283,11 +283,11 @@ class ProcessControlService:
             return
         token = Attr.ctl_request_token(notification.attribute)
         try:
-            request = json.loads(notification.value)
+            request = protocol.decode_payload(notification.value)
             op = request["op"]
             pid = int(request["pid"])
             requester = str(request.get("requester", "?"))
-        except (ValueError, KeyError, TypeError) as e:
+        except (errors.ProtocolError, ValueError, KeyError, TypeError) as e:
             self._attrs.put(Attr.ctl_reply(token), f"error:malformed request ({e})")
             return
         if op not in self.TOOL_OPS:
@@ -326,7 +326,7 @@ def submit_tool_request(
     with obs.span("ctl.request", actor=attrs.member, op=op, pid=pid):
         attrs.put(
             Attr.ctl_request(token),
-            json.dumps({"op": op, "pid": pid, "requester": attrs.member}),
+            protocol.encode_payload({"op": op, "pid": pid, "requester": attrs.member}),
         )
         reply = attrs.get(Attr.ctl_reply(token), timeout=timeout)
     if reply == "ok":

@@ -11,15 +11,31 @@ The in-memory transport also round-trips every message through this
 codec.  That costs a little copying but guarantees that anything that
 works on the simulated network is actually serializable — a class of bug
 that otherwise only shows up when switching to real sockets.
+
+Body serialization is delegated to the sanctioned codec in
+``repro.attrspace.protocol`` (imported lazily — the attrspace package
+sits above the transports in the layering); this module owns only the
+length-prefix framing and size limits.
 """
 
 from __future__ import annotations
 
-import json
 import struct
 from typing import Any
 
 from repro.errors import ProtocolError
+
+_codec = None
+
+
+def _body_codec():
+    global _codec
+    if _codec is None:
+        from repro.attrspace import protocol
+
+        _codec = protocol
+    return _codec
+
 
 _LEN = struct.Struct(">I")
 
@@ -31,10 +47,7 @@ def encode_frame(message: dict[str, Any]) -> bytes:
     """Serialize one message to a length-prefixed frame."""
     if not isinstance(message, dict):
         raise ProtocolError(f"message must be a dict, got {type(message).__name__}")
-    try:
-        body = json.dumps(message, separators=(",", ":")).encode("utf-8")
-    except (TypeError, ValueError) as e:
-        raise ProtocolError(f"unserializable message: {e}") from e
+    body = _body_codec().encode_body(message)
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame too large: {len(body)} bytes")
     return _LEN.pack(len(body)) + body
@@ -42,13 +55,7 @@ def encode_frame(message: dict[str, Any]) -> bytes:
 
 def decode_body(body: bytes) -> dict[str, Any]:
     """Deserialize a frame body back into a message dict."""
-    try:
-        obj = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as e:
-        raise ProtocolError(f"malformed frame body: {e}") from e
-    if not isinstance(obj, dict):
-        raise ProtocolError(f"frame body must be a JSON object, got {type(obj).__name__}")
-    return obj
+    return _body_codec().decode_body(body)
 
 
 def roundtrip(message: dict[str, Any]) -> dict[str, Any]:

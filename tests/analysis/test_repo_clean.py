@@ -38,6 +38,10 @@ def test_whole_program_passes_are_clean():
         get_rule("lock-order-cycle"),
         get_rule("undeclared-lock-edge"),
         get_rule("protocol-exhaustiveness"),
+        get_rule("frame-field-unread"),
+        get_rule("frame-field-phantom"),
+        get_rule("frame-field-type-mismatch"),
+        get_rule("error-code-unmapped"),
     ]
     findings = lint_paths([SRC], rules=rules)
     report = "\n".join(f.format() for f in findings)
@@ -70,6 +74,29 @@ def test_lock_graph_is_not_vacuous():
     # asserted directly on the graph)
     undeclared = sorted(k for k in keys if not active().declared(k))
     assert not undeclared, f"undeclared lock keys: {undeclared}"
+
+
+def test_wire_inference_is_not_vacuous():
+    """Same guard for the wire-schema pass: pin minimum coverage so a
+    refactor that blinds the inference shows up as a failure here, not
+    as the symmetry rules passing trivially."""
+    from repro.analysis import wireschema
+
+    schema = wireschema.infer_from_tree()
+    assert len(schema.op_constants) == 12
+    assert len([op for op in schema.ops if op != "error"]) == 11
+    assert set(schema.sub_ops) == {"get", "put", "remove"}
+    assert schema.notify.reply_writes.fields, "notify writes collapsed"
+    assert schema.notify.reply_reads.fields, "notify reads collapsed"
+    assert len(schema.errors.decode_map) >= 7
+    assert schema.errors.raised, "raised-error inventory collapsed"
+    # every op must show construction evidence on the client side (ping's
+    # request is legitimately empty of fields, but it still has a site)
+    for op, entry in schema.ops.items():
+        if op == "error":
+            continue
+        assert entry.request_writes.sites > 0, \
+            f"op {op!r} has no client construction site"
 
 
 def test_lint_cli_exits_zero():

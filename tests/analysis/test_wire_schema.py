@@ -1,0 +1,285 @@
+"""Unit tests for the wire-schema inference pass itself.
+
+The rule-level behavior is covered by test_wire_rules.py; here the
+abstract interpretation is probed directly: builder resolution, the
+required-at-every-site rule, sub-op classification, escape detection,
+lock rendering, and the runtime frame validator.
+"""
+
+import textwrap
+
+from repro.analysis import wireschema
+from repro.analysis.core import ModuleSource
+
+PROTO = """
+    OP_ATTACH = "attach"
+    OP_PUT = "put"
+    OP_BATCH = "batch"
+    OP_NOTIFY = "notify"
+    """
+
+
+def parse(tmp_path, name, code, *, modname):
+    path = tmp_path / f"{name}.py"
+    path.write_text(textwrap.dedent(code), encoding="utf-8")
+    return ModuleSource.parse(path, modname=modname)
+
+
+def infer(tmp_path, client_code, server_code="class Server:\n    pass"):
+    modules = [
+        parse(tmp_path, "protocol", PROTO, modname="repro.attrspace.protocol"),
+        parse(tmp_path, "client", client_code, modname="repro.attrspace.client"),
+        parse(tmp_path, "server", server_code, modname="repro.attrspace.server"),
+    ]
+    schema = wireschema.infer(modules)
+    assert schema is not None
+    return schema
+
+
+def test_infer_is_none_without_trio(tmp_path):
+    modules = [
+        parse(tmp_path, "protocol", PROTO, modname="repro.attrspace.protocol"),
+    ]
+    assert wireschema.infer(modules) is None
+
+
+def test_op_constants_parsed(tmp_path):
+    schema = infer(tmp_path, "class Client:\n    pass")
+    assert schema.op_constants == {
+        "OP_ATTACH": "attach", "OP_PUT": "put",
+        "OP_BATCH": "batch", "OP_NOTIFY": "notify",
+    }
+
+
+def test_builder_frame_resolved_without_double_count(tmp_path):
+    schema = infer(tmp_path, """
+        from repro.attrspace import protocol
+
+        class Client:
+            def _attach_frame(self):
+                frame = {"op": protocol.OP_ATTACH, "context": self.context,
+                         "member": str(self.member)}
+                return frame
+
+            def _handshake(self):
+                attach = dict(self._attach_frame(), req=1)
+                self._send(attach)
+        """)
+    attach = schema.ops["attach"]
+    # one construction site (the builder); the call site reuses it
+    assert attach.request_writes.sites == 1
+    assert set(attach.request_writes.fields) == {"context", "member"}
+    assert attach.request_writes.fields["member"].required
+    assert attach.request_writes.fields["member"].types == {"str"}
+
+
+def test_conditional_augmentation_is_optional(tmp_path):
+    schema = infer(tmp_path, """
+        from repro.attrspace import protocol
+
+        class Client:
+            def put(self, ephemeral=False):
+                frame = {"op": protocol.OP_PUT, "attribute": "a"}
+                frame["value"] = str(self.value)
+                if ephemeral:
+                    frame["ephemeral"] = True
+                self._rpc(frame)
+        """)
+    writes = schema.ops["put"].request_writes.fields
+    assert writes["value"].required
+    assert not writes["ephemeral"].required
+    assert writes["ephemeral"].types == {"bool"}
+
+
+def test_field_missing_at_one_site_is_optional(tmp_path):
+    schema = infer(tmp_path, """
+        from repro.attrspace import protocol
+
+        class Client:
+            def put(self):
+                self._rpc({"op": protocol.OP_PUT, "attribute": "a",
+                           "value": "v"})
+
+            def touch(self):
+                self._rpc({"op": protocol.OP_PUT, "attribute": "a"})
+        """)
+    writes = schema.ops["put"].request_writes.fields
+    assert schema.ops["put"].request_writes.sites == 2
+    assert writes["attribute"].required
+    assert not writes["value"].required
+
+
+def test_subop_classification_by_list_sinks(tmp_path):
+    schema = infer(tmp_path, """
+        from repro.attrspace import protocol
+
+        class Client:
+            def put_many(self, items):
+                ops = [{"op": protocol.OP_PUT, "attribute": a, "value": v}
+                       for a, v in items]
+                self._rpc({"op": protocol.OP_BATCH, "ops": ops})
+
+            def _queue(self, op):
+                self._pending.append(op)
+
+            def remove_later(self, attribute):
+                self._queue({"op": protocol.OP_PUT, "attribute": attribute})
+        """)
+    # both comprehension elements and list-sunk helper args are sub-ops
+    assert "put" in schema.sub_ops
+    assert "put" not in schema.ops
+    assert set(schema.sub_ops["put"].request_writes.fields) == \
+        {"attribute", "value"}
+    # the batch envelope itself stays a top-level frame
+    assert "batch" in schema.ops
+
+
+def test_reply_reads_and_escape(tmp_path):
+    schema = infer(tmp_path, """
+        from repro.attrspace import protocol
+
+        class Client:
+            def put(self):
+                reply = self._rpc({"op": protocol.OP_PUT, "attribute": "a"})
+                return int(reply["version"])
+
+            def attach(self):
+                return self._rpc({"op": protocol.OP_ATTACH, "member": "m"})
+        """)
+    put_reads = schema.ops["put"].reply_reads
+    assert put_reads.fields["version"].required
+    assert "int" in put_reads.fields["version"].types
+    assert not put_reads.escapes
+    assert schema.ops["attach"].reply_reads.escapes
+
+
+def test_get_default_captured(tmp_path):
+    schema = infer(
+        tmp_path,
+        "class Client:\n    pass",
+        """
+        from repro.attrspace import protocol
+
+        class Server:
+            def _op_put(self, conn, req, request):
+                ephemeral = request.get("ephemeral", False)
+                conn.send(protocol.ok_reply(req, version=1))
+        """,
+    )
+    reads = schema.ops["put"].request_reads.fields
+    assert not reads["ephemeral"].required
+    assert reads["ephemeral"].default is False
+
+
+def test_server_helper_read_propagation(tmp_path):
+    schema = infer(
+        tmp_path,
+        "class Client:\n    pass",
+        """
+        from repro.attrspace import protocol
+
+        class Server:
+            def _context_of(self, request):
+                return str(request["context"])
+
+            def _op_put(self, conn, req, request):
+                context = self._context_of(request)
+                conn.send(protocol.ok_reply(req))
+        """,
+    )
+    reads = schema.ops["put"].request_reads.fields
+    assert reads["context"].required
+
+
+# -- lock rendering -----------------------------------------------------------
+
+
+def real_schema():
+    return wireschema.infer_from_tree()
+
+
+def test_lock_structure_and_plumbing_exclusion(tmp_path):
+    schema = infer(tmp_path, """
+        from repro.attrspace import protocol
+
+        class Client:
+            def put(self):
+                frame = {"op": protocol.OP_PUT, "req": 1, "attribute": "a"}
+                self._send(frame)
+        """)
+    lock = wireschema.to_lock(schema)
+    assert lock["schema_version"] == wireschema.LOCK_SCHEMA_VERSION
+    assert lock["codec_module"] == "repro.attrspace.protocol"
+    # plumbing fields (req) never appear in an op's field table
+    assert set(lock["ops"]["put"]["request"]) == {"attribute"}
+    assert lock["waivers"] == wireschema.WAIVERS
+
+
+def test_lock_roundtrips_through_render(tmp_path):
+    lock = wireschema.to_lock(real_schema())
+    import json
+
+    assert json.loads(wireschema.render_lock(lock)) == lock
+
+
+def test_lock_drift_reports_paths():
+    lock = wireschema.to_lock(real_schema())
+    import copy
+
+    drifted = copy.deepcopy(lock)
+    drifted["ops"]["put"]["request"]["attribute"]["required"] = False
+    del drifted["ops"]["get"]
+    drifted["ops"]["extra"] = {}
+    added = wireschema.lock_drift(lock, drifted)
+    assert any(d.startswith("changed: ops.put.request.attribute.required")
+               for d in added)
+    assert any(d.startswith("removed: ops.get") for d in added)
+    assert any(d.startswith("added: ops.extra") for d in added)
+    assert wireschema.lock_drift(lock, copy.deepcopy(lock)) == []
+
+
+# -- runtime frame validation -------------------------------------------------
+
+
+def test_validate_frame_accepts_conformant_request():
+    lock = wireschema.to_lock(real_schema())
+    frame = {"op": "put", "req": 3, "context": "c", "attribute": "a",
+             "value": "v"}
+    assert wireschema.validate_frame(lock, frame, "put.request") == []
+
+
+def test_validate_frame_flags_missing_and_unknown():
+    lock = wireschema.to_lock(real_schema())
+    problems = wireschema.validate_frame(
+        lock, {"op": "put", "context": "c", "bogus": 1}, "put.request"
+    )
+    assert any("missing required field 'attribute'" in p for p in problems)
+    assert any("unknown field 'bogus'" in p for p in problems)
+
+
+def test_validate_frame_flags_type_violation():
+    lock = wireschema.to_lock(real_schema())
+    problems = wireschema.validate_frame(
+        lock,
+        {"op": "put", "context": "c", "attribute": 7, "value": "v"},
+        "put.request",
+    )
+    assert any("'attribute' has type int" in p for p in problems)
+
+
+def test_validate_frame_int_float_compat():
+    lock = wireschema.to_lock(real_schema())
+    # lease_ttl is declared float; a whole-number int on the wire is fine
+    frame = {"op": "attach", "context": "c", "member": "m", "lease_ttl": 30}
+    assert wireschema.validate_frame(lock, frame, "attach.request") == []
+
+
+def test_validate_frame_subop_and_notify_kinds():
+    lock = wireschema.to_lock(real_schema())
+    sub = {"op": "put", "attribute": "a", "value": "v"}
+    assert wireschema.validate_frame(lock, sub, "batch:put.request") == []
+    assert wireschema.validate_frame(lock, sub, "batch:nope.request") \
+        == ["unknown sub-op schema 'batch:nope.request'"]
+    push = {"op": "notify", "sub": 1, "kind": "put", "attribute": "a",
+            "value": "v", "context": "c"}
+    assert wireschema.validate_frame(lock, push, "notify") == []

@@ -1,0 +1,288 @@
+"""Round-trip and schema-conformance tests for every wire frame kind.
+
+Two layers of defense:
+
+* a live client/server exchange with every frame captured at the codec
+  seam and validated against the committed ``protocol.lock.json`` — a
+  field that drifts off-schema (the ``local_sub``/``session`` class of
+  bug) fails here with the offending frame named;
+* direct codec round-trips asserting losslessness for representative
+  frames of each op, including optionals in both states and error
+  replies for every mapped exception class.
+"""
+
+import json
+
+import pytest
+
+from repro import errors
+from repro.analysis import wireschema
+from repro.attrspace import protocol
+from repro.attrspace.client import AttributeSpaceClient
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.net.topology import flat_network
+from repro.transport import framing
+from repro.transport.inmem import InMemoryTransport
+
+
+@pytest.fixture(scope="module")
+def lock():
+    return wireschema.to_lock(wireschema.infer_from_tree())
+
+
+# -- live capture at the codec seam -------------------------------------------
+
+
+class FrameLog:
+    """Every frame both sides encoded, in order, with its lock kind."""
+
+    def __init__(self):
+        self.frames: list[dict] = []
+        self.req_ops: dict[int, str] = {}
+        self.req_sub_kinds: dict[int, list[str]] = {}
+
+    def classified(self) -> list[tuple[str, dict]]:
+        out = []
+        for frame in self.frames:
+            if "reply_to" in frame:
+                if frame.get("ok") is True:
+                    op = self.req_ops[frame["reply_to"]]
+                    out.append((f"{op}.reply", frame))
+                    for kind, sub in zip(
+                        self.req_sub_kinds.get(frame["reply_to"], []),
+                        frame.get("replies", []),
+                    ):
+                        out.append((
+                            f"batch:{kind}.reply" if sub.get("ok") else "error",
+                            sub,
+                        ))
+                else:
+                    out.append(("error", frame))
+            elif frame.get("op") == protocol.OP_NOTIFY:
+                out.append(("notify", frame))
+            else:
+                op, req = frame["op"], frame["req"]
+                self.req_ops[req] = op
+                out.append((f"{op}.request", frame))
+                if op == protocol.OP_BATCH:
+                    self.req_sub_kinds[req] = [
+                        sub["op"] for sub in frame["ops"]
+                    ]
+                    out.extend(
+                        (f"batch:{sub['op']}.request", sub)
+                        for sub in frame["ops"]
+                    )
+        return out
+
+
+@pytest.fixture
+def capture(monkeypatch):
+    log = FrameLog()
+    original = protocol.encode_body
+
+    def recording_encode(message):
+        data = original(message)
+        log.frames.append(json.loads(data))
+        return data
+
+    monkeypatch.setattr(protocol, "encode_body", recording_encode)
+    return log
+
+
+@pytest.fixture
+def server():
+    transport = InMemoryTransport(flat_network(["node1", "submit"]))
+    srv = AttributeSpaceServer(transport, "node1", role=ServerRole.LASS)
+    yield transport, srv
+    srv.stop()
+
+
+def run_full_scenario(transport, srv):
+    """Exercise all eleven request ops plus the notify push."""
+    channel = transport.connect("submit", srv.endpoint, timeout=5.0)
+    client = AttributeSpaceClient(channel, context="conf", member="probe")
+    seen = []
+    sub_id = client.subscribe("pid*", lambda n, arg: seen.append(n), None)
+    client.put("pid", "4711")
+    client.put("pid.boot", "1", ephemeral=True)
+    assert client.get("pid", timeout=5.0) == "4711"
+    assert client.try_get("pid") == "4711"
+    with pytest.raises(errors.NoSuchAttributeError):
+        client.try_get("ghost")
+    client.put_many([("a", "1"), ("b", "2", True)])
+    assert client.get_many(["a", "b"]) == ["1", "2"]
+    with client.batch() as b:
+        b.put("c", "3")
+        removed = b.remove("a")
+    assert removed.value is True
+    assert "pid" in client.list_attributes()
+    assert client.snapshot()["b"] == "2"
+    assert client.remove("b") is True
+    assert client.ping()["role"] == "lass"
+    assert client.wait_event(timeout=5.0)
+    client.service_events()
+    assert seen and seen[0].attribute == "pid"
+    assert client.unsubscribe(sub_id) is True
+    client.close()  # sends detach
+    return seen
+
+
+def test_every_captured_frame_conforms_to_lock(lock, capture, server):
+    transport, srv = server
+    run_full_scenario(transport, srv)
+    classified = capture.classified()
+    failures = []
+    for kind, frame in classified:
+        problems = wireschema.validate_frame(lock, frame, kind)
+        if problems:
+            failures.append(f"{kind}: {frame!r}: {problems}")
+    assert not failures, "off-schema frames on the wire:\n" + "\n".join(failures)
+    # non-vacuity: the scenario exercised the whole op surface
+    kinds = {k for k, _ in classified}
+    all_requests = {
+        f"{value}.request"
+        for name, value in vars(protocol).items()
+        if name.startswith("OP_") and value != "notify"
+    }
+    assert all_requests <= kinds, f"missed: {all_requests - kinds}"
+    assert {"notify", "error", "batch:put.request", "batch:get.request",
+            "batch:remove.request", "batch:put.reply"} <= kinds
+
+
+def test_fixed_asymmetries_stay_off_the_wire(capture, server):
+    """Regression pins for the drift the schema pass surfaced: these
+    fields used to ride the wire and must never return."""
+    transport, srv = server
+    run_full_scenario(transport, srv)
+    for kind, frame in capture.classified():
+        if kind == "subscribe.request":
+            assert "local_sub" not in frame, "client ledger id leaked"
+        elif kind == "attach.reply":
+            assert "session" not in frame, "session echo returned"
+        elif kind == "detach.reply":
+            assert "destroyed" not in frame, "destroyed echo returned"
+        elif kind.startswith("batch:") and kind.endswith(".request"):
+            assert "context" not in frame, "per-sub-op context override"
+
+
+def test_captured_frames_survive_framing_roundtrip(capture, server):
+    transport, srv = server
+    run_full_scenario(transport, srv)
+    # snapshot: roundtrip() itself re-enters the recording codec
+    for frame in list(capture.frames):
+        assert framing.roundtrip(frame) == frame
+
+
+# -- direct codec round-trips -------------------------------------------------
+
+#: representative frames per lock kind, optionals present and absent
+SAMPLES = [
+    ("attach.request", {"op": "attach", "req": 0, "context": "c",
+                        "member": "m"}),
+    ("attach.request", {"op": "attach", "req": 0, "context": "c",
+                        "member": "m", "session": "tok", "lease_ttl": 12.5}),
+    ("attach.reply", {"reply_to": 0, "ok": True, "context": "c",
+                      "resumed": False}),
+    ("attach.reply", {"reply_to": 0, "ok": True, "context": "c",
+                      "resumed": True, "lease_ttl": 30.0}),
+    ("detach.request", {"op": "detach", "req": 1, "context": "c",
+                        "member": "m"}),
+    ("detach.reply", {"reply_to": 1, "ok": True}),
+    ("put.request", {"op": "put", "req": 2, "context": "c",
+                     "attribute": "pid", "value": "4711"}),
+    ("put.request", {"op": "put", "req": 2, "context": "c",
+                     "attribute": "pid", "value": "4711", "ephemeral": True}),
+    ("put.reply", {"reply_to": 2, "ok": True, "version": 3}),
+    ("get.request", {"op": "get", "req": 3, "context": "c",
+                     "attribute": "pid", "block": True, "timeout": 5.0}),
+    ("get.request", {"op": "get", "req": 3, "context": "c",
+                     "attribute": "pid", "block": False}),
+    ("get.request", {"op": "get", "req": 3, "context": "c",
+                     "attribute": "pid", "block": True, "timeout": None}),
+    ("get.reply", {"reply_to": 3, "ok": True, "value": "naïve π ≠ 3"}),
+    ("remove.request", {"op": "remove", "req": 4, "context": "c",
+                        "attribute": "pid"}),
+    ("remove.reply", {"reply_to": 4, "ok": True, "existed": False}),
+    ("list.request", {"op": "list", "req": 5, "context": "c"}),
+    ("list.reply", {"reply_to": 5, "ok": True, "attributes": ["a", "b"]}),
+    ("snapshot.request", {"op": "snapshot", "req": 6, "context": "c"}),
+    ("snapshot.reply", {"reply_to": 6, "ok": True, "data": {"a": "1"}}),
+    ("subscribe.request", {"op": "subscribe", "req": 7, "context": "c",
+                           "pattern": "pid*"}),
+    ("subscribe.reply", {"reply_to": 7, "ok": True, "sub": 9}),
+    ("unsubscribe.request", {"op": "unsubscribe", "req": 8, "sub": 9}),
+    ("unsubscribe.reply", {"reply_to": 8, "ok": True, "removed": True}),
+    ("ping.request", {"op": "ping", "req": 9}),
+    ("ping.reply", {"reply_to": 9, "ok": True, "name": "lass@node1",
+                    "role": "lass"}),
+    ("batch.request", {"op": "batch", "req": 10, "context": "c",
+                       "ops": [{"op": "put", "attribute": "a",
+                                "value": "1"}]}),
+    ("batch.reply", {"reply_to": 10, "ok": True,
+                     "replies": [{"ok": True, "version": 1}]}),
+    ("batch:put.request", {"op": "put", "attribute": "a", "value": "1"}),
+    ("batch:put.request", {"op": "put", "attribute": "a", "value": "1",
+                           "ephemeral": False}),
+    ("batch:put.reply", {"ok": True, "version": 2}),
+    ("batch:get.request", {"op": "get", "attribute": "a"}),
+    ("batch:get.reply", {"ok": True, "value": "1"}),
+    ("batch:remove.request", {"op": "remove", "attribute": "a"}),
+    ("batch:remove.reply", {"ok": True, "existed": True}),
+    ("notify", {"op": "notify", "sub": 9, "kind": "put", "context": "c",
+                "attribute": "pid", "value": "4711"}),
+    ("notify", {"op": "notify", "sub": 9, "kind": "remove", "context": "c",
+                "attribute": "pid", "value": None}),
+    ("error", {"reply_to": 11, "ok": False, "error_type": "context",
+               "error": "no such context"}),
+    ("error", {"reply_to": 11, "ok": False,
+               "error_type": "no_such_attribute", "error": "pid",
+               "attribute": "pid", "context": "c"}),
+]
+
+
+@pytest.mark.parametrize(
+    "kind,frame", SAMPLES, ids=[f"{k}-{i}" for i, (k, _) in enumerate(SAMPLES)]
+)
+def test_sample_frame_roundtrips_and_conforms(lock, kind, frame):
+    assert framing.roundtrip(frame) == frame
+    assert wireschema.validate_frame(lock, frame, kind) == []
+
+
+def test_error_reply_roundtrips_every_mapped_class():
+    """encode -> wire -> decode reconstructs each mapped exception."""
+    samples = {
+        errors.NoSuchAttributeError: errors.NoSuchAttributeError("pid", "c"),
+        errors.AttributeFormatError: errors.AttributeFormatError("bad name"),
+        errors.ContextError: errors.ContextError("no such context"),
+        errors.GetTimeoutError: errors.GetTimeoutError("timed out"),
+        errors.ProtocolError: errors.ProtocolError("drift"),
+        errors.ReconnectFailedError: errors.ReconnectFailedError("gone"),
+        errors.SpaceClosedError: errors.SpaceClosedError("closed"),
+    }
+    assert set(samples) == set(protocol._TYPE_NAMES)
+    for klass, exc in samples.items():
+        reply = framing.roundtrip(protocol.error_reply(42, exc))
+        with pytest.raises(klass) as raised:
+            protocol.raise_error(reply)
+        assert type(raised.value) is klass
+        assert str(exc).split(" (")[0] in str(raised.value)
+    # NoSuchAttributeError keeps its structured fields across the wire
+    reply = framing.roundtrip(
+        protocol.error_reply(1, errors.NoSuchAttributeError("pid", "ctx"))
+    )
+    with pytest.raises(errors.NoSuchAttributeError) as raised:
+        protocol.raise_error(reply)
+    assert raised.value.attribute == "pid"
+    assert raised.value.context == "ctx"
+
+
+def test_unserializable_frame_is_a_protocol_error():
+    with pytest.raises(errors.ProtocolError, match="unserializable"):
+        framing.encode_frame({"op": "put", "value": object()})
+
+
+def test_malformed_body_is_a_protocol_error():
+    with pytest.raises(errors.ProtocolError, match="malformed frame body"):
+        framing.decode_body(b"not json")
+    with pytest.raises(errors.ProtocolError, match="JSON object"):
+        framing.decode_body(b"[1, 2]")

@@ -29,6 +29,28 @@ class TestCli:
         out = capsys.readouterr().out
         assert "bottleneck(s): compute_b" in out
 
+    def test_protocol_check(self, capsys):
+        assert main(["protocol", "check"]) == 0
+        out = capsys.readouterr().out
+        assert "matches the source tree" in out
+        assert "12 ops" in out
+
+    def test_protocol_dump_to_path(self, tmp_path, capsys):
+        target = tmp_path / "lock.json"
+        assert main(["protocol", "dump", "--lock", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["protocol", "check", "--lock", str(target)]) == 0
+        capsys.readouterr()
+
+    def test_protocol_check_missing_lock(self, tmp_path, capsys):
+        assert main(["protocol", "check",
+                     "--lock", str(tmp_path / "nope.json")]) == 1
+        assert "missing lock file" in capsys.readouterr().err
+
+    def test_protocol_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["protocol"])
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

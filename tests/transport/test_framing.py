@@ -48,6 +48,45 @@ class TestEncodeDecode:
         assert framing.roundtrip(msg) == msg
 
 
+class TestCodecDelegation:
+    """Framing owns only the length prefix; the body bytes come from the
+    sanctioned codec in ``repro.attrspace.protocol`` (the seam a binary
+    codec would swap in behind)."""
+
+    def test_encode_routes_through_protocol_codec(self, monkeypatch):
+        from repro.attrspace import protocol
+
+        calls = []
+        original = protocol.encode_body
+
+        def spying_encode(message):
+            calls.append(message)
+            return original(message)
+
+        monkeypatch.setattr(protocol, "encode_body", spying_encode)
+        frame = framing.encode_frame({"op": "ping", "req": 1})
+        assert calls == [{"op": "ping", "req": 1}]
+        assert frame[4:] == original({"op": "ping", "req": 1})
+
+    def test_decode_routes_through_protocol_codec(self, monkeypatch):
+        from repro.attrspace import protocol
+
+        seen = []
+        original = protocol.decode_body
+
+        def spying_decode(body):
+            seen.append(bytes(body))
+            return original(body)
+
+        monkeypatch.setattr(protocol, "decode_body", spying_decode)
+        body = framing.encode_frame({"n": 7})[4:]
+        assert framing.decode_body(body) == {"n": 7}
+        assert seen == [body]
+
+    def test_codec_module_is_cached(self):
+        assert framing._body_codec() is framing._body_codec()
+
+
 class TestFrameReader:
     def test_single_frame(self):
         reader = framing.FrameReader()
