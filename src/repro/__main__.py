@@ -11,6 +11,8 @@ writing code:
 * ``lint`` — AST linter for TDP invariants (``lint --list-rules``);
 * ``protocol dump|check`` — regenerate / verify the committed wire
   schema lock file (``protocol.lock.json``);
+* ``guards dump|check`` — regenerate / verify the committed guarded-by
+  manifest (``guards.lock.json``);
 * ``obs dump`` — print the flight recorder + metrics, export traces
   (``TDP_OBS=1`` enables recording; ``--run-pilot`` generates a run).
 """
@@ -151,6 +153,51 @@ def cmd_protocol(args: argparse.Namespace) -> int:
     return 0
 
 
+def _guards_lock_path():
+    """``guards.lock.json`` at the repo root (two levels above ``repro``)."""
+    from pathlib import Path
+
+    from repro.analysis import guards
+
+    src_root = Path(__file__).resolve().parents[1]
+    return src_root.parent / guards.LOCK_FILENAME
+
+
+def cmd_guards(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import guards
+
+    lock_path = Path(args.lock) if args.lock else _guards_lock_path()
+    report = guards.infer_from_tree()
+    current = guards.to_lock(report)
+    witnessed = sum(1 for f in current["fields"].values() if f["witness"])
+    summary = (
+        f"{len(current['fields'])} guarded fields, {witnessed} witnessed, "
+        f"{len(current['waivers'])} waivers"
+    )
+    if args.guards_command == "dump":
+        lock_path.write_text(guards.render_lock(current), encoding="utf-8")
+        print(f"wrote {lock_path} ({summary})")
+        return 0
+    # check
+    if not lock_path.exists():
+        print(f"missing lock file: {lock_path} "
+              "(run `python -m repro guards dump`)", file=sys.stderr)
+        return 1
+    committed = guards.load_lock(lock_path)
+    drift = guards.lock_drift(committed, current)
+    if drift:
+        print(f"guard manifest drift against {lock_path}:", file=sys.stderr)
+        for line in drift:
+            print(f"  {line}", file=sys.stderr)
+        print("run `python -m repro guards dump` and review the diff",
+              file=sys.stderr)
+        return 1
+    print(f"{lock_path} matches the source tree ({summary})")
+    return 0
+
+
 def cmd_obs_dump(args: argparse.Namespace) -> int:
     from repro import obs
 
@@ -254,6 +301,18 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--lock", metavar="PATH",
                        help="lock file location (default: repo root)")
         p.set_defaults(func=cmd_protocol)
+    guards_parser = sub.add_parser(
+        "guards", help="guarded-by manifest: regenerate or verify"
+    )
+    guards_sub = guards_parser.add_subparsers(dest="guards_command", required=True)
+    for name, help_text in (
+        ("dump", "re-infer field guards and rewrite guards.lock.json"),
+        ("check", "verify guards.lock.json matches the source tree"),
+    ):
+        p = guards_sub.add_parser(name, help=help_text)
+        p.add_argument("--lock", metavar="PATH",
+                       help="lock file location (default: repo root)")
+        p.set_defaults(func=cmd_guards)
     lint = sub.add_parser(
         "lint",
         help="run the TDP invariant linter (see `lint --help`)",

@@ -6,6 +6,7 @@ Exit status: 0 when clean, 1 when findings exist, 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
@@ -37,6 +38,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the registered rules and exit",
     )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="scope file-level rules to files git reports as changed "
+        "(diff against HEAD, plus untracked); whole-program rules still "
+        "analyze every file under the given paths",
+    )
     return parser
 
 
@@ -48,6 +55,37 @@ def _print_rules() -> int:
     for rule in all_rules():
         print(f"{rule.name:26s} {rule.description}")
     return 0
+
+
+def _git_changed_files() -> set[str] | None:
+    """Resolved paths of .py files git reports as changed, or None when
+    not inside a git work tree.
+
+    Changed = different from HEAD (staged or not) plus untracked: the
+    union a reviewer would call "what this checkout touches".
+    """
+
+    def run(*argv: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            ["git", *argv], capture_output=True, text=True
+        )
+
+    top = run("rev-parse", "--show-toplevel")
+    if top.returncode != 0:
+        return None
+    root = Path(top.stdout.strip())
+    listed = run("diff", "--name-only", "HEAD", "--", "*.py")
+    untracked = run(
+        "ls-files", "--others", "--exclude-standard", "--", "*.py"
+    )
+    out: set[str] = set()
+    for proc in (listed, untracked):
+        if proc.returncode != 0:
+            continue
+        for rel in proc.stdout.splitlines():
+            if rel.strip():
+                out.add(str((root / rel.strip()).resolve()))
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -71,7 +109,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: no such file or directory: {p}", file=sys.stderr)
         return 2
 
-    findings = lint_paths(args.paths, rules=rules)
+    scope = None
+    if args.changed:
+        scope = _git_changed_files()
+        if scope is None:
+            print("error: --changed requires a git work tree", file=sys.stderr)
+            return 2
+
+    findings = lint_paths(args.paths, rules=rules, scope=scope)
     if args.format == "json":
         print(render_json(findings))
     else:

@@ -78,14 +78,25 @@ def lint_source(
 def lint_modules(
     modules: Sequence[ModuleSource],
     rules: Sequence[Rule | ProgramRule] | None = None,
+    *,
+    scope: set[str] | None = None,
 ) -> list[Finding]:
     """Run the full battery — per-module then whole-program — over a
-    parsed module set, honoring suppressions in every file."""
+    parsed module set, honoring suppressions in every file.
+
+    ``scope`` (resolved path strings) restricts the *per-module* rules
+    to the named files — the ``lint --changed`` mode.  Whole-program
+    rules always see the full module set: a lock graph or guard
+    inference built from a file subset would be wrong, not just
+    incomplete.
+    """
     per_module, program = _split_rules(rules)
     findings: list[Finding] = []
     indexes: dict[str, SuppressionIndex] = {}
     for module in modules:
         indexes[module.path] = SuppressionIndex.parse(module.text)
+        if scope is not None and str(Path(module.path).resolve()) not in scope:
+            continue
         for rule in per_module:
             for finding in rule.check(module):
                 if not indexes[module.path].is_suppressed(finding.rule, finding.line):
@@ -103,13 +114,15 @@ def lint_paths(
     paths: Iterable[str | Path],
     *,
     rules: Sequence[Rule | ProgramRule] | None = None,
+    scope: set[str] | None = None,
 ) -> list[Finding]:
     """Lint every .py file reachable from ``paths``; returns all findings.
 
     Unparseable files surface as a synthetic ``parse-error`` finding
     rather than an exception — a syntax error must fail the lint gate,
     not crash it.  Parsed modules additionally feed the whole-program
-    passes (lock-order graph, protocol exhaustiveness).
+    passes (lock-order graph, protocol exhaustiveness).  ``scope``
+    restricts per-module rules as in :func:`lint_modules`.
     """
     findings: list[Finding] = []
     modules: list[ModuleSource] = []
@@ -126,5 +139,5 @@ def lint_paths(
                     message=f"could not parse: {e}",
                 )
             )
-    findings.extend(lint_modules(modules, rules))
+    findings.extend(lint_modules(modules, rules, scope=scope))
     return sorted(findings)

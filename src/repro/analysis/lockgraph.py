@@ -26,12 +26,26 @@ an unresolvable lock expression or callee is skipped, and nested
 ``def``/``lambda`` bodies are analyzed as their own functions, not as
 code of the enclosing ``with`` block (they run later).  Re-entrant
 re-acquisition of an ``RLock`` key is not an edge.
+
+Beyond the lock graph, the same walk records the raw material of the
+guarded-by inference in :mod:`repro.analysis.guards`:
+
+* every **field access** whose receiver type resolves (``self.attr``,
+  ``cls.attr``, typed collaborators and locals), with the lockset held
+  locally at the access and read/write direction;
+* every **thread entry point** — the resolved target of a
+  ``spawn(target, ...)`` call (:func:`repro.util.threads.spawn`) or a
+  ``clock.call_later(delay, callback)`` registration (timer callbacks
+  run on a dedicated timer thread);
+* every resolved **call site** (held lockset may be empty), so a must-
+  hold entry-lockset fixpoint can be computed over the call graph.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.analysis.core import ModuleSource, dotted_name
 from repro.analysis.lockorder import LOCK, RLOCK
@@ -87,6 +101,16 @@ class ClassInfo:
     attr_type_names: dict[str, tuple[str, bool]] = field(default_factory=dict)
     attr_classes: dict[str, tuple["ClassInfo", bool]] = field(default_factory=dict)
     methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: attr -> first ``self.attr = ...`` assignment line inside __init__
+    #: (the instance fields the guarded-by inference considers)
+    init_fields: dict[str, int] = field(default_factory=dict)
+    #: lock attrs created via the ``tracked_*`` factories — the subset
+    #: the runtime witness can actually observe in ``held_lock_keys()``
+    tracked_locks: set[str] = field(default_factory=set)
+    #: class declares ``__slots__`` — no instance ``__dict__``, so the
+    #: runtime field witness (which stores values and the armed flag
+    #: there) cannot wrap its fields
+    has_slots: bool = False
 
     def mro(self) -> list["ClassInfo"]:
         out, seen, stack = [], set(), [self]
@@ -121,6 +145,13 @@ class ClassInfo:
                 return hit
         return None
 
+    def field_owner(self, attr: str) -> "ClassInfo | None":
+        """The MRO class whose ``__init__`` assigns ``attr``, if any."""
+        for ci in self.mro():
+            if attr in ci.init_fields:
+                return ci
+        return None
+
 
 @dataclass
 class ModuleInfo:
@@ -151,6 +182,25 @@ class Edge:
         return f"acquires {self.acquired} while holding {self.held}{how}"
 
 
+@dataclass(frozen=True)
+class FieldAccess:
+    """One resolved instance-field access inside one function body.
+
+    ``owner`` is the qualname of the MRO class whose ``__init__`` assigns
+    the field (the canonical field identity the guard inference keys on);
+    ``held`` is the lockset held *locally* at the access — callers'
+    locks are added later by the entry-lockset fixpoint in guards.py.
+    """
+
+    owner: str
+    attr: str
+    path: str
+    line: int
+    write: bool
+    held: tuple[str, ...]
+    func: str
+
+
 @dataclass
 class FunctionInfo:
     qualname: str
@@ -160,8 +210,15 @@ class FunctionInfo:
     acquires: dict[str, tuple[str, int]] = field(default_factory=dict)
     calls: set[str] = field(default_factory=set)
     direct_edges: list[Edge] = field(default_factory=list)
-    #: (held keys at the call, callee qualname, line)
+    #: (held keys at the call, callee qualname, line) — every resolved
+    #: call site, held possibly empty (guards' entry-lockset fixpoint
+    #: needs the lock-free sites too; edge emission skips them)
     calls_under: list[tuple[tuple[str, ...], str, int]] = field(default_factory=list)
+    #: resolved instance-field accesses (guarded-by inference input)
+    accesses: list[FieldAccess] = field(default_factory=list)
+    #: thread entry points this body registers: resolved ``spawn()``
+    #: targets and ``call_later()`` callbacks
+    spawns: set[str] = field(default_factory=set)
 
 
 @dataclass
@@ -301,6 +358,14 @@ def _lock_factory_kind(call: ast.AST) -> str | None:
     return None
 
 
+def _is_tracked_factory(call: ast.AST) -> bool:
+    """Was the lock created via a sanitizer-aware ``tracked_*`` factory?"""
+    if not isinstance(call, ast.Call):
+        return False
+    raw = dotted_name(call.func) or ""
+    return raw.split(".")[-1].startswith("tracked_")
+
+
 def _alias_target(call: ast.Call) -> str | None:
     """The ``self.X`` a Condition factory wraps, if any.
 
@@ -332,9 +397,14 @@ def _index_class(ci: ClassInfo) -> None:
             ci.methods[stmt.name] = stmt
         elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
                 and isinstance(stmt.targets[0], ast.Name):
+            if stmt.targets[0].id == "__slots__":
+                ci.has_slots = True
+                continue
             kind = _lock_factory_kind(stmt.value)
             if kind is not None:
                 ci.lock_attrs[stmt.targets[0].id] = kind
+                if _is_tracked_factory(stmt.value):
+                    ci.tracked_locks.add(stmt.targets[0].id)
         elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
             raw = dotted_name(stmt.annotation) or ""
             leaf = raw.split(".")[-1]
@@ -380,6 +450,8 @@ def _index_class(ci: ClassInfo) -> None:
                     ci.aliases[attr] = alias
                 else:
                     ci.lock_attrs.setdefault(attr, kind)
+                    if _is_tracked_factory(value):
+                        ci.tracked_locks.add(attr)
                 continue
             if isinstance(value, ast.Call):
                 raw = dotted_name(value.func)
@@ -388,12 +460,23 @@ def _index_class(ci: ClassInfo) -> None:
             elif isinstance(value, ast.Name) and value.id in param_anns:
                 # collaborator injection: self._store = store
                 ci.attr_type_names.setdefault(attr, param_anns[value.id])
+    # Instance fields established by the constructor (guard inference
+    # scope): any self.X store target inside __init__.
+    init = ci.methods.get("__init__")
+    if init is not None:
+        for node in ast.walk(init):
+            if not isinstance(node, ast.Attribute) \
+                    or not isinstance(node.ctx, ast.Store):
+                continue
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                ci.init_fields.setdefault(node.attr, node.lineno)
 
 
 class Program:
     """The indexed module set: name resolution + function summaries."""
 
     def __init__(self, modules: list[ModuleSource]):
+        self._graph: LockGraph | None = None
         self.modinfos: list[ModuleInfo] = []
         self.classes_by_qual: dict[str, ClassInfo] = {}
         self.classes_by_name: dict[str, list[ClassInfo]] = {}
@@ -409,6 +492,13 @@ class Program:
                 hit = ci.find_lock(attr)
                 if hit:
                     self.lock_attr_owners.setdefault(attr, set()).add(hit)
+        #: lock keys created via ``tracked_*`` factories — the runtime
+        #: witness can only check guards drawn from this set
+        self.tracked_lock_keys: set[str] = {
+            f"{ci.qualname}.{attr}"
+            for ci in self.classes_by_qual.values()
+            for attr in ci.tracked_locks
+        }
         #: method name -> defining classes (bare-call fallback)
         self.method_owners: dict[str, list[ClassInfo]] = {}
         for ci in self.classes_by_qual.values():
@@ -516,7 +606,31 @@ class Program:
 
     # -- graph construction ----------------------------------------------------
 
+    def thread_roots(self) -> set[str]:
+        """Every resolved thread entry point registered in the program:
+        ``spawn()`` targets and ``call_later()`` callbacks."""
+        roots: set[str] = set()
+        for fi in self.functions.values():
+            roots |= fi.spawns
+        return roots
+
+    def reachable_from(self, starts: Iterable[str]) -> set[str]:
+        """Forward transitive closure over the resolved call graph."""
+        seen: set[str] = set()
+        stack = [q for q in starts if q in self.functions]
+        while stack:
+            q = stack.pop()
+            if q in seen:
+                continue
+            seen.add(q)
+            fi = self.functions.get(q)
+            if fi is not None:
+                stack.extend(fi.calls - seen)
+        return seen
+
     def build_graph(self) -> LockGraph:
+        if self._graph is not None:
+            return self._graph
         locksets: dict[str, set[str]] = {
             q: set(fi.acquires) for q, fi in self.functions.items()
         }
@@ -560,7 +674,10 @@ class Program:
                             line=line, via=callee,
                         ))
         acquisitions.sort()
-        return LockGraph(acquisitions=acquisitions, edges=edges, kinds=kinds)
+        self._graph = LockGraph(
+            acquisitions=acquisitions, edges=edges, kinds=kinds
+        )
+        return self._graph
 
 
 class _BodyWalker:
@@ -741,14 +858,91 @@ class _BodyWalker:
             )
 
     def record_call(self, call: ast.Call) -> None:
+        self._record_thread_entry(call)
         callee = self.resolve_call(call)
         if callee is None:
             return
         self.fi.calls.add(callee)
-        if self.held:
-            self.fi.calls_under.append(
-                (tuple(dict.fromkeys(self.held)), callee, call.lineno)
+        self.fi.calls_under.append(
+            (tuple(dict.fromkeys(self.held)), callee, call.lineno)
+        )
+
+    #: thread-entry registration calls: leaf name -> positional index and
+    #: keyword name of the callable that will run on another thread
+    _THREAD_ENTRY_CALLS = {
+        "spawn": (0, "target"),          # util.threads.spawn
+        "call_later": (1, "callback"),   # util.clock.Clock.call_later
+    }
+
+    def _record_thread_entry(self, call: ast.Call) -> None:
+        """Resolve the callable handed to ``spawn``/``call_later``.
+
+        Detection is syntactic (leaf name), so seeded fixtures that
+        define their own ``spawn`` helper participate without importing
+        :mod:`repro.util.threads`.
+        """
+        leaf = (dotted_name(call.func) or "").split(".")[-1]
+        spec = self._THREAD_ENTRY_CALLS.get(leaf)
+        if spec is None:
+            return
+        index, kwname = spec
+        arg: ast.AST | None = None
+        if len(call.args) > index:
+            arg = call.args[index]
+        else:
+            arg = next(
+                (kw.value for kw in call.keywords if kw.arg == kwname), None
             )
+        target = self._resolve_callable(arg)
+        if target is not None:
+            self.fi.spawns.add(target)
+
+    def _resolve_callable(self, expr: ast.AST | None) -> str | None:
+        """A callable expression -> function qualname (None if opaque)."""
+        if isinstance(expr, ast.Call):
+            # functools.partial(f, ...) carries the callable first
+            leaf = (dotted_name(expr.func) or "").split(".")[-1]
+            if leaf == "partial" and expr.args:
+                return self._resolve_callable(expr.args[0])
+            return None
+        if isinstance(expr, ast.Attribute):
+            base_t = self.expr_type(expr.value)
+            if base_t is not None and not base_t[1]:
+                return base_t[0].find_method(expr.attr)
+            return None
+        if isinstance(expr, ast.Name):
+            mi = self.fi.modinfo
+            if expr.id in mi.functions:
+                return f"{mi.mod}.{expr.id}" if mi.mod else expr.id
+            dotted = mi.imports.get(expr.id)
+            if dotted is not None and dotted in self.program.functions:
+                return dotted
+        return None
+
+    def record_access(self, node: ast.Attribute) -> None:
+        """Record a resolvable instance-field access with the held lockset.
+
+        Lock attributes themselves are excluded — touching ``self._lock``
+        is lock usage, not shared-state access.
+        """
+        base_t = self.expr_type(node.value)
+        if base_t is None or base_t[1]:
+            return
+        cls = base_t[0]
+        if cls.find_lock(node.attr) is not None:
+            return
+        owner = cls.field_owner(node.attr)
+        if owner is None:
+            return
+        self.fi.accesses.append(FieldAccess(
+            owner=owner.qualname,
+            attr=node.attr,
+            path=self.fi.modinfo.src.path,
+            line=node.lineno,
+            write=isinstance(node.ctx, (ast.Store, ast.Del)),
+            held=tuple(dict.fromkeys(self.held)),
+            func=self.fi.qualname,
+        ))
 
     def walk_body(self, body: list[ast.stmt]) -> None:
         for stmt in body:
@@ -823,10 +1017,27 @@ class _BodyWalker:
             return
         if isinstance(node, ast.Call):
             self.record_call(node)
+        elif isinstance(node, ast.Attribute):
+            self.record_access(node)
         for child in ast.iter_child_nodes(node):
             self.visit_expr(child)
 
 
+#: one-entry memo so every program rule of one engine invocation (lock
+#: order, guards) shares a single index + fixpoint over the same module
+#: set (the engine passes each rule the same list)
+_PROGRAM_CACHE: dict[tuple, Program] = {}
+
+
+def program_cached(modules: list[ModuleSource]) -> Program:
+    """The indexed :class:`Program` for ``modules``, memoized on content."""
+    key = tuple((m.modname, m.path, hash(m.text)) for m in modules)
+    if key not in _PROGRAM_CACHE:
+        _PROGRAM_CACHE.clear()
+        _PROGRAM_CACHE[key] = Program(list(modules))
+    return _PROGRAM_CACHE[key]
+
+
 def build_lock_graph(modules: list[ModuleSource]) -> LockGraph:
     """Index ``modules`` and return the whole-program lock graph."""
-    return Program(list(modules)).build_graph()
+    return program_cached(modules).build_graph()

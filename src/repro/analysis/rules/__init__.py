@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.analysis.rules import (
     attrs,
     concurrency,
+    guards,
     handles,
     locks,
     obsrules,
@@ -17,6 +18,7 @@ from repro.analysis.rules import (
 __all__ = [
     "attrs",
     "concurrency",
+    "guards",
     "handles",
     "locks",
     "obsrules",

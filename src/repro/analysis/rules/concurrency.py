@@ -9,6 +9,10 @@ hierarchy in :func:`repro.analysis.lockorder.active`:
   non-reentrant self-edge.
 * ``lock-order-cycle`` — a strongly connected component in the graph:
   two threads walking the component in different orders can deadlock.
+* ``lock-manifest-stale`` — the reverse direction of non-vacuity: a
+  manifest key that matches no acquisition site found by the lock
+  graph.  A renamed or deleted lock must take its declaration with it,
+  or the dead entry (and its rank slot) silently stops meaning anything.
 
 Fix by reordering the acquisitions (or narrowing a critical section so
 the outgoing call moves outside the lock); declare genuinely new
@@ -91,3 +95,39 @@ class LockOrderCycleRule(ProgramRule):
             if a in members and b in members
         ]
         return min(edges, key=lambda e: (e.path, e.line, e.acquired))
+
+
+@register_program
+class LockManifestStaleRule(ProgramRule):
+    name = "lock-manifest-stale"
+    description = (
+        "lockorder manifest key that matches no acquisition site in the "
+        "whole-program lock graph — a renamed/removed lock left a dead "
+        "declaration behind"
+    )
+
+    def check_program(self, modules: list[ModuleSource]) -> Iterator[Finding]:
+        # Only meaningful when the module set contains the manifest
+        # itself (whole-tree runs): a scoped lint of one daemon must not
+        # conclude every other daemon's lock is gone.
+        manifest_src = next(
+            (m for m in modules if m.modname.endswith("analysis.lockorder")),
+            None,
+        )
+        if manifest_src is None:
+            return
+        graph = build_lock_graph(modules)
+        acquired = {key for key, _path, _line in graph.acquisitions}
+        lines = manifest_src.text.splitlines()
+        for key in sorted(lockorder.active().keys()):
+            if key in acquired:
+                continue
+            line = next(
+                (i for i, text in enumerate(lines, start=1) if key in text),
+                1,
+            )
+            yield self.finding_at(
+                manifest_src.path, line,
+                f"manifest lock {key} matches no acquisition site; "
+                f"delete the declaration or fix the key after the rename",
+            )

@@ -1,0 +1,130 @@
+"""Whole-program guarded-by rules: the coverage half of the sanitizer.
+
+The lock-order rules (:mod:`repro.analysis.rules.concurrency`) prove the
+locks we take cannot deadlock; these four prove the shared state is
+actually *behind* a lock.  All of them read one shared
+:class:`repro.analysis.guards.GuardReport` (memoized per module set, so
+the four rules cost one inference between them):
+
+* ``guarded-field-unlocked`` — an access to a field whose guard
+  (inferred from the supermajority of sites, or declared with a
+  ``tdp-guard`` comment) is not held on the access path.
+* ``thread-confined-escape`` — a field confined to one thread root is
+  touched from a second root.
+* ``guard-ambiguous`` — a shared, mutated field with no supermajority
+  lock and no single owning thread: the discipline is unclear and must
+  be declared (``# tdp-guard: field -> module.Class.lock``, a
+  ``confined:<root>``, or ``volatile`` for a sanctioned benign race).
+* ``guard-manifest-stale`` — a waiver that suppresses nothing, or a
+  declaration naming an unknown field or guard: dead manifest entries
+  must not linger where they could mask a regression.
+
+Fix by taking the guard at the flagged site (or hoisting the access
+into an existing critical section); record an intentional exception as
+a WAIVERS entry in analysis/guards.py with its justification; declare
+intentional confinement or benign races at the field.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleSource, ProgramRule, register_program
+from repro.analysis.guards import GuardReport, infer_cached
+
+
+def _shared_report(modules: list[ModuleSource]) -> GuardReport:
+    return infer_cached(modules)
+
+
+@register_program
+class GuardedFieldUnlockedRule(ProgramRule):
+    name = "guarded-field-unlocked"
+    description = (
+        "field access without the lock that guards it (inferred from "
+        "the supermajority of access sites, or declared via tdp-guard)"
+    )
+
+    def check_program(self, modules: list[ModuleSource]) -> Iterator[Finding]:
+        report = _shared_report(modules)
+        for key, fg in sorted(report.fields.items()):
+            for site, rule in fg.violations:
+                if rule != self.name:
+                    continue
+                covered, total = fg.coverage()
+                origin = (
+                    "declared guard"
+                    if fg.source == "declared"
+                    else f"guard inferred from {covered}/{total} sites"
+                )
+                yield self.finding_at(
+                    site.path, site.line,
+                    f"{site.describe()} touches {key} without holding "
+                    f"{fg.guard} ({origin}); take the lock here, or add "
+                    f"a waiver '{key}@{site.func}' in analysis/guards.py",
+                )
+
+
+@register_program
+class ThreadConfinedEscapeRule(ProgramRule):
+    name = "thread-confined-escape"
+    description = (
+        "field confined to a single thread root is accessed from a "
+        "second thread root"
+    )
+
+    def check_program(self, modules: list[ModuleSource]) -> Iterator[Finding]:
+        report = _shared_report(modules)
+        for key, fg in sorted(report.fields.items()):
+            for site, rule in fg.violations:
+                if rule != self.name:
+                    continue
+                owner_root = (fg.guard or "")[len("confined:"):]
+                others = sorted(site.roots - {owner_root})
+                yield self.finding_at(
+                    site.path, site.line,
+                    f"{site.describe()} reaches {key} from thread "
+                    f"root(s) {', '.join(others)} but the field is "
+                    f"confined to {owner_root}; guard it with a lock, "
+                    f"or waive '{key}@{site.func}' in analysis/guards.py",
+                )
+
+
+@register_program
+class GuardAmbiguousRule(ProgramRule):
+    name = "guard-ambiguous"
+    description = (
+        "shared mutable field with no supermajority lock and no owning "
+        "thread — the guard discipline must be made explicit"
+    )
+
+    def check_program(self, modules: list[ModuleSource]) -> Iterator[Finding]:
+        report = _shared_report(modules)
+        for key, fg in sorted(report.fields.items()):
+            if fg.guard is not None or not fg.sites:
+                continue
+            locked = sum(1 for s in fg.sites if s.held)
+            yield self.finding_at(
+                fg.decl_path, fg.decl_line,
+                f"{key} is mutated and visible to thread roots "
+                f"{', '.join(sorted(fg.roots))} but only {locked} of "
+                f"{len(fg.sites)} access sites hold any lock; pick a "
+                f"guard and declare it with a tdp-guard comment "
+                f"(module.Class.lock, confined:<root>, or volatile)",
+            )
+
+
+@register_program
+class GuardManifestStaleRule(ProgramRule):
+    name = "guard-manifest-stale"
+    description = (
+        "guard-manifest entry (waiver or tdp-guard declaration) that "
+        "no longer matches any field or suppresses any violation"
+    )
+
+    def check_program(self, modules: list[ModuleSource]) -> Iterator[Finding]:
+        report = _shared_report(modules)
+        for entry in sorted(
+            report.stale, key=lambda e: (e.path, e.line, e.key)
+        ):
+            yield self.finding_at(entry.path, entry.line, entry.message)

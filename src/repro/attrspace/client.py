@@ -164,6 +164,10 @@ class AttributeSpaceClient:
         self.member = member if member is not None else f"client@{channel.local_host}"
         self._dial = dial
         self._reconnect = reconnect if reconnect is not None else ReconnectPolicy()
+        # tdp-guard: _lease_ttl -> volatile
+        # (adopted once from the attach/re-attach reply on whichever
+        # thread ran the handshake; the hello builders read it racily
+        # and tolerate either the requested or the granted value)
         self._lease_ttl = lease_ttl
         self._session = uuid.uuid4().hex
         self._req_ids = IdAllocator()
@@ -181,6 +185,9 @@ class AttributeSpaceClient:
         self._wake = threading.Event()  # interrupts backoff on close
         #: append-only record of session.lost/reestablished/failed events
         self.session_log: list[dict[str, Any]] = []
+        # tdp-guard: _session_cb -> volatile
+        # (registration is a benign publish: an event racing with
+        # set_session_callback may deliver to the previous callback)
         self._session_cb: SessionCallback | None = None
         #: the "descriptor": non-empty means tdp_service_events has work
         self.events: WaitableQueue[_Event] = WaitableQueue()
@@ -361,8 +368,9 @@ class AttributeSpaceClient:
         attempts = 0
         delays = policy.delays()
         while True:
-            if self._closed:
-                return False
+            with self._lock:
+                if self._closed:
+                    return False
             if policy.max_attempts is not None and attempts >= policy.max_attempts:
                 return False
             if (
@@ -598,7 +606,8 @@ class AttributeSpaceClient:
             self._pending_sync.clear()
             asyncs = list(self._pending_async.values())
             self._pending_async.clear()
-        if sync or asyncs or (self._dial is not None and not self._closed):
+            closed = self._closed
+        if sync or asyncs or (self._dial is not None and not closed):
             self._session_event("session.failed", reason=message)
         failure = {"ok": False, "error_type": error_type, "error": message}
         for entry in sync:

@@ -93,6 +93,22 @@ class _SessionLease:
         with self._lock:
             self._deadline = time.monotonic() + self.ttl
 
+    def resume(self, conn_id: int, ttl: float) -> None:
+        """Bind the lease to a (re)attaching connection and renew it."""
+        with self._lock:
+            self.conn_id = conn_id
+            self.ttl = ttl
+            self._deadline = time.monotonic() + ttl
+
+    def holder(self) -> int | None:
+        """The conn_id currently bound to this lease (None if detached)."""
+        with self._lock:
+            return self.conn_id
+
+    def granted_ttl(self) -> float:
+        with self._lock:
+            return self.ttl
+
     def expired(self, now: float) -> bool:
         with self._lock:
             return now >= self._deadline
@@ -161,6 +177,10 @@ class _Connection:
         self.subscriptions: set[int] = set()
         self.contexts_joined: list[str] = []
         self.timers: dict[int, TimerHandle] = {}
+        # tdp-guard: lease -> volatile
+        # (bound once during attach before any later op on this
+        # connection dereferences it; the serving thread handles frames
+        # serially and cross-thread readers treat None as "anonymous")
         self.lease: _SessionLease | None = None
         self.member: str | None = None
         self.writer = spawn(
@@ -517,9 +537,7 @@ class AttributeSpaceServer:
             if lease is None:
                 lease = _SessionLease(token, member, ttl)
                 self._leases[token] = lease
-            lease.conn_id = conn.conn_id
-            lease.ttl = ttl
-            lease.renew()
+            lease.resume(conn.conn_id, ttl)
         if resumed:
             self.stats["resumed_sessions"].increment()
             obs.record(
@@ -537,7 +555,11 @@ class AttributeSpaceServer:
             if self._sweeper_started or self._stopped.is_set():
                 return
             self._sweeper_started = True
-        self._sweeper = spawn(self._sweep_leases, name=f"{self.name}-leases")
+        sweeper = spawn(self._sweep_leases, name=f"{self.name}-leases")
+        # Publish the handle under the lock: a concurrent stop() must
+        # either see it (and join it) or see _stopped already set.
+        with self._lease_lock:
+            self._sweeper = sweeper
 
     def _sweep_leases(self) -> None:
         """Expire leases whose connection died and whose TTL has lapsed.
@@ -554,7 +576,7 @@ class AttributeSpaceServer:
             for token, lease in candidates:
                 if not lease.expired(now):
                     continue
-                conn_id = lease.conn_id
+                conn_id = lease.holder()
                 with self._conn_lock:
                     alive = conn_id is not None and conn_id in self._connections
                 if alive:
@@ -579,7 +601,7 @@ class AttributeSpaceServer:
         )
         _log.warning(
             "%s: lease %s (%s) expired after %.3gs silence",
-            self.name, lease.token[:8], lease.member, lease.ttl,
+            self.name, lease.token[:8], lease.member, lease.granted_ttl(),
         )
         for context in lease.contexts():
             self.store.purge_ephemeral(context, lease.member)

@@ -40,6 +40,8 @@ class Matchmaker:
         self._machines: dict[str, dict] = {}  # name -> {ad, startd, reserved}
         self._lock = threading.Lock()
         self._listener = transport.listen(host)
+        # tdp-guard: _stopped -> volatile
+        # (monotonic stop latch: set once by stop(), polled by the loop)
         self._stopped = False
         spawn(self._accept_loop, name="matchmaker-accept")
 

@@ -99,6 +99,9 @@ class MpiUniverseCoordinator:
         self._tool_handles: list = []
         self._lock = threading.Lock()
         self._workers_started = threading.Event()
+        # tdp-guard: master_pid -> volatile
+        # (written once when the master rank is created, before the
+        # launch report that makes control requests possible)
         self.master_pid: int | None = None
 
     def _record(self, action: str, **details) -> None:

@@ -130,7 +130,10 @@ class Schedd:
 
     def _negotiation_loop(self) -> None:
         attempts: dict[str, int] = {}
-        while not self._stopped:
+        while True:
+            # The stop flag is only read under _cond (the inner wait
+            # loop re-checks it); an unguarded pre-check here would race
+            # with stop() for no latency benefit.
             with self._cond:
                 while not self._queue and not self._stopped:
                     self._cond.wait(timeout=0.2)

@@ -84,6 +84,8 @@ class Startd:
         self._claims: dict[str, dict] = {}  # claim_id -> {"job_ad", "starter"}
         self._all_starters: list[Starter] = []  # history incl. released claims
         self._lock = tracked_lock("condor.startd.Startd._lock")
+        # tdp-guard: _stopped -> volatile
+        # (monotonic stop latch: set once by stop(), polled by the loop)
         self._stopped = False
         spawn(self._accept_loop, name=f"startd-{host.name}")
 

@@ -82,10 +82,20 @@ class Starter:
         self._submit_host = submit_host
         self._cass_endpoint = cass_endpoint
         self._mpi_coordinator = None
+        # Launch-sequenced publishes: the run thread writes each handle
+        # exactly once during startup, and control methods (invoked via
+        # the startd/shadow only after the job_started report) read
+        # them; a pre-launch reader correctly sees None.
+        # tdp-guard: _handle -> volatile
         self._handle: TdpHandle | None = None
+        # tdp-guard: _tool_handle -> volatile
         self._tool_handle: ToolDaemonHandle | None = None
+        # tdp-guard: _shadow_channel -> volatile
         self._shadow_channel: Channel | None = None
         self._relay: StdioRelay | None = None
+        # tdp-guard: app_pid -> volatile
+        # (written once when the application is created, before the
+        # job_started report that makes control requests possible)
         self.app_pid: int | None = None
         self.exit_code: int | None = None
         self.failure: str | None = None

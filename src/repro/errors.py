@@ -266,3 +266,18 @@ class LockOrderError(TdpError):
     / ``undeclared-lock-edge`` lint passes, so a witness report should
     always correspond to a fixable ordering bug, not test noise.
     """
+
+
+class GuardViolationError(TdpError):
+    """A shared field was touched without its declared guard held.
+
+    Raised only by the runtime field-access witness (``TDP_SANITIZE=1``
+    plus :func:`repro.util.sync.arm_guard_witness`): the committed guard
+    manifest (``guards.lock.json``, maintained by ``python -m repro
+    guards``) names the lock guarding each witnessed field, and the
+    witness descriptor checks the calling thread's lockset on every
+    post-construction read/write.  The static ``guarded-field-unlocked``
+    lint pass proves the same invariant from the AST; the witness
+    catches what static reachability cannot see (dynamic dispatch,
+    monkeypatching, test harness threads).
+    """

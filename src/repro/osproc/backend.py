@@ -43,6 +43,9 @@ class _Managed:
     def __init__(self, popen: subprocess.Popen, executable: str, paused: bool):
         self.popen = popen
         self.executable = executable
+        # tdp-guard: ever_continued -> volatile
+        # (monotonic latch set by continue_process; status snapshots
+        # read it racily and tolerate the pre-continue answer)
         self.ever_continued = not paused
         self.tracer: str | None = None
         self.exit_listeners: list[Callable[[ProcessInfo], None]] = []

@@ -113,10 +113,16 @@ class ParadynDaemon:
         self.args = parse_paradynd_args(ctx.args)
         self.auto_run = auto_run
         self.base_metrics = base_metrics
+        # Startup-sequenced publishes: the tool main thread writes each
+        # once during initialization; the command loop is only spawned
+        # after frontend/handle/app_pid are in place.
+        # tdp-guard: handle -> volatile
         self.handle: TdpHandle | None = None
         self.engine: DyninstEngine | None = None
         self.collector: MetricCollector | None = None
+        # tdp-guard: frontend -> volatile
         self.frontend: Channel | None = None
+        # tdp-guard: app_pid -> volatile
         self.app_pid: int | None = None
         self.symbols: list[str] = []
         self.run_command = threading.Event()

@@ -124,6 +124,8 @@ class ParadynFrontend:
         self._next_id = 0
         self._lock = threading.Lock()
         self._daemon_arrived = threading.Condition(self._lock)
+        # tdp-guard: _stopped -> volatile
+        # (monotonic stop latch: set once by stop(), polled by the loop)
         self._stopped = False
         spawn(self._accept_loop, name=f"paradyn-frontend-{host}")
 

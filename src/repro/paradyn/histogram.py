@@ -55,6 +55,9 @@ class TimeHistogram:
         if mode not in ("sum", "last"):
             raise ValueError(f"unknown mode {mode!r}")
         self.bins = bins
+        # tdp-guard: bin_width -> volatile
+        # (folded only by the sampling thread; cross-thread span/value
+        # queries are diagnostic and tolerate a one-fold-stale width)
         self.bin_width = float(initial_bin_width)
         self.mode = mode
         self._values = [0.0] * bins

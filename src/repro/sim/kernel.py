@@ -53,6 +53,8 @@ class Scheduler:
         self._procs: list[SimProcess] = []
         self._lock = tracked_lock("sim.kernel.Scheduler._lock")
         self._wake = threading.Event()
+        # tdp-guard: _stop -> volatile
+        # (monotonic stop latch: set once by stop(), polled by the loop)
         self._stop = False
         self._thread: threading.Thread | None = None
         self.slices_executed = 0
@@ -94,7 +96,9 @@ class Scheduler:
             for proc in self.processes():
                 if self._stop:
                     return
-                if proc.state is ProcessState.RUNNABLE:
+                with proc.lock:
+                    runnable = proc.state is ProcessState.RUNNABLE
+                if runnable:
                     self._slice(proc)
                     progressed = True
             self._reap()
@@ -108,11 +112,19 @@ class Scheduler:
             self._wake.clear()
 
     def _reap(self) -> None:
-        with self._lock:
-            live, dead = [], []
-            for p in self._procs:
-                (dead if p.state is ProcessState.EXITED else live).append(p)
-            self._procs = live
+        # Classify under each process lock first: taking p.lock (rank
+        # 42) inside self._lock (rank 46) would invert the declared
+        # order.  EXITED is terminal, so the two-phase split is safe —
+        # a process that exits between the phases is reaped next round.
+        dead = []
+        for p in self.processes():
+            with p.lock:
+                if p.state is ProcessState.EXITED:
+                    dead.append(p)
+        if dead:
+            gone = {id(p) for p in dead}
+            with self._lock:
+                self._procs = [p for p in self._procs if id(p) not in gone]
         for p in dead:
             with p.lock:
                 if p._close_pending:
@@ -123,26 +135,28 @@ class Scheduler:
                         pass
 
     def _advance_to_next_sleeper(self) -> bool:
-        deadlines = [
-            p._sleep_until  # type: ignore[attr-defined]
-            for p in self.processes()
-            if p.state is ProcessState.BLOCKED and getattr(p, "_sleep_until", None) is not None
-        ]
+        deadlines = []
+        for p in self.processes():
+            with p.lock:
+                if (
+                    p.state is ProcessState.BLOCKED
+                    and p._sleep_until is not None
+                ):
+                    deadlines.append(p._sleep_until)
         if not deadlines:
             return False
         self.clock.advance_to(min(deadlines))
         woke = False
         for p in self.processes():
-            until = getattr(p, "_sleep_until", None)
-            if (
-                until is not None
-                and p.state is ProcessState.BLOCKED
-                and self.clock.now() >= until
-            ):
-                with p.state_changed:
-                    if p.state is ProcessState.BLOCKED:
-                        p._set_state(ProcessState.RUNNABLE, None)
-                        woke = True
+            with p.state_changed:
+                until = p._sleep_until
+                if (
+                    until is not None
+                    and p.state is ProcessState.BLOCKED
+                    and self.clock.now() >= until
+                ):
+                    p._set_state(ProcessState.RUNNABLE, None)
+                    woke = True
         return woke
 
     # -- one scheduling slice -----------------------------------------------------
@@ -257,7 +271,9 @@ class Scheduler:
             _log.warning("syscall fault in %r: %s", proc, e)
             proc._run_exit_listeners()
             return None
-        if proc.state is ProcessState.EXITED:
+        with proc.lock:
+            exited = proc.state is ProcessState.EXITED
+        if exited:
             return None
         proc.pending_syscall = None
         proc._last_result = result

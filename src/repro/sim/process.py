@@ -109,7 +109,14 @@ class SimProcess:
 
         # Interpreter state (scheduler thread only).
         self._generator = program
+        # tdp-guard: _started -> volatile
+        # (monotonic latch set at the first executed syscall; the
+        # `started` property reads it under the lock, the scheduler's
+        # own read-modify-write is single-threaded by confinement)
         self._started = False
+        # tdp-guard: pending_syscall -> confined:sim.kernel.Scheduler._loop
+        # (terminate()'s cross-thread clear in _finish is individually
+        # waived: it runs under the lock after EXITED is published)
         self.pending_syscall: SysCall | None = None
         self._last_result: Any = None
         self._sleep_until: float | None = None
@@ -121,6 +128,9 @@ class SimProcess:
         self.cpu_time = 0.0
         #: virtual time at first executed syscall / at exit (wall-clock
         #: analogue; Sleep advances wall but not CPU)
+        # tdp-guard: start_vtime -> volatile
+        # (written once by the scheduler at first execution; accounting
+        # readers tolerate None-until-started)
         self.start_vtime: float | None = None
         self.end_vtime: float | None = None
         self.frames: list[FunctionFrame] = []
@@ -135,6 +145,9 @@ class SimProcess:
         self.stdout_sinks: list[Callable[[str], None]] = []
 
         # Termination.
+        # tdp-guard: exit_code -> volatile
+        # (written once, under the lock, before EXITED is published;
+        # readers are ordered after it by wait_for_state)
         self.exit_code: int | None = None
         self.exit_signal: int | None = None
         self.fault: str | None = None

@@ -55,6 +55,11 @@ class TdpHandle:
         self.context = context
         self.lass = lass
         self.cass = cass
+        # tdp-guard: _closed -> volatile
+        # (monotonic close latch: writes serialize under _lock, the
+        # lock-free reads in _check_open/closed race with tdp_exit by
+        # design — a stale open answer is indistinguishable from the
+        # call having happened just before the close)
         self._closed = False
         self._lock = tracked_lock("tdp.handle.TdpHandle._lock")
         self._service_thread: threading.Thread | None = None

@@ -193,6 +193,9 @@ class ProcessControlService:
         self._owner = attrs.member
         self._lock = threading.Lock()
         self._managed: dict[int, ProcessInfo] = {}
+        # tdp-guard: _sub_id -> volatile
+        # (subscribe-once publish; the unsubscribe path tolerates a
+        # concurrent None read by skipping)
         self._sub_id: int | None = None
 
     # -- publication helpers ----------------------------------------------------

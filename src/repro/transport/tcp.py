@@ -53,6 +53,9 @@ class _TcpChannel(Channel):
             frame_reader if frame_reader is not None else framing.FrameReader()
         )
         self._send_lock = tracked_lock("transport.tcp._TcpChannel._send_lock")
+        # tdp-guard: _closed -> volatile
+        # (monotonic close latch: writes serialize under _send_lock, the
+        # lock-free `closed` property read races with close by design)
         self._closed = False
         self._reader = spawn(self._read_loop, name=f"tcp-reader-{local_host}")
 

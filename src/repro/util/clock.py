@@ -37,6 +37,9 @@ class TimerHandle:
 
     def __init__(self, cancel_fn) -> None:
         self._cancel_fn = cancel_fn
+        # tdp-guard: _cancelled -> volatile
+        # (best-effort cancel latch: a racing double-cancel calls the
+        # underlying idempotent timer cancel twice, which is benign)
         self._cancelled = False
 
     def cancel(self) -> bool:

@@ -22,6 +22,15 @@ lock, or blocks in :func:`witness_blocking` while holding a lock the
 hierarchy does not sanction holding across blocking calls.  The static
 lint passes check the same hierarchy from the AST, so each side
 cross-checks the other.
+
+The **field-access witness** is the same bargain for guarded state:
+:func:`arm_guard_witness` reads the committed guard manifest
+(``guards.lock.json``, the artifact of ``python -m repro guards``) and
+wraps each witnessed field in a :class:`GuardedField` descriptor that
+raises :class:`~repro.errors.GuardViolationError` on any
+post-construction access made without the declared guard in the calling
+thread's lockset — the dynamic half of the static
+``guarded-field-unlocked`` pass.
 """
 
 from __future__ import annotations
@@ -31,7 +40,12 @@ import os
 import threading
 from typing import Any, Generic, Iterable, TypeVar
 
-from repro.errors import ChannelClosedError, GetTimeoutError, LockOrderError
+from repro.errors import (
+    ChannelClosedError,
+    GetTimeoutError,
+    GuardViolationError,
+    LockOrderError,
+)
 
 T = TypeVar("T")
 
@@ -142,6 +156,10 @@ class TrackedLock:
     def __init__(self, key: str):
         self.key = key
         self._inner = threading.Lock()
+        # tdp-guard: _owner -> volatile
+        # (owner stamp trusted only when it equals the reader's own
+        # thread id; a cross-thread read sees None or a foreign id,
+        # both of which _is_owned correctly reports as "not mine")
         self._owner: int | None = None
 
     def __repr__(self) -> str:
@@ -187,6 +205,9 @@ class TrackedRLock:
     def __init__(self, key: str):
         self.key = key
         self._inner = threading.RLock()
+        # tdp-guard: _count -> volatile
+        # (mutated only while the mutating thread owns _inner; __repr__
+        # reads it racily for diagnostics)
         self._count = 0
 
     def __repr__(self) -> str:
@@ -257,6 +278,171 @@ def tracked_condition(key: str, lock: Any = None) -> threading.Condition:
     if lock is None and _sanitize:
         lock = TrackedLock(key)
     return threading.Condition(lock)
+
+
+# ---------------------------------------------------------------------------
+# runtime field-access witness (the dynamic half of the guarded-by checker)
+
+#: instance-dict flag set by the wrapped constructor once construction
+#: finishes; unarmed instances (mid-construction, or subclasses with
+#: their own __init__) are never checked
+_GUARD_ARMED = "_tdp_guard_armed"
+
+_MISSING = object()
+
+#: class -> (saved class-dict entries, original __init__); install
+#: registry so uninstall/disarm can restore the class exactly
+_witnessed_classes: dict[type, tuple[dict[str, Any], Any]] = {}
+
+
+class GuardedField:
+    """Data descriptor enforcing a field's declared guard at runtime.
+
+    Installed by :func:`install_guard_witness` over each lock-guarded
+    field of the committed guard manifest (``guards.lock.json``).  The
+    value lives in the instance ``__dict__`` under the field's own name
+    — exactly where a plain attribute would put it — but because a data
+    descriptor shadows the instance dict, every read, write, and delete
+    routes through the lockset check.  A touch without ``guard_key`` in
+    the calling thread's lockset raises
+    :class:`~repro.errors.GuardViolationError`.
+
+    Checks apply only when the sanitizer is on *and* the instance is
+    armed (construction finished): constructor assignments run before
+    arming, so ``__init__`` publishing fields without the lock stays
+    legal, matching the static inference's construction-phase exclusion.
+    """
+
+    def __init__(self, owner_key: str, attr: str, guard_key: str):
+        self.owner_key = owner_key
+        self.attr = attr
+        self.guard_key = guard_key
+
+    def __repr__(self) -> str:
+        return (
+            f"<GuardedField {self.owner_key}.{self.attr} "
+            f"guarded by {self.guard_key}>"
+        )
+
+    def _check(self, inst: Any, verb: str) -> None:
+        if not _sanitize:
+            return
+        if not inst.__dict__.get(_GUARD_ARMED):
+            return
+        if self.guard_key in held_lock_keys():
+            return
+        raise GuardViolationError(
+            f"{verb} of {self.owner_key}.{self.attr} without holding its "
+            f"guard {self.guard_key} (held: {held_lock_keys() or 'no locks'}); "
+            f"the guard manifest is guards.lock.json (python -m repro guards)"
+        )
+
+    def __get__(self, inst: Any, owner: type | None = None) -> Any:
+        if inst is None:
+            return self
+        self._check(inst, "read")
+        try:
+            return inst.__dict__[self.attr]
+        except KeyError:
+            raise AttributeError(self.attr) from None
+
+    def __set__(self, inst: Any, value: Any) -> None:
+        self._check(inst, "write")
+        inst.__dict__[self.attr] = value
+
+    def __delete__(self, inst: Any) -> None:
+        self._check(inst, "delete")
+        try:
+            del inst.__dict__[self.attr]
+        except KeyError:
+            raise AttributeError(self.attr) from None
+
+
+def install_guard_witness(
+    cls: type, fields: dict[str, str], owner_key: str | None = None
+) -> None:
+    """Wrap ``fields`` (attr -> guard lock key) of ``cls`` with
+    :class:`GuardedField` descriptors and arm new instances.
+
+    Arming happens in a wrapped ``__init__`` — but only when that
+    wrapper is the *outermost* constructor (``type(inst).__init__`` is
+    the wrapper).  A subclass with its own ``__init__`` keeps assigning
+    fields after ``super().__init__`` returns, so arming there would
+    flag construction-phase writes; such instances simply go
+    unwitnessed, which can miss races but never invents one.
+
+    Instances that predate the install keep working: their values
+    already sit in the instance dict where the descriptor looks, and
+    they are never armed.
+    """
+    if cls in _witnessed_classes:
+        raise RuntimeError(f"guard witness already installed on {cls!r}")
+    owner_key = owner_key or cls.__name__
+    saved: dict[str, Any] = {}
+    for attr, guard_key in fields.items():
+        saved[attr] = cls.__dict__.get(attr, _MISSING)
+        setattr(cls, attr, GuardedField(owner_key, attr, guard_key))
+    original_init = cls.__init__
+
+    def _arming_init(self: Any, *args: Any, **kwargs: Any) -> None:
+        original_init(self, *args, **kwargs)
+        if type(self).__init__ is _arming_init:
+            self.__dict__[_GUARD_ARMED] = True
+
+    _arming_init._tdp_guard_wrapper = True  # type: ignore[attr-defined]
+    cls.__init__ = _arming_init  # type: ignore[method-assign]
+    _witnessed_classes[cls] = (saved, original_init)
+
+
+def uninstall_guard_witness(cls: type) -> None:
+    """Undo :func:`install_guard_witness`, restoring the class exactly."""
+    saved, original_init = _witnessed_classes.pop(cls)
+    for attr, original in saved.items():
+        if original is _MISSING:
+            delattr(cls, attr)
+        else:
+            setattr(cls, attr, original)
+    cls.__init__ = original_init  # type: ignore[method-assign]
+
+
+def arm_guard_witness(lock_path: Any = None) -> list[str]:
+    """Install the witness for every witnessed field of the committed
+    guard manifest; returns the armed class qualnames.
+
+    ``lock_path`` defaults to ``guards.lock.json`` at the repository
+    root (three levels above this module's package).  The analysis
+    package is imported lazily — like :func:`_hierarchy`, the plain
+    (sanitizer-off) path never pays for it.
+    """
+    import importlib
+    import pathlib
+
+    from repro.analysis.guards import LOCK_FILENAME, load_lock, witnessed_fields
+
+    if lock_path is None:
+        lock_path = (
+            pathlib.Path(__file__).resolve().parents[3] / LOCK_FILENAME
+        )
+    by_owner: dict[str, dict[str, str]] = {}
+    for field_key, guard_key in witnessed_fields(load_lock(lock_path)).items():
+        owner, _, attr = field_key.rpartition(".")
+        by_owner.setdefault(owner, {})[attr] = guard_key
+    armed: list[str] = []
+    for owner, fields in sorted(by_owner.items()):
+        modname, _, clsname = owner.rpartition(".")
+        module = importlib.import_module(f"repro.{modname}")
+        cls = getattr(module, clsname)
+        if cls in _witnessed_classes:
+            continue  # repeated arm (e.g. two pytest_configure calls)
+        install_guard_witness(cls, fields, owner_key=owner)
+        armed.append(owner)
+    return armed
+
+
+def disarm_guard_witness() -> None:
+    """Uninstall every witness installed this process (test teardown)."""
+    for cls in list(_witnessed_classes):
+        uninstall_guard_witness(cls)
 
 
 class Latch(Generic[T]):

@@ -1,6 +1,9 @@
 """Tests for the ``python -m repro lint`` command-line front end."""
 
 import json
+import subprocess
+
+import pytest
 
 from repro.analysis.cli import main
 
@@ -90,6 +93,68 @@ class TestRuleSelection:
         write_fixture(tmp_path, "ok.py", CLEAN)
         assert main([str(tmp_path), "--rules", "lock-order-cycle"]) == 0
         capsys.readouterr()
+
+
+class TestChangedScope:
+    """``lint --changed``: file-level rules see only git-changed files;
+    program rules still analyze the whole tree."""
+
+    @pytest.fixture
+    def repo(self, tmp_path, monkeypatch):
+        def git(*argv):
+            proc = subprocess.run(
+                ["git", *argv], cwd=tmp_path, capture_output=True, text=True
+            )
+            assert proc.returncode == 0, proc.stderr
+            return proc
+
+        git("init", "-q")
+        git("config", "user.email", "t@example.invalid")
+        git("config", "user.name", "t")
+        monkeypatch.chdir(tmp_path)
+        return git
+
+    def test_committed_violation_is_out_of_scope(self, repo, tmp_path, capsys):
+        write_fixture(tmp_path, "old.py", DIRTY)
+        repo("add", "old.py")
+        repo("commit", "-qm", "seed")
+        assert main([str(tmp_path), "--changed"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_changed_file_is_in_scope(self, repo, tmp_path, capsys):
+        write_fixture(tmp_path, "old.py", CLEAN)
+        repo("add", "old.py")
+        repo("commit", "-qm", "seed")
+        write_fixture(tmp_path, "old.py", DIRTY)  # modified vs HEAD
+        write_fixture(tmp_path, "new.py", DIRTY)  # untracked
+        assert main([str(tmp_path), "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "old.py" in out
+        assert "new.py" in out
+
+    def test_program_rules_keep_whole_tree(self, repo, tmp_path, capsys):
+        # An undeclared lock acquisition in a COMMITTED file must still
+        # fail --changed: the lock graph is whole-program or it is wrong.
+        write_fixture(
+            tmp_path, "locks.py",
+            "import threading\n\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n\n"
+            "    def use(self):\n"
+            "        with self._lock:\n"
+            "            pass\n",
+        )
+        repo("add", "locks.py")
+        repo("commit", "-qm", "seed")
+        write_fixture(tmp_path, "touched.py", CLEAN)
+        assert main([str(tmp_path), "--changed"]) == 1
+        assert "undeclared-lock-edge" in capsys.readouterr().out
+
+    def test_outside_git_exits_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir("/")
+        assert main([str(tmp_path), "--changed"]) == 2
+        assert "git work tree" in capsys.readouterr().err
 
 
 class TestJsonReporter:

@@ -37,6 +37,11 @@ def test_whole_program_passes_are_clean():
     rules = [
         get_rule("lock-order-cycle"),
         get_rule("undeclared-lock-edge"),
+        get_rule("lock-manifest-stale"),
+        get_rule("guarded-field-unlocked"),
+        get_rule("guard-ambiguous"),
+        get_rule("thread-confined-escape"),
+        get_rule("guard-manifest-stale"),
         get_rule("protocol-exhaustiveness"),
         get_rule("frame-field-unread"),
         get_rule("frame-field-phantom"),

@@ -20,9 +20,13 @@ def pytest_configure(config):
     # covers the case where the module was imported before the variable
     # was set (e.g. by a plugin).
     if os.environ.get("TDP_SANITIZE") == "1":
-        from repro.util.sync import set_sanitize
+        from repro.util.sync import arm_guard_witness, set_sanitize
 
         set_sanitize(True)
+        # Field-access witness: every witnessed field of the committed
+        # guard manifest (guards.lock.json) raises GuardViolationError
+        # when touched without its declared lock held.
+        arm_guard_witness()
     # Same late-binding cover for the observability switch (TDP_OBS):
     # repro.obs.state reads it at import, this handles pre-set imports.
     if os.environ.get("TDP_OBS") not in (None, "", "0"):

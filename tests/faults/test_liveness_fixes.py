@@ -109,25 +109,32 @@ class _StubHandle:
         self.control = None
 
 
+def _watch_thread(monitor):
+    # _thread is lock-guarded (guards.lock.json); the runtime witness
+    # flags bare cross-thread peeks, so tests read it under the lock.
+    with monitor._lock:
+        return monitor._thread
+
+
 class TestFaultMonitorRespawn:
     def test_watch_thread_respawns_after_transient_error(self):
         handle = _StubHandle()
         monitor = FaultMonitor(handle, check_interval=0.01)
         try:
             monitor.watch_heartbeat("rt", "tool-1", max_silence=60.0)
-            first = monitor._thread
+            first = _watch_thread(monitor)
             assert first is not None
 
             # A transient space error kills the loop; the thread slot
             # must be released, not left pointing at a corpse.
             handle.attrs.fail = True
-            assert wait_until(lambda: monitor._thread is None)
+            assert wait_until(lambda: _watch_thread(monitor) is None)
             assert wait_until(lambda: not first.is_alive())
 
             # The next watch call respawns the monitor and it works.
             handle.attrs.fail = False
             monitor.watch_heartbeat("rt", "tool-2", max_silence=0.05)
-            assert monitor._thread is not None
+            assert _watch_thread(monitor) is not None
             assert wait_until(
                 lambda: any(r.entity_id == "tool-2" for r in monitor.faults)
             )
@@ -140,7 +147,7 @@ class TestFaultMonitorRespawn:
         monitor = FaultMonitor(handle, check_interval=0.01)
         monitor.watch_heartbeat("as", "svc", max_silence=60.0)
         monitor.stop()
-        assert monitor._thread is None
+        assert _watch_thread(monitor) is None
 
 
 class TestTcpClosedLatch:

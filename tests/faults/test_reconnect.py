@@ -28,6 +28,17 @@ def reestablished(client):
     return sum(1 for r in client.session_log if r["event"] == "session.reestablished")
 
 
+def sever(client):
+    """Close the client's live channel — the simulated network cut.
+
+    _channel is lock-guarded (guards.lock.json) and the runtime witness
+    flags bare peeks, so snapshot it under the lock and close outside.
+    """
+    with client._lock:
+        channel = client._channel
+    channel.close()
+
+
 @pytest.fixture
 def transport():
     return InMemoryTransport(flat_network(["node1", "submit"]))
@@ -61,7 +72,7 @@ class TestReconnect:
             seen = []
             client.subscribe("watch*", lambda n, arg: seen.append((n.attribute, n.value)))
 
-            client._channel.close()  # the network cut
+            sever(client)  # the network cut
             assert wait_until(lambda: reestablished(client) == 1)
             record = next(
                 r for r in client.session_log if r["event"] == "session.reestablished"
@@ -85,7 +96,7 @@ class TestReconnect:
         try:
             events = []
             client.on_session_event(lambda record: events.append(record["event"]))
-            client._channel.close()
+            sever(client)
             assert wait_until(lambda: reestablished(client) == 1)
             assert wait_until(lambda: client.has_pending_events())
             client.service_events()
@@ -105,7 +116,7 @@ class TestReconnect:
             t.start()
             assert wait_until(lambda: server.stats["blocked_gets"].value >= 1)
 
-            client._channel.close()  # sever while the get is parked
+            sever(client)  # sever while the get is parked
             assert wait_until(lambda: reestablished(client) == 1)
 
             writer.put("late", "finally")
@@ -267,3 +278,42 @@ class TestSeededChaos:
         finally:
             client.close()
             server.stop()
+
+    def test_chaos_with_field_witness_live(self, monkeypatch):
+        """Seeded chaos (TDP_FAULTPLAN=seed:42) with the guard witness armed.
+
+        The chaos plan forces reconnect paths, sweeper activity, and
+        cross-thread session churn — the exact traffic the guard
+        manifest claims is lock-disciplined.  With every witnessed field
+        wrapped, any unguarded touch on those paths raises
+        GuardViolationError and fails the run.
+        """
+        import repro.util.sync as sync
+        from repro.transport import faultinject
+
+        monkeypatch.setenv("TDP_FAULTPLAN", "seed:42")
+        previous = sync.sanitize_enabled()
+        sync.set_sanitize(True)
+        before = set(sync._witnessed_classes)
+        sync.arm_guard_witness()
+        base = InMemoryTransport(flat_network(["node1", "submit"]))
+        transport = faultinject.from_env(base)
+        assert isinstance(transport, FaultInjectTransport)
+        server = AttributeSpaceServer(transport, "node1", role=ServerRole.LASS)
+        client = AttributeSpaceClient.connect(
+            transport, "submit", server.endpoint,
+            context="job", member="chaos42", reconnect=FAST, lease_ttl=30.0,
+        )
+        try:
+            for i in range(30):
+                assert client.put(f"w{i}", str(i)) >= 1
+            snapshot = client.snapshot()
+            for i in range(30):
+                assert snapshot[f"w{i}"] == str(i)
+            assert transport.injected_total() >= 1  # the plan actually bit
+        finally:
+            client.close()
+            server.stop()
+            for cls in set(sync._witnessed_classes) - before:
+                sync.uninstall_guard_witness(cls)
+            sync.set_sanitize(previous)

@@ -46,7 +46,8 @@ class TestCreatePaused:
     def test_paused_process_does_not_start(self, cluster):
         proc = cluster.host("node1").create_process("hello", paused=True)
         assert proc.state is ProcessState.STOPPED
-        assert proc.stop_reason is StopReason.CREATED_PAUSED
+        with proc.lock:  # stop_reason is lock-guarded (guards.lock.json)
+            assert proc.stop_reason is StopReason.CREATED_PAUSED
         # Nothing has executed: the pre-main window of paper Section 2.2.
         import time
 
