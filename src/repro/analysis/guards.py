@@ -112,6 +112,12 @@ WAIVERS: dict[str, str] = {
         "serially, and cross-thread readers (writer_id on the fan-out "
         "path) tolerate the pre-attach peer label"
     ),
+    "transport.eventloop._Conn.token@transport.eventloop.ServerSocketLoop._teardown_conn": (
+        "teardown only runs on the loop thread: _close_conn dispatches "
+        "to _drain_closes inline only when threading.get_ident() matches "
+        "the loop thread, off-loop closers just enqueue and wake — a "
+        "runtime dispatch the static reachability pass cannot see"
+    ),
     "sim.process.SimProcess.state@sim.process.SimProcess.__repr__": (
         "diagnostic repr must never block on the process lock (it is "
         "called from log statements inside scheduler critical sections); "

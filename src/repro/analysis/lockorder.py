@@ -181,6 +181,11 @@ DEFAULT = LockHierarchy([
              note="stdin backlog + channel handoff"),
     LockDecl("tdp.stdio.StdioRelay._send_lock", 60, blocking_ok=True,
              note="serializes stdout frames onto the collector channel"),
+    LockDecl("transport.tcp._TcpChannel._recv_lock", 61, blocking_ok=True,
+             note="frame reads on one socket (threadless recv: the lock "
+                  "serializes misuse, the select wait inside it is the "
+                  "channel's one blocking point; nests ahead of "
+                  "_send_lock for the close latch)"),
     LockDecl("transport.tcp._TcpChannel._send_lock", 62, blocking_ok=True,
              note="frame writes on one socket"),
     LockDecl("transport.faultinject.FaultInjectChannel._lock", 63,
@@ -191,6 +196,11 @@ DEFAULT = LockHierarchy([
                   "request threads (cache-before-enqueue, ahead of the "
                   "outbound queue offer) and under _lease_lock (sweeper "
                   "expiry re-check)"),
+    LockDecl("transport.eventloop.ServerSocketLoop._lock", 65,
+             note="event-loop cross-thread state: per-conn outbound "
+                  "buffers, dirty/close queues, stop latch; holds cover "
+                  "deque bookkeeping only — all socket IO runs outside "
+                  "the lock on the loop thread"),
     LockDecl("transport.inmem._InMemChannel._lock", 62, note="queue pair state"),
     LockDecl("transport.inmem.InMemoryTransport._lock", 62, note="listener table"),
     LockDecl("transport.tcp.TcpTransport._lock", 62, note="listener table"),

@@ -334,21 +334,35 @@ class ErrorCodeUnmappedRule(_WireRule):
 #: confined to the codec module so the binary codec can swap in later
 WIRE_PACKAGES = ("repro.attrspace", "repro.transport", "repro.tdp")
 
+#: modules sanctioned to struct-pack wire bytes: the binary body codec
+#: and the length-prefix framing layer.  Nothing else in the wire
+#: packages may hand-roll byte packing — the codec seam stays two
+#: modules wide.
+BINARY_CODEC_MODULES = (
+    "repro.attrspace.bincodec",
+    "repro.transport.framing",
+)
+
 
 @register
 class RawWireCodecRule(Rule):
     name = "raw-wire-codec"
     description = (
-        "json.dumps/json.loads in wire-facing packages is confined to "
-        "the sanctioned codec module (attrspace/protocol.py)"
+        "encode/decode in wire-facing packages is confined to the "
+        "sanctioned codec sites: json.dumps/loads to attrspace/protocol, "
+        "struct packing to attrspace/bincodec + transport/framing"
     )
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
-        if module.modname == CODEC_MODULE:
-            return
         if not module.in_package(*WIRE_PACKAGES):
             return
-        json_names = self._json_imports(module)
+        if module.modname != CODEC_MODULE:
+            yield from self._check_json(module)
+        if module.modname not in BINARY_CODEC_MODULES:
+            yield from self._check_struct(module)
+
+    def _check_json(self, module: ModuleSource) -> Iterator[Finding]:
+        json_names = self._imported_names(module, "json", ("dumps", "loads"))
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -367,12 +381,38 @@ class RawWireCodecRule(Rule):
                     f"codec in {CODEC_MODULE} instead",
                 )
 
+    _STRUCT_CALLS = ("pack", "unpack", "pack_into", "unpack_from", "Struct")
+
+    def _check_struct(self, module: ModuleSource) -> Iterator[Finding]:
+        struct_names = self._imported_names(module, "struct", self._STRUCT_CALLS)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            offender: str | None = None
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in self._STRUCT_CALLS \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id == "struct":
+                offender = f"struct.{func.attr}"
+            elif isinstance(func, ast.Name) and func.id in struct_names:
+                offender = func.id
+            if offender is not None:
+                sanctioned = " or ".join(BINARY_CODEC_MODULES)
+                yield self.finding(
+                    module, node,
+                    f"{offender} on the wire path: byte packing belongs "
+                    f"in {sanctioned}",
+                )
+
     @staticmethod
-    def _json_imports(module: ModuleSource) -> set[str]:
+    def _imported_names(
+        module: ModuleSource, source: str, wanted: tuple[str, ...]
+    ) -> set[str]:
         names: set[str] = set()
         for node in ast.walk(module.tree):
-            if isinstance(node, ast.ImportFrom) and node.module == "json":
+            if isinstance(node, ast.ImportFrom) and node.module == source:
                 for alias in node.names:
-                    if alias.name in ("dumps", "loads"):
+                    if alias.name in wanted:
                         names.add(alias.asname or alias.name)
         return names

@@ -22,6 +22,15 @@ import json
 from typing import Any
 
 from repro import errors, obs
+from repro.attrspace import bincodec
+
+#: Codec names a transport hello may advertise.  ``json`` is the
+#: mandatory fallback every peer must accept; ``tdpb1`` is the
+#: length-prefixed binary codec (see :mod:`repro.attrspace.bincodec`).
+#: Preference order: first supported entry wins during negotiation.
+CODEC_JSON = "json"
+CODEC_BINARY = bincodec.CODEC_NAME
+SUPPORTED_CODECS = (CODEC_BINARY, CODEC_JSON)
 
 # Request operations
 OP_ATTACH = "attach"        # join a context (tdp_init); optional fields
@@ -139,16 +148,45 @@ def raise_error(reply: dict[str, Any], *, op: str | None = None) -> None:
 # -- sanctioned codec ---------------------------------------------------------
 
 
-def encode_body(message: dict[str, Any]) -> bytes:
+def negotiate_codec(offered: Any) -> str:
+    """Server-side codec choice for a hello's ``codecs`` advertisement.
+
+    A missing, corrupt, or unrecognized advertisement falls back to the
+    mandatory JSON codec — negotiation can narrow the format, never
+    break the connection.
+    """
+    if isinstance(offered, (list, tuple)):
+        for codec in SUPPORTED_CODECS:
+            if codec in offered:
+                return codec
+    return CODEC_JSON
+
+
+def encode_body(message: dict[str, Any], codec: str = CODEC_JSON) -> bytes:
     """Serialize one frame body to bytes (no transport length prefix)."""
+    if codec == CODEC_BINARY:
+        return bincodec.encode(message)
+    if codec != CODEC_JSON:
+        raise errors.ProtocolError(f"unknown wire codec {codec!r}")
     try:
         return json.dumps(message, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as e:
         raise errors.ProtocolError(f"unserializable message: {e}") from e
 
 
-def decode_body(data: bytes) -> dict[str, Any]:
-    """Deserialize a frame body; raises ProtocolError on malformed input."""
+def decode_body(data: bytes, binary: bool = False) -> dict[str, Any]:
+    """Deserialize a frame body; raises ProtocolError on malformed input.
+
+    The frame header names the body codec per frame (``binary`` flag
+    bit), so decode never depends on negotiation state — a peer may
+    switch codecs mid-stream (it does, right after the hello ack) and
+    both sides stay in sync.
+    """
+    if binary:
+        try:
+            return bincodec.decode(data)
+        except errors.ProtocolError as e:
+            raise frame_error(str(e)) from e
     try:
         obj = json.loads(data.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as e:

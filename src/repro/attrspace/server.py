@@ -159,10 +159,13 @@ class _SessionLease:
 class _Connection:
     """Server-side state for one client channel.
 
-    Outbound frames are enqueued (never sent inline) and drained by this
-    connection's dedicated writer thread — the single consumer of
-    ``outbound``, which also makes it the serialization point that the
-    old per-connection send lock used to provide.
+    Outbound frames are enqueued (never sent inline).  On a loop-managed
+    channel (the event-loop server core) the loop drains the channel's
+    own bounded buffer; otherwise a dedicated writer thread drains
+    ``outbound`` — the single consumer, which also makes it the
+    serialization point that the old per-connection send lock used to
+    provide.  Either way the producer never blocks and overflow is
+    answered by the slow-subscriber policy, not silence.
     """
 
     def __init__(self, server: "AttributeSpaceServer", channel: Channel, conn_id: int):
@@ -170,7 +173,9 @@ class _Connection:
         self.channel = channel
         self.conn_id = conn_id
         self.peer = f"{channel.remote_host}#{conn_id}"
-        self.outbound: WaitableQueue[dict[str, Any]] = WaitableQueue()
+        self.outbound: WaitableQueue[dict[str, Any]] | None = (
+            None if getattr(channel, "loop_managed", False) else WaitableQueue()
+        )
         # (context, attribute, waiter_id) for pending blocking gets, so we
         # can cancel them if this client disconnects.
         self.pending_waiters: set[tuple[str, str, int]] = set()
@@ -183,8 +188,10 @@ class _Connection:
         # serially and cross-thread readers treat None as "anonymous")
         self.lease: _SessionLease | None = None
         self.member: str | None = None
-        self.writer = spawn(
-            self._writer_loop, name=f"{server.name}-w{conn_id}"
+        self.writer = (
+            spawn(self._writer_loop, name=f"{server.name}-w{conn_id}")
+            if self.outbound is not None
+            else None
         )
 
     @property
@@ -211,7 +218,13 @@ class _Connection:
             # operation.
             lease.cache_reply(reply_to, message)
         try:
-            if not self.outbound.offer(message, OUTBOUND_QUEUE_LIMIT):
+            if self.outbound is not None:
+                accepted = self.outbound.offer(message, OUTBOUND_QUEUE_LIMIT)
+            else:
+                # Loop-managed channel: the event loop owns the bounded
+                # outbound buffer and drains it under write readiness.
+                accepted = self.channel.offer(message, OUTBOUND_QUEUE_LIMIT)
+            if not accepted:
                 self.server._disconnect_slow(self)
         except errors.ChannelClosedError:
             pass  # connection torn down; leased replies stay cached
@@ -298,7 +311,26 @@ class AttributeSpaceServer:
                 "slow_subscriber_disconnects",
             )
         }
-        self._acceptor = spawn(self._accept_loop, name=f"{self.name}-accept")
+        serve_loop = getattr(self._listener, "serve_loop", None)
+        if serve_loop is not None:
+            # Event-loop server core: one thread multiplexes accept,
+            # handshake deadlines, reads, and write backpressure for
+            # every connection — idle subscribers cost a file
+            # descriptor, not two threads.  Dispatch and all store
+            # semantics are unchanged: the loop hands decoded frames to
+            # the same _dispatch path the threaded core uses.
+            self._acceptor = None
+            self._loop = serve_loop(
+                on_channel=self._loop_accept,
+                on_message=self._dispatch,
+                on_closed=self._cleanup,
+                name=f"{self.name}-loop",
+            )
+        else:
+            # Threaded fallback for transports whose listeners are not
+            # raw sockets (inmem, proxies, fault-injection wrappers).
+            self._loop = None
+            self._acceptor = spawn(self._accept_loop, name=f"{self.name}-accept")
         _log.info("%s listening at %s", self.name, self.endpoint)
 
     # -- lifecycle -----------------------------------------------------------
@@ -312,6 +344,11 @@ class AttributeSpaceServer:
         if self._stopped.is_set():
             return
         self._stopped.set()
+        if self._loop is not None:
+            # Graceful loop shutdown first: it tears every connection
+            # down on the loop thread (firing the normal _cleanup per
+            # connection) before the join returns.
+            self._loop.stop()
         self._listener.close()
         with self._conn_lock:
             conns = list(self._connections.values())
@@ -319,7 +356,8 @@ class AttributeSpaceServer:
         for conn in conns:
             for timer in conn.timers.values():
                 timer.cancel()
-            conn.outbound.close()
+            if conn.outbound is not None:
+                conn.outbound.close()
             conn.channel.close()
         with self._lease_lock:
             sweeper = self._sweeper
@@ -335,12 +373,40 @@ class AttributeSpaceServer:
 
     # -- accept/serve ----------------------------------------------------------
 
+    def _loop_accept(self, channel: Channel) -> _Connection | None:
+        """``on_channel`` hook for the event-loop core (loop thread).
+
+        Returns the connection token the loop passes back to
+        ``_dispatch``/``_cleanup``, or ``None`` to refuse the peer.
+        """
+        if self._stopped.is_set():
+            return None
+        if self.local_only and channel.remote_host != self.host:
+            _log.info(
+                "%s refusing non-local client from %s (LASS access rule)",
+                self.name, channel.remote_host,
+            )
+            return None
+        conn = _Connection(self, channel, self._conn_ids.increment())
+        with self._conn_lock:
+            if self._stopped.is_set():
+                return None
+            self._connections[conn.conn_id] = conn
+        self.stats["connections"].increment()
+        obs.record("conn.accept", actor=self.name, peer=conn.peer)
+        return conn
+
     def _accept_loop(self) -> None:
         while not self._stopped.is_set():
             try:
                 channel = self._listener.accept()
             except errors.TdpError:
-                return
+                # One failed handshake (garbage preamble, peer gone
+                # mid-hello) must not end admission for everyone else;
+                # only shutdown — ours or the listener's — does.
+                if self._stopped.is_set() or self._listener.closed:
+                    return
+                continue
             if self.local_only and channel.remote_host != self.host:
                 _log.info(
                     "%s refusing non-local client from %s (LASS access rule)",
@@ -383,7 +449,8 @@ class AttributeSpaceServer:
         self.store.subscriptions.unsubscribe_many(conn.subscriptions)
         # Close the queue first (graceful drain: the writer transmits
         # what is already queued, then exits), then the channel.
-        conn.outbound.close()
+        if conn.outbound is not None:
+            conn.outbound.close()
         conn.channel.close()
         # The lease (if any) is deliberately NOT released here: the whole
         # point is surviving the connection.  The sweeper expires it when
@@ -403,7 +470,8 @@ class AttributeSpaceServer:
             "%s: disconnecting %s: outbound queue full (%d frames unread)",
             self.name, conn.peer, OUTBOUND_QUEUE_LIMIT,
         )
-        conn.outbound.close()
+        if conn.outbound is not None:
+            conn.outbound.close()
         conn.channel.close()
 
     # -- request dispatch -----------------------------------------------------

@@ -57,6 +57,15 @@ class Channel(ABC):
         self.send(message)
         return self.recv(timeout=timeout)
 
+    def send_many(self, messages) -> None:
+        """Send a burst of messages in order.
+
+        Semantically ``for m in messages: send(m)``; transports that can
+        batch the write (TCP) override this to amortize the syscall.
+        """
+        for message in messages:
+            self.send(message)
+
     def __enter__(self) -> "Channel":
         return self
 

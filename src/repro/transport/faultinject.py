@@ -299,7 +299,14 @@ class FaultInjectTransport(Transport):
         return FaultInjectChannel(channel, self.plan, seq, self.fault_counts)
 
     def listen(self, host: str, port: int = 0) -> Listener:
-        return _FaultInjectListener(self, self._inner_transport.listen(host, port))
+        listener = self._inner_transport.listen(host, port)
+        if not self.plan.wrap_side("accept"):
+            # Accept-side injection is off: return the inner listener
+            # unwrapped so backend-specific server surface (the TCP
+            # listener's event-loop factory) stays reachable.  Connect-
+            # side plans still perturb every channel end they wrap.
+            return listener
+        return _FaultInjectListener(self, listener)
 
     def connect(
         self, src_host: str, endpoint: Endpoint, timeout: float | None = None

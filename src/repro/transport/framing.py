@@ -1,10 +1,13 @@
-"""Wire codec: length-prefixed JSON frames.
+"""Wire framing: length-prefixed frame bodies (JSON or negotiated binary).
 
 Both transports speak the same frame format so a message captured on one
 can be replayed on the other:
 
-* 4-byte big-endian unsigned length, then that many bytes of UTF-8 JSON.
-* The JSON document must be an object (mapping), mirroring the
+* 4-byte big-endian unsigned header: bit 31 is the body-codec flag
+  (0 = UTF-8 JSON, 1 = the negotiated ``tdpb1`` binary codec), the low
+  31 bits are the body length.  The flag rides every frame, so decoding
+  never depends on per-connection negotiation state.
+* The body must decode to an object (mapping), mirroring the
   :data:`~repro.transport.base.Message` type.
 
 The in-memory transport also round-trips every message through this
@@ -40,21 +43,53 @@ def _body_codec():
 _LEN = struct.Struct(">I")
 
 #: Upper bound on one frame; protects servers from a runaway peer.
+#: Must stay below 2**31 — bit 31 of the length prefix is the codec flag.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
+#: Header bit marking a binary (``tdpb1``) body; low bits are the length.
+_BINARY_FLAG = 0x80000000
+_LENGTH_MASK = 0x7FFFFFFF
 
-def encode_frame(message: dict[str, Any]) -> bytes:
-    """Serialize one message to a length-prefixed frame."""
+
+def supported_codecs() -> tuple[str, ...]:
+    """Codec names to advertise in a connect hello (preference order)."""
+    return _body_codec().SUPPORTED_CODECS
+
+
+def negotiate_codec(offered: Any) -> str:
+    """Pick the body codec for a peer's advertisement (JSON fallback)."""
+    return _body_codec().negotiate_codec(offered)
+
+
+def json_codec() -> str:
+    """Name of the mandatory fallback codec."""
+    return _body_codec().CODEC_JSON
+
+
+def encode_frame(message: dict[str, Any], codec: str | None = None) -> bytes:
+    """Serialize one message to a length-prefixed frame.
+
+    ``codec=None`` means the default JSON body.  The chosen codec is
+    recorded in the frame header, so mixed-codec streams decode cleanly.
+    """
     if not isinstance(message, dict):
         raise ProtocolError(f"message must be a dict, got {type(message).__name__}")
-    body = _body_codec().encode_body(message)
+    P = _body_codec()
+    if codec is None or codec == P.CODEC_JSON:
+        body = P.encode_body(message)
+        flag = 0
+    else:
+        body = P.encode_body(message, codec)
+        flag = _BINARY_FLAG
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame too large: {len(body)} bytes")
-    return _LEN.pack(len(body)) + body
+    return _LEN.pack(len(body) | flag) + body
 
 
-def decode_body(body: bytes) -> dict[str, Any]:
+def decode_body(body: bytes, binary: bool = False) -> dict[str, Any]:
     """Deserialize a frame body back into a message dict."""
+    if binary:
+        return _body_codec().decode_body(body, True)
     return _body_codec().decode_body(body)
 
 
@@ -81,14 +116,16 @@ class FrameReader:
         while True:
             if len(self._buf) < _LEN.size:
                 break
-            (length,) = _LEN.unpack_from(self._buf, 0)
+            (header,) = _LEN.unpack_from(self._buf, 0)
+            binary = bool(header & _BINARY_FLAG)
+            length = header & _LENGTH_MASK
             if length > MAX_FRAME_BYTES:
                 raise ProtocolError(f"peer announced oversized frame: {length} bytes")
             if len(self._buf) < _LEN.size + length:
                 break
             body = bytes(self._buf[_LEN.size : _LEN.size + length])
             del self._buf[: _LEN.size + length]
-            out.append(decode_body(body))
+            out.append(decode_body(body, binary))
         return out
 
     @property

@@ -5,29 +5,65 @@ attribute-space server and TDP client code run over genuine sockets.
 Host names are logical labels carried in a small connect preamble (all
 sockets physically bind to loopback), so code written against the
 simulated network runs unchanged.
+
+The connect hello also negotiates the frame-body codec: the client
+advertises ``{"codecs": [...]}``, the server picks the first name it
+supports (JSON is the mandatory fallback) and answers with a
+``{"hello_ack": ..., "codec": ...}`` frame before any reply.  A peer
+that advertises nothing gets no ack and stays on JSON — old clients
+keep working unchanged.
+
+Channels here are threadless: ``recv`` reads the socket directly (a
+``select`` wait gives queue-identical timeout semantics), so a client
+connection costs one file descriptor, not a reader thread.  Server-side
+connection multiplexing lives in :mod:`repro.transport.eventloop`; the
+blocking ``accept()`` below remains for handler-thread servers and
+fault-injection wrapping.
 """
 
 from __future__ import annotations
 
+import collections
+import select
 import socket
+import time
 
 from repro import obs
-from repro.errors import ChannelClosedError, ConnectError, GetTimeoutError
+from repro.errors import ChannelClosedError, ConnectError, GetTimeoutError, ProtocolError
 from repro.net.address import Endpoint
 from repro.transport import framing
 from repro.transport.base import Channel, Listener, Message, Transport
-from repro.util.sync import WaitableQueue, tracked_lock
-from repro.util.threads import spawn
+from repro.util.sync import tracked_lock
 
 _BIND_ADDR = "127.0.0.1"
 
+#: How long an accepted connection gets to complete its hello.
+HELLO_TIMEOUT = 5.0
+
+#: Preamble cap: a peer that buffers this much without completing a
+#: hello frame is garbage, not slow (a real hello is tens of bytes).
+HELLO_MAX_BYTES = 64 * 1024
+
+
+def _set_nodelay(sock: socket.socket) -> None:
+    # Nagle batches small frames; every TDP frame is a small
+    # request/reply, so delayed-ack interaction would add up to 40ms
+    # to the latency percentiles the bench records.
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass
+
 
 class _TcpChannel(Channel):
-    """Channel over a connected socket with a reader thread.
+    """Channel over a connected socket, read directly (no reader thread).
 
-    A dedicated reader thread keeps ``recv`` timeout semantics identical
-    to the in-memory backend (queue-based), and lets ``close`` wake
-    blocked readers deterministically.
+    ``recv`` pulls from the socket under ``_recv_lock``; timeouts use a
+    ``select`` readiness wait so the socket itself stays blocking and a
+    concurrent ``sendall`` is never perturbed.  ``close`` (or peer EOF)
+    wakes a blocked reader via ``shutdown``.  Decoded-but-undelivered
+    frames queue in ``_pending`` and drain before a close is reported,
+    preserving the graceful-drain semantics of the old reader thread.
     """
 
     def __init__(
@@ -38,49 +74,43 @@ class _TcpChannel(Channel):
         *,
         frame_reader: framing.FrameReader | None = None,
         pending: tuple[Message, ...] = (),
+        send_codec: str | None = None,
+        expect_ack: bool = False,
     ):
         self._sock = sock
         self._local = local_host
         self._remote = remote_host
-        self._rx: WaitableQueue[Message] = WaitableQueue()
         # Frames the accept-side preamble read pulled off the socket
         # along with the hello (one recv can return several coalesced
         # frames) — they must reach the receiver, in order, ahead of
-        # anything the reader thread decodes.
-        for message in pending:
-            self._rx.put(message)
+        # anything read later.  ``None`` when empty: an idle connection
+        # keeps no queue allocated (the 10k-subscriber scaling case).
+        self._pending: collections.deque[Message] | None = (
+            collections.deque(pending) if pending else None
+        )
         self._frame_reader = (
             frame_reader if frame_reader is not None else framing.FrameReader()
         )
         self._send_lock = tracked_lock("transport.tcp._TcpChannel._send_lock")
+        self._recv_lock = tracked_lock("transport.tcp._TcpChannel._recv_lock")
         # tdp-guard: _closed -> volatile
         # (monotonic close latch: writes serialize under _send_lock, the
         # lock-free `closed` property read races with close by design)
         self._closed = False
-        self._reader = spawn(self._read_loop, name=f"tcp-reader-{local_host}")
+        # tdp-guard: _send_codec -> volatile
+        # (adopted once from the hello_ack on the receive path; a sender
+        # racing the adoption just encodes one more JSON frame — the
+        # per-frame header flag keeps the peer's decode correct)
+        self._send_codec = send_codec
+        self._expect_ack = expect_ack
 
-    def _read_loop(self) -> None:
-        # Continue from the preamble's reader: its buffer may hold the
-        # partial tail of a frame whose head arrived with the hello.
-        reader = self._frame_reader
-        try:
-            while True:
-                data = self._sock.recv(65536)
-                if not data:
-                    break
-                for message in reader.feed(data):
-                    self._rx.put(message)
-        except (OSError, ChannelClosedError):
-            pass
-        finally:
-            # The socket is dead (EOF or error): latch the channel closed
-            # so senders fail fast instead of retrying a doomed socket.
-            with self._send_lock:
-                self._closed = True
-            self._rx.close()
+    @property
+    def codec(self) -> str:
+        """Negotiated body-codec name (JSON until an ack says otherwise)."""
+        return self._send_codec if self._send_codec is not None else framing.json_codec()
 
     def send(self, message: Message) -> None:
-        frame = framing.encode_frame(message)
+        frame = framing.encode_frame(message, codec=self._send_codec)
         if obs.enabled():
             reg = obs.registry()
             reg.counter("transport.tcp.frames").increment()
@@ -97,19 +127,95 @@ class _TcpChannel(Channel):
                 self._closed = True
                 raise ChannelClosedError(f"peer {self._remote} gone: {e}") from e
 
+    def send_many(self, messages) -> None:
+        """Send a burst of frames with one write.
+
+        Same wire bytes as repeated :meth:`send`, but the frames are
+        concatenated into a single ``sendall`` — a pipelining caller
+        pays one syscall per burst instead of one per frame.
+        """
+        frames = [
+            framing.encode_frame(m, codec=self._send_codec) for m in messages
+        ]
+        if not frames:
+            return
+        payload = frames[0] if len(frames) == 1 else b"".join(frames)
+        if obs.enabled():
+            reg = obs.registry()
+            reg.counter("transport.tcp.frames").increment(len(frames))
+            reg.counter("transport.tcp.bytes").increment(len(payload))
+        with self._send_lock:
+            if self._closed:
+                raise ChannelClosedError(f"send on closed channel {self._local}->{self._remote}")
+            try:
+                self._sock.sendall(payload)
+            except OSError as e:
+                self._closed = True
+                raise ChannelClosedError(f"peer {self._remote} gone: {e}") from e
+
     def recv(self, timeout: float | None = None) -> Message:
-        try:
-            return self._rx.get(timeout=timeout)
-        except GetTimeoutError:
-            raise
-        except ChannelClosedError:
-            raise ChannelClosedError(f"channel {self._local}<-{self._remote} closed") from None
+        with self._recv_lock:
+            return self._recv_locked(timeout)
+
+    def _recv_locked(self, timeout: float | None) -> Message:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            pending = self._pending
+            if pending:
+                message = pending.popleft()
+                if not pending:
+                    self._pending = None
+                if self._expect_ack:
+                    # The first frame after our hello may be the codec
+                    # ack; it belongs to the transport, not the caller.
+                    self._expect_ack = False
+                    if "hello_ack" in message:
+                        self._adopt_codec(message.get("codec"))
+                        continue
+                return message
+            if self._closed:
+                raise ChannelClosedError(
+                    f"channel {self._local}<-{self._remote} closed"
+                )
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not _readable(self._sock, remaining):
+                    raise GetTimeoutError(f"recv timed out after {timeout}s")
+            try:
+                data = self._sock.recv(65536)
+            except OSError:
+                data = b""
+            if not data:
+                # EOF or error: latch closed, then loop back so any
+                # frames decoded from earlier chunks still deliver.
+                self._latch_closed()
+                continue
+            try:
+                frames = self._frame_reader.feed(data)
+            except ProtocolError:
+                self._latch_closed()
+                raise
+            if not frames:
+                continue
+            if len(frames) == 1 and not self._expect_ack:
+                return frames[0]
+            self._pending = collections.deque(frames)
+
+    def _adopt_codec(self, codec: object) -> None:
+        if isinstance(codec, str) and codec in framing.supported_codecs():
+            self._send_codec = codec
+
+    def _latch_closed(self) -> None:
+        with self._send_lock:
+            self._closed = True
 
     def close(self) -> None:
         with self._send_lock:
             if self._closed:
                 return
             self._closed = True
+        # Shutdown wakes a reader blocked in recv/select before the fd
+        # is released.
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:
@@ -127,6 +233,14 @@ class _TcpChannel(Channel):
     @property
     def remote_host(self) -> str:
         return self._remote
+
+
+def _readable(sock: socket.socket, timeout: float) -> bool:
+    try:
+        ready, _, _ = select.select([sock], [], [], timeout)
+    except (OSError, ValueError):
+        return True  # let recv surface the real error
+    return bool(ready)
 
 
 class _TcpListener(Listener):
@@ -149,32 +263,63 @@ class _TcpListener(Listener):
             raise GetTimeoutError(f"accept timed out after {timeout}s") from None
         except OSError:
             raise ChannelClosedError(f"listener {self._endpoint} closed") from None
-        # Preamble: the client announces its logical host name.  The
-        # recv can return protocol frames coalesced behind the hello
-        # (the client sends its first request immediately after
-        # connecting); everything past the hello — decoded frames and
-        # the reader's partial-frame buffer — is handed to the channel,
-        # not dropped.
-        conn.settimeout(5.0)
+        _set_nodelay(conn)
+        # Preamble: the client announces its logical host name and
+        # codec support.  The recv can return protocol frames coalesced
+        # behind the hello (the client sends its first request
+        # immediately after connecting); everything past the hello —
+        # decoded frames and the reader's partial-frame buffer — is
+        # handed to the channel, not dropped.  A peer that dies, stalls
+        # past the deadline, or sends garbage never becomes a channel:
+        # the caller sees ChannelClosedError, not a half-dead peer "?".
+        conn.settimeout(HELLO_TIMEOUT)
         reader = framing.FrameReader()
-        peer_host = "?"
-        extra: tuple[Message, ...] = ()
         try:
-            while True:
-                data = conn.recv(4096)
-                if not data:
-                    break
-                msgs = reader.feed(data)
-                if msgs:
-                    peer_host = str(msgs[0].get("hello", "?"))
-                    extra = tuple(msgs[1:])
-                    break
-        except OSError:
-            pass
+            hello, extra = self._read_hello(conn, reader)
+        except (OSError, ProtocolError) as e:
+            conn.close()
+            raise ChannelClosedError(f"hello handshake failed: {e}") from e
         conn.settimeout(None)
-        return _TcpChannel(
-            conn, self._host, peer_host, frame_reader=reader, pending=extra
+        peer_host = str(hello["hello"])
+        codec = framing.negotiate_codec(hello.get("codecs"))
+        channel = _TcpChannel(
+            conn, self._host, peer_host,
+            frame_reader=reader, pending=extra, send_codec=codec,
         )
+        if "codecs" in hello:
+            channel.send({"hello_ack": self._host, "codec": codec})
+        return channel
+
+    @staticmethod
+    def _read_hello(
+        conn: socket.socket, reader: framing.FrameReader
+    ) -> tuple[Message, tuple[Message, ...]]:
+        while True:
+            if reader.pending_bytes > HELLO_MAX_BYTES:
+                raise ProtocolError(
+                    f"{reader.pending_bytes} preamble bytes without a hello"
+                )
+            data = conn.recv(4096)
+            if not data:
+                raise ProtocolError("peer closed before hello")
+            msgs = reader.feed(data)
+            if msgs:
+                if "hello" not in msgs[0]:
+                    raise ProtocolError("first frame was not a hello")
+                return msgs[0], tuple(msgs[1:])
+
+    def serve_loop(self, **kwargs) -> "ServerSocketLoop":
+        """Hand the listening socket to a selectors event loop.
+
+        The returned loop owns accept + per-connection IO on one
+        thread; the listener keeps ownership of the socket for
+        ``close()``.  ``accept()`` must not be called once a loop is
+        serving.  See :class:`repro.transport.eventloop.ServerSocketLoop`
+        for the handler contract.
+        """
+        from repro.transport.eventloop import ServerSocketLoop
+
+        return ServerSocketLoop(self._sock, self._host, **kwargs)
 
     def close(self) -> None:
         if self._closed:
@@ -213,7 +358,7 @@ class TcpTransport(Transport):
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         sock.bind((_BIND_ADDR, 0))
-        sock.listen(64)
+        sock.listen(1024)
         real_port = sock.getsockname()[1]
         logical_port = port if port != 0 else real_port
         listener = _TcpListener(self, host, sock, logical_port)
@@ -234,8 +379,9 @@ class TcpTransport(Transport):
             sock.close()
             raise ConnectError(f"connect to {endpoint} failed: {e}") from e
         sock.settimeout(None)
-        channel = _TcpChannel(sock, src_host, endpoint.host)
-        channel.send({"hello": src_host})
+        _set_nodelay(sock)
+        channel = _TcpChannel(sock, src_host, endpoint.host, expect_ack=True)
+        channel.send({"hello": src_host, "codecs": list(framing.supported_codecs())})
         return channel
 
     def _unbind(self, endpoint: Endpoint) -> None:

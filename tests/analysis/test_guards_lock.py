@@ -94,6 +94,8 @@ def test_waivers_are_exactly_the_committed_set():
         "sim.process.SimProcess.state@sim.process.SimProcess.__repr__",
         "sim.process.SimProcess.pending_syscall"
         "@sim.process.SimProcess._finish",
+        "transport.eventloop._Conn.token"
+        "@transport.eventloop.ServerSocketLoop._teardown_conn",
     }
 
 

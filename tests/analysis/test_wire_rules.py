@@ -371,3 +371,81 @@ def test_non_wire_package_is_exempt(tmp_path):
         modname="repro.obs.export",
     )
     assert lint_codec([mod]) == []
+
+
+def test_struct_pack_outside_codec_fires(tmp_path):
+    mod = parse(
+        tmp_path, "tcp",
+        """
+        import struct
+
+        def header(n):
+            return struct.pack(">I", n)
+        """,
+        modname="repro.transport.tcp",
+    )
+    findings = lint_codec([mod])
+    assert len(findings) == 1
+    assert "struct.pack" in findings[0].message
+    assert "repro.attrspace.bincodec" in findings[0].message
+
+
+def test_struct_from_import_alias_fires(tmp_path):
+    mod = parse(
+        tmp_path, "server",
+        """
+        from struct import unpack_from as peek
+
+        def read(buf):
+            return peek(">I", buf, 0)
+        """,
+        modname="repro.attrspace.server",
+    )
+    findings = lint_codec([mod])
+    assert len(findings) == 1
+    assert "peek" in findings[0].message
+
+
+def test_bincodec_and_framing_may_struct_pack(tmp_path):
+    mods = [
+        parse(
+            tmp_path, "bincodec",
+            """
+            import struct
+
+            def encode_int(n):
+                return struct.pack(">q", n)
+            """,
+            modname="repro.attrspace.bincodec",
+        ),
+        parse(
+            tmp_path, "framing",
+            """
+            import struct
+
+            _LEN = struct.Struct(">I")
+
+            def frame(body):
+                return _LEN.pack(len(body)) + body
+            """,
+            modname="repro.transport.framing",
+        ),
+    ]
+    assert lint_codec(mods) == []
+
+
+def test_protocol_module_may_not_struct_pack(tmp_path):
+    # The JSON codec seam is sanctioned for json, not for byte packing —
+    # binary layout lives in bincodec only.
+    mod = parse(
+        tmp_path, "protocol",
+        """
+        import struct
+
+        def encode_body(message):
+            return struct.pack(">I", 0)
+        """,
+        modname="repro.attrspace.protocol",
+    )
+    findings = lint_codec([mod])
+    assert len(findings) == 1

@@ -286,3 +286,93 @@ def test_malformed_body_is_a_protocol_error():
         framing.decode_body(b"not json")
     with pytest.raises(errors.ProtocolError, match="JSON object"):
         framing.decode_body(b"[1, 2]")
+
+
+# -- binary codec conformance --------------------------------------------------
+#
+# The same sample set, error classes, and strictness contract must hold
+# with the negotiated binary codec — the codec seam is only honest if
+# both codecs are interchangeable for every frame in protocol.lock.json.
+
+
+def binary_roundtrip(message):
+    """Full wire path: binary frame with flag bit, fed through FrameReader."""
+    wire = framing.encode_frame(message, codec=protocol.CODEC_BINARY)
+    out = list(framing.FrameReader().feed(wire))
+    assert len(out) == 1
+    return out[0]
+
+
+@pytest.mark.parametrize(
+    "kind,frame", SAMPLES, ids=[f"{k}-{i}" for i, (k, _) in enumerate(SAMPLES)]
+)
+def test_binary_sample_frame_roundtrips_and_conforms(lock, kind, frame):
+    decoded = binary_roundtrip(frame)
+    assert decoded == frame
+    assert wireschema.validate_frame(lock, decoded, kind) == []
+
+
+def test_binary_frames_carry_the_flag_bit():
+    body_json = framing.encode_frame({"op": "ping", "req": 0})
+    body_bin = framing.encode_frame(
+        {"op": "ping", "req": 0}, codec=protocol.CODEC_BINARY)
+    assert not body_json[0] & 0x80  # JSON frames leave bit 31 clear
+    assert body_bin[0] & 0x80       # binary frames set it
+    # A reader decodes an interleaved stream per-frame, not per-channel.
+    out = list(framing.FrameReader().feed(body_bin + body_json + body_bin))
+    assert out == [{"op": "ping", "req": 0}] * 3
+
+
+def test_binary_error_reply_roundtrips_every_mapped_class():
+    for name, klass in protocol._ERROR_TYPES.items():
+        exc = (errors.NoSuchAttributeError("pid", "c")
+               if klass is errors.NoSuchAttributeError else klass("boom"))
+        reply = binary_roundtrip(protocol.error_reply(42, exc))
+        with pytest.raises(klass) as raised:
+            protocol.raise_error(reply)
+        assert type(raised.value) is klass, name
+
+
+def test_binary_encode_rejects_non_string_keys():
+    with pytest.raises(errors.ProtocolError):
+        protocol.encode_body(
+            {"op": "put", "value": {1: "x"}}, codec=protocol.CODEC_BINARY)
+
+
+def test_binary_encode_rejects_unserializable_values():
+    with pytest.raises(errors.ProtocolError):
+        protocol.encode_body(
+            {"op": "put", "value": object()}, codec=protocol.CODEC_BINARY)
+
+
+def test_binary_malformed_body_is_a_protocol_error():
+    good = protocol.encode_body(
+        {"op": "ping", "req": 0}, codec=protocol.CODEC_BINARY)
+    for mangled in (b"", b"\xff", good[:-1], good[:3], b"\x0b" + good):
+        with pytest.raises(errors.ProtocolError, match="malformed frame body"):
+            protocol.decode_body(mangled, True)
+
+
+def test_binary_value_fidelity_beyond_the_lock():
+    """Types the op schemas allow in ``value``/``data`` positions survive:
+    unicode, big ints, floats, nesting, and the full scalar range."""
+    gnarly = {
+        "op": "put", "req": 2**40, "context": "c", "attribute": "a",
+        "value": {
+            "s": "naïve π ≠ 3 ☃",
+            "neg": -(2**63) + 1,
+            "big": 2**200,
+            "negbig": -(2**200),
+            "f": 1.5e-300,
+            "nested": [[None, True, False], {"deep": {"er": [0.0]}}],
+            "empty_list": [], "empty_map": {},
+        },
+    }
+    assert binary_roundtrip(gnarly) == gnarly
+
+
+def test_binary_unknown_field_names_roundtrip():
+    # Fields outside the pinned vocabulary ride the escape path, so a
+    # future op extension does not require a codec bump.
+    frame = {"op": "ping", "req": 1, "brand_new_field": ["x", 1]}
+    assert binary_roundtrip(frame) == frame

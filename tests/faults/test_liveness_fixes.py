@@ -174,13 +174,19 @@ class TestTcpClosedLatch:
         client.close()
         listener.close()
 
-    def test_reader_eof_latches_without_any_send(self):
+    def test_recv_eof_latches_without_any_send(self):
+        # Threadless channels observe EOF at the next recv (there is no
+        # reader thread to see it passively): the recv must fail fast
+        # with ChannelClosedError — not hang, not time out — and leave
+        # the channel latched so later sends fail fast too.
         transport = TcpTransport()
         listener = transport.listen("node1")
         client = transport.connect("submit", listener.endpoint, timeout=5.0)
         server_side = listener.accept(timeout=5.0)
         server_side.close()
-        assert wait_until(lambda: client.closed)
+        with pytest.raises(errors.ChannelClosedError):
+            client.recv(timeout=5.0)
+        assert client.closed
         with pytest.raises(errors.ChannelClosedError):
             client.send({"n": 0})
         client.close()

@@ -115,6 +115,35 @@ class TestPutNotifyChain:
             server.stop()
 
 
+class TestBinaryTcpChannel:
+    def test_chain_holds_over_negotiated_binary_tcp(self, obs_on):
+        """The trace context rides the binary codec unchanged: real TCP,
+        tdpb1 negotiated, same causal chain as the in-memory channel."""
+        from repro.attrspace import protocol
+        from repro.transport.tcp import TcpTransport
+
+        transport = TcpTransport()
+        server = AttributeSpaceServer(transport, "node1", role=ServerRole.LASS)
+        sub = tdp_init(transport, server.endpoint, member="RT", role=Role.RT,
+                       context="job", src_host="submit")
+        put = tdp_init(transport, server.endpoint, member="AS", role=Role.AS,
+                       context="job", src_host="submit")
+        try:
+            assert put.lass._channel.codec == protocol.CODEC_BINARY
+            assert sub.lass._channel.codec == protocol.CODEC_BINARY
+            seen = []
+            tdp_subscribe(sub, "watch*", lambda n, a: seen.append(n.value))
+            tdp_put(put, "watch.bin", "v")
+            assert wait_until(lambda: sub.has_pending_events())
+            tdp_service_events(sub)
+            assert seen == ["v"]
+            _assert_causal_chain(_put_trace_id("watch.bin"))
+        finally:
+            tdp_exit(sub)
+            tdp_exit(put)
+            server.stop()
+
+
 class TestSeveredReconnect:
     def test_trace_survives_fault_severed_reconnect(self, obs_on):
         base = InMemoryTransport(flat_network(["node1", "submit"]))

@@ -1,0 +1,219 @@
+"""Event-loop server core: hello deadlines, preamble bounds, and the
+one-thread-per-server scaling contract.
+
+The slow-hello cases drive :class:`ServerSocketLoop` directly (small
+deadline, echo dispatch); the scaling and chaos cases go through the
+full attribute-space server.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import errors
+from repro.attrspace.client import AttributeSpaceClient
+from repro.attrspace.server import AttributeSpaceServer, ServerRole
+from repro.transport import framing
+from repro.transport.faultinject import FaultInjectTransport, FaultPlan
+from repro.transport.tcp import TcpTransport
+
+
+def wait_until(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class EchoLoop:
+    """A ServerSocketLoop harness that echoes every frame back."""
+
+    def __init__(self, hello_timeout=0.3):
+        self.transport = TcpTransport()
+        self.listener = self.transport.listen("node1")
+        self.closed = []
+        self.loop = self.listener.serve_loop(
+            on_channel=lambda channel: channel,
+            on_message=lambda channel, message: channel.send(
+                {"echo": message}),
+            on_closed=self.closed.append,
+            name="test-echo-loop",
+            hello_timeout=hello_timeout,
+        )
+
+    def stop(self):
+        self.loop.stop()
+        self.listener.close()
+
+
+class TestHelloDeadline:
+    def test_silent_peer_does_not_block_other_clients(self):
+        harness = EchoLoop(hello_timeout=1.0)
+        try:
+            silent = socket.create_connection(
+                ("127.0.0.1", harness.listener.endpoint.port))
+            # With the deadline still pending, a well-behaved client
+            # completes its hello and gets service immediately — the
+            # old inline handshake would have parked accept() for the
+            # full hello timeout here.
+            client = harness.transport.connect(
+                "submit", harness.listener.endpoint, timeout=5.0)
+            t0 = time.monotonic()
+            reply = client.request({"op": "ping"}, timeout=5.0)
+            assert reply == {"echo": {"op": "ping"}}
+            assert time.monotonic() - t0 < 0.9
+            client.close()
+            silent.close()
+        finally:
+            harness.stop()
+
+    def test_silent_peer_is_closed_at_deadline(self):
+        harness = EchoLoop(hello_timeout=0.3)
+        try:
+            silent = socket.create_connection(
+                ("127.0.0.1", harness.listener.endpoint.port))
+            silent.settimeout(5.0)
+            t0 = time.monotonic()
+            assert silent.recv(1) == b""  # server hung up on us
+            elapsed = time.monotonic() - t0
+            assert 0.1 < elapsed < 3.0
+        finally:
+            silent.close()
+            harness.stop()
+
+    def test_oversized_preamble_is_cut_off(self):
+        harness = EchoLoop(hello_timeout=30.0)
+        try:
+            sock = socket.create_connection(
+                ("127.0.0.1", harness.listener.endpoint.port))
+            sock.settimeout(5.0)
+            # A frame header promising 200 KB, streamed without ever
+            # completing: the preamble cap (64 KB) must cut it off long
+            # before the hello deadline would.
+            import struct
+            sock.sendall(struct.pack(">I", 200_000))
+            try:
+                for _ in range(20):
+                    sock.sendall(b"\0" * 8192)
+                    time.sleep(0.01)
+            except OSError:
+                pass  # reset mid-stream is also a valid cut-off
+            assert wait_until(lambda: _peer_gone(sock))
+        finally:
+            sock.close()
+            harness.stop()
+
+    def test_first_frame_must_be_a_hello(self):
+        harness = EchoLoop(hello_timeout=30.0)
+        try:
+            sock = socket.create_connection(
+                ("127.0.0.1", harness.listener.endpoint.port))
+            sock.settimeout(5.0)
+            sock.sendall(framing.encode_frame({"op": "put"}))
+            assert sock.recv(1) == b""
+        finally:
+            sock.close()
+            harness.stop()
+
+
+def _peer_gone(sock) -> bool:
+    sock.settimeout(0.05)
+    try:
+        return sock.recv(1) == b""
+    except TimeoutError:
+        return False
+    except OSError:
+        return True
+
+
+class TestServerScaling:
+    N_SUBSCRIBERS = 150
+
+    def test_idle_subscribers_add_no_server_threads(self):
+        transport = TcpTransport()
+        server = AttributeSpaceServer(transport, "node1", role=ServerRole.CASS)
+        channels = []
+        try:
+            for i in range(self.N_SUBSCRIBERS):
+                ch = transport.connect("submit", server.endpoint, timeout=5.0)
+                reply = ch.request(
+                    {"op": "attach", "req": 0, "context": "j",
+                     "member": f"sub-{i}"},
+                    timeout=5.0,
+                )
+                assert reply.get("ok") is True, reply
+                reply = ch.request(
+                    {"op": "subscribe", "req": 1, "context": "j",
+                     "pattern": "hot"},
+                    timeout=5.0,
+                )
+                assert reply.get("ok") is True, reply
+                channels.append(ch)
+
+            # Threadless channels + one event loop: nothing per-conn.
+            assert server._loop is not None
+            server_threads = sorted(
+                t.name for t in threading.enumerate()
+                if t.name.startswith(server.name)
+            )
+            # Leaseless raw attaches never start the sweeper, so the
+            # loop thread is the server's ONLY thread at 150 conns.
+            assert server_threads == [f"{server.name}-loop"], server_threads
+
+            # The fan-out still reaches every idle subscriber.
+            writer = transport.connect("submit", server.endpoint, timeout=5.0)
+            writer.request(
+                {"op": "attach", "req": 0, "context": "j", "member": "w"},
+                timeout=5.0,
+            )
+            writer.request(
+                {"op": "put", "req": 1, "context": "j", "attribute": "hot",
+                 "value": "v1"},
+                timeout=5.0,
+            )
+            for ch in (channels[0], channels[-1], channels[len(channels) // 2]):
+                notify = ch.recv(timeout=5.0)
+                assert notify["op"] == "notify"
+                assert notify["attribute"] == "hot"
+                assert notify["value"] == "v1"
+            writer.close()
+        finally:
+            for ch in channels:
+                ch.close()
+            server.stop()
+
+    def test_server_stop_hangs_up_clients(self):
+        transport = TcpTransport()
+        server = AttributeSpaceServer(transport, "node1", role=ServerRole.CASS)
+        ch = transport.connect("submit", server.endpoint, timeout=5.0)
+        ch.request(
+            {"op": "attach", "req": 0, "context": "j", "member": "m"},
+            timeout=5.0,
+        )
+        server.stop()
+        with pytest.raises(errors.ChannelClosedError):
+            for _ in range(50):
+                ch.request({"op": "ping", "req": 9}, timeout=1.0)
+        ch.close()
+
+
+class TestChaosFallback:
+    def test_accept_scope_chaos_uses_threaded_path(self):
+        # A wrapped listener has no serve_loop, so the server must fall
+        # back to handler threads — and still serve RPCs.
+        base = TcpTransport()
+        transport = FaultInjectTransport(base, FaultPlan(seed=7, scope="both"))
+        server = AttributeSpaceServer(transport, "node1", role=ServerRole.CASS)
+        channel = transport.connect("submit", server.endpoint, timeout=5.0)
+        client = AttributeSpaceClient(channel, context="j", member="m")
+        try:
+            assert server._loop is None
+            assert client.put("a", "1") == 1
+            assert client.get("a") == "1"
+        finally:
+            client.close()
+            server.stop()
