@@ -58,6 +58,19 @@ BENCH_IDLE_SUBSCRIBERS = 10_000
 #: fds left free for the test harness, listener, and stdio when capping
 BENCH_FD_HEADROOM = 96
 
+#: notification-storm population target (spread across the LASS tier)
+BENCH_STORM_SUBSCRIBERS = 10_000
+
+#: LASS hosts in the storm's federated tier (acceptance floor: ≥ 8)
+BENCH_STORM_HOSTS = 8
+
+#: storm events (puts at the CASS) fanned to the whole population
+BENCH_STORM_EVENTS = 5
+
+#: fds the federated tier itself consumes (listeners, upstream
+#: sessions, the writer) — reserved on top of BENCH_FD_HEADROOM
+BENCH_STORM_TIER_FDS = 64
+
 
 def pytest_sessionfinish(session, exitstatus):
     if getattr(session.config.option, "collectonly", False):
@@ -74,6 +87,7 @@ def pytest_sessionfinish(session, exitstatus):
         # counter increments on the socket hot path don't tax them.
         payload["single_op_tcp"] = _single_op_tcp_bench()
         payload["idle_subscribers"] = _idle_subscriber_bench()
+        payload["notify_storm_10k"] = _notify_storm_bench()
     except Exception as exc:  # never fail a bench run over the emission
         print(f"\n[bench] BENCH_attrspace.json skipped: {exc!r}")
         return
@@ -333,6 +347,112 @@ def _idle_subscriber_bench(target: int = BENCH_IDLE_SUBSCRIBERS) -> dict:
         "requested": target,
         "rss_delta_mb": rss_delta,
         "threads": threads,
+        "transport": "tcp",
+    }
+
+
+def _notify_storm_bench(target: int = BENCH_STORM_SUBSCRIBERS,
+                        hosts: int = BENCH_STORM_HOSTS,
+                        events: int = BENCH_STORM_EVENTS) -> dict:
+    """Fan-out economics of the federated tier: a notification storm to
+    ~10k subscribers spread over ``hosts`` LASSes behind one CASS.
+
+    Each subscriber is a raw channel parked on its host's LASS with a
+    ``storm.*`` subscription; the LASSes aggregate those into ONE
+    upstream subscription per host.  A writer attached directly at the
+    CASS puts ``events`` attributes; the CASS emits exactly one frame
+    per event per host (asserted from its obs counters — the O(hosts)
+    egress claim), and each LASS re-fans locally.  ``ops_per_sec`` is
+    end-to-end deliveries per second: events × population / elapsed,
+    clocked from the first put to the last subscriber drained.
+    """
+    import resource
+
+    from repro.attrspace.client import AttributeSpaceClient
+    from repro.attrspace.lass import LassServer
+    from repro.attrspace.server import AttributeSpaceServer, ServerRole
+    from repro.transport.tcp import TcpTransport
+
+    soft, _hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    budget = (soft - BENCH_FD_HEADROOM - BENCH_STORM_TIER_FDS) // 2
+    count = max(hosts, min(target, budget))
+    if count < target:
+        print(f"\n[bench] notify_storm_10k capped at {count} of {target} "
+              f"requested (RLIMIT_NOFILE soft limit {soft})")
+
+    transport = TcpTransport()
+    cass = AttributeSpaceServer(transport, "storm-hub", role=ServerRole.CASS)
+    lasses = [
+        LassServer(transport, f"storm-n{i}", upstream=cass.endpoint)
+        for i in range(hosts)
+    ]
+    channels = []
+    writer = None
+    try:
+        for i in range(count):
+            lass = lasses[i % hosts]
+            ch = transport.connect("storm", lass.endpoint, timeout=5.0)
+            ch.send_many([
+                {"op": "attach", "req": 0, "context": "bench",
+                 "member": f"storm-{i}"},
+                {"op": "subscribe", "req": 1, "context": "bench",
+                 "pattern": "storm.*"},
+            ])
+            channels.append(ch)
+        for ch in channels:
+            for _ in range(2):
+                reply = ch.recv(timeout=30.0)
+                if not reply.get("ok"):
+                    raise RuntimeError(f"storm subscriber setup failed: {reply}")
+        # every host's aggregate must be parked upstream before the storm
+        deadline = time.perf_counter() + 30.0
+        while len(cass.store.subscriptions) < hosts:
+            if time.perf_counter() > deadline:
+                raise RuntimeError(
+                    f"only {len(cass.store.subscriptions)} of {hosts} "
+                    "aggregated subscriptions reached the CASS"
+                )
+            time.sleep(0.01)
+        egress_before = cass.stats["notifications"].value
+
+        writer = AttributeSpaceClient.connect(
+            transport, "storm", cass.endpoint,
+            context="bench", member="storm-writer",
+        )
+        start = time.perf_counter()
+        for k in range(events):
+            writer.put(f"storm.{k}", str(k))
+        for ch in channels:
+            for _ in range(events):
+                frame = ch.recv(timeout=60.0)
+                if frame.get("op") != "notify":
+                    raise RuntimeError(f"unexpected storm frame: {frame}")
+        elapsed = time.perf_counter() - start
+
+        egress = cass.stats["notifications"].value - egress_before
+        if egress != events * hosts:
+            raise RuntimeError(
+                f"CASS egress {egress} frames != events×hosts "
+                f"{events * hosts}: fan-out is not O(hosts)"
+            )
+    finally:
+        if writer is not None:
+            writer.close()
+        for ch in channels:
+            ch.close()
+        for lass in lasses:
+            lass.stop()
+        cass.stop()
+
+    deliveries = events * count
+    return {
+        "ops_per_sec": round(deliveries / elapsed, 1),
+        "count": deliveries,
+        "subscribers": count,
+        "requested": target,
+        "hosts": hosts,
+        "events": events,
+        "cass_egress_frames": egress,
         "transport": "tcp",
     }
 

@@ -36,8 +36,9 @@ from repro.errors import ProtocolError
 
 CODEC_NAME = "tdpb1"
 
-#: Op order is wire format (sorted for stability; matches the 12 ops
-#: pinned in protocol.lock.json plus the server-pushed notify).
+#: Op order is wire format: the original 12 ops were sorted once and are
+#: now frozen; later ops APPEND (appending keeps old tags valid, which
+#: is the same append-only discipline as the field table below).
 _OPS = (
     "attach",
     "batch",
@@ -51,6 +52,9 @@ _OPS = (
     "snapshot",
     "subscribe",
     "unsubscribe",
+    # federation (PR 9) — appended, see note above
+    "sub_agg",
+    "shardmap",
 )
 _OP_TAGS = {op: i for i, op in enumerate(_OPS)}
 _TAG_RAW = 0xFF
@@ -97,6 +101,11 @@ _FIELD_NAMES = (
     "hello_ack",
     "codecs",
     "codec",
+    # federation (LASS<->CASS hierarchy)
+    "origin",
+    "agg",
+    "epoch",
+    "shards",
 )
 _FIELD_IDS = {name: i for i, name in enumerate(_FIELD_NAMES)}
 _KEY_ESCAPE = 0xFF

@@ -117,12 +117,21 @@ class _PendingAsync:
 
 @dataclass
 class _SubEntry:
-    """One ledger entry: everything needed to re-establish a subscription."""
+    """One ledger entry: everything needed to re-establish a subscription.
+
+    ``agg`` marks an *aggregated* subscription (federation, LASS->CASS):
+    the handshake re-establishes it with an ``OP_SUB_AGG`` frame carrying
+    the recorded ``origin`` and ``epoch``, so a LASS that loses its
+    upstream session gets its one-frame-per-host dedup group back too.
+    """
 
     pattern: str
     callback: NotifyCallback
     callback_arg: Any
     server_id: int | None = None
+    agg: bool = False
+    origin: str | None = None
+    epoch: int = 0
 
 
 @dataclass
@@ -437,14 +446,27 @@ class AttributeSpaceClient:
         with self._lock:
             ledger = list(self._subs.items())
         for local_id, entry in ledger:
-            sub_reply = call(
-                {
-                    "op": protocol.OP_SUBSCRIBE,
-                    "req": self._req_ids.next(),
-                    "context": self.context,
-                    "pattern": entry.pattern,
-                }
-            )
+            if entry.agg:
+                sub_reply = call(
+                    {
+                        "op": protocol.OP_SUB_AGG,
+                        "req": self._req_ids.next(),
+                        "context": self.context,
+                        "pattern": entry.pattern,
+                        "agg": local_id,
+                        "origin": entry.origin,
+                        "epoch": entry.epoch,
+                    }
+                )
+            else:
+                sub_reply = call(
+                    {
+                        "op": protocol.OP_SUBSCRIBE,
+                        "req": self._req_ids.next(),
+                        "context": self.context,
+                        "pattern": entry.pattern,
+                    }
+                )
             if not sub_reply.get("ok", False):
                 protocol.raise_error(sub_reply, op=protocol.OP_SUBSCRIBE)
             server_id = int(sub_reply["sub"])
@@ -477,7 +499,7 @@ class AttributeSpaceClient:
                 op = entry.frame.get("op")
                 if op == protocol.OP_ATTACH:
                     reply = {"reply_to": req, "ok": True, "context": self.context}
-                elif op == protocol.OP_SUBSCRIBE:
+                elif op in (protocol.OP_SUBSCRIBE, protocol.OP_SUB_AGG):
                     ledger_entry = self._subs.get(entry.local_sub)
                     if ledger_entry is None or ledger_entry.server_id is None:
                         continue
@@ -618,11 +640,21 @@ class AttributeSpaceClient:
 
     # -- blocking API (paper Section 3.2) --------------------------------------
 
-    def put(self, attribute: str, value: str, *, ephemeral: bool = False) -> int:
+    def put(
+        self,
+        attribute: str,
+        value: str,
+        *,
+        ephemeral: bool = False,
+        origin: str | None = None,
+    ) -> int:
         """Blocking put; returns the stored version number.
 
         ``ephemeral`` ties the value to this session: the server purges
-        it when the member detaches or its lease expires.
+        it when the member detaches or its lease expires.  ``origin``
+        stamps federation provenance on the change (a LASS forwarding a
+        local write sets its own origin id so the upstream server does
+        not echo the notification back); ordinary clients leave it None.
         """
         frame: dict[str, Any] = {
             "op": protocol.OP_PUT,
@@ -632,6 +664,8 @@ class AttributeSpaceClient:
         }
         if ephemeral:
             frame["ephemeral"] = True
+        if origin is not None:
+            frame["origin"] = origin
         reply = self._rpc(frame)
         return int(reply["version"])
 
@@ -640,6 +674,7 @@ class AttributeSpaceClient:
         items: "Any",
         *,
         ephemeral: bool = False,
+        origin: str | None = None,
     ) -> list[int]:
         """Batched blocking put: one round trip for many attributes.
 
@@ -666,7 +701,7 @@ class AttributeSpaceClient:
             ops.append(op)
         if not ops:
             return []
-        replies = self._batch_rpc(ops)
+        replies = self._batch_rpc(ops, origin=origin)
         versions: list[int] = []
         for sub_reply in replies:
             if not sub_reply.get("ok", False):
@@ -716,11 +751,20 @@ class AttributeSpaceClient:
         """
         return _BatchBuilder(self)
 
-    def _batch_rpc(self, ops: list[dict[str, Any]]) -> list[dict[str, Any]]:
-        """Send one OP_BATCH frame; returns the positional reply list."""
-        reply = self._rpc(
-            {"op": protocol.OP_BATCH, "context": self.context, "ops": ops}
-        )
+    def _batch_rpc(
+        self, ops: list[dict[str, Any]], *, origin: str | None = None
+    ) -> list[dict[str, Any]]:
+        """Send one OP_BATCH frame; returns the positional reply list.
+
+        ``origin`` (federation provenance, batch-wide) marks every sub-op's
+        change as having been applied first on the named LASS.
+        """
+        frame: dict[str, Any] = {
+            "op": protocol.OP_BATCH, "context": self.context, "ops": ops,
+        }
+        if origin is not None:
+            frame["origin"] = origin
+        reply = self._rpc(frame)
         replies = reply.get("replies")
         if not isinstance(replies, list) or len(replies) != len(ops):
             got = len(replies) if isinstance(replies, list) else replies
@@ -769,10 +813,13 @@ class AttributeSpaceClient:
         )
         return str(reply["value"])
 
-    def remove(self, attribute: str) -> bool:
-        reply = self._rpc(
-            {"op": protocol.OP_REMOVE, "context": self.context, "attribute": attribute}
-        )
+    def remove(self, attribute: str, *, origin: str | None = None) -> bool:
+        frame: dict[str, Any] = {
+            "op": protocol.OP_REMOVE, "context": self.context, "attribute": attribute,
+        }
+        if origin is not None:
+            frame["origin"] = origin
+        reply = self._rpc(frame)
         return bool(reply["existed"])
 
     def list_attributes(self) -> list[str]:
@@ -788,17 +835,35 @@ class AttributeSpaceClient:
 
     # -- asynchronous API (paper Section 3.2/3.3) -------------------------------
 
-    def async_get(self, attribute: str, callback: AsyncCallback, callback_arg: Any = None) -> None:
+    def async_get(
+        self,
+        attribute: str,
+        callback: AsyncCallback,
+        callback_arg: Any = None,
+        *,
+        timeout: float | None = None,
+        block: bool = True,
+    ) -> None:
         """Non-blocking get; ``callback(value, error, arg)`` runs from
-        :meth:`service_events` once the attribute is available."""
+        :meth:`service_events` once the attribute is available.
+
+        ``timeout`` bounds the server-side wait (the completion then
+        carries a :class:`~repro.errors.GetTimeoutError`) — a LASS
+        forwarding a client's blocking get passes the client's deadline
+        through here so the upstream timer, not a local one, bounds the
+        wait.  ``block=False`` makes the completion immediate (value or
+        ``NoSuchAttributeError``).
+        """
+        frame: dict[str, Any] = {
+            "op": protocol.OP_GET,
+            "context": self.context,
+            "attribute": attribute,
+            "block": block,
+        }
+        if timeout is not None:
+            frame["timeout"] = timeout
         self._send_async(
-            _PendingAsync("get", attribute, callback, callback_arg),
-            {
-                "op": protocol.OP_GET,
-                "context": self.context,
-                "attribute": attribute,
-                "block": True,
-            },
+            _PendingAsync("get", attribute, callback, callback_arg), frame
         )
 
     def async_put(
@@ -865,6 +930,65 @@ class AttributeSpaceClient:
                 entry.server_id = server_id
             self._sub_routes[entry.server_id] = local_id
         return local_id
+
+    def subscribe_agg(
+        self,
+        pattern: str,
+        callback: NotifyCallback,
+        callback_arg: Any = None,
+        *,
+        origin: str,
+        epoch: int = 0,
+    ) -> int:
+        """Aggregated subscription (federation, LASS->CASS sessions only).
+
+        Same ledger semantics as :meth:`subscribe`, but the server joins
+        the subscription to ``origin``'s fan-out dedup group — all of
+        this host's aggregated subscriptions cost the upstream server one
+        egress frame per event — and suppresses notifications whose
+        change originated on ``origin`` itself.  ``epoch`` is the shard-
+        map epoch this client routed by; a shard serving a different
+        epoch refuses the subscription so the caller re-fetches the map.
+        """
+        entry = _SubEntry(
+            pattern, callback, callback_arg, agg=True, origin=origin, epoch=epoch
+        )
+        with self._lock:
+            local_id = self._sub_ids.next()
+            self._subs[local_id] = entry
+        try:
+            reply = self._rpc(
+                {
+                    "op": protocol.OP_SUB_AGG,
+                    "context": self.context,
+                    "pattern": pattern,
+                    "agg": local_id,
+                    "origin": origin,
+                    "epoch": epoch,
+                },
+                replay=False,
+                local_sub=local_id,
+            )
+        except errors.TdpError:
+            with self._lock:
+                self._subs.pop(local_id, None)
+            raise
+        server_id = int(reply["sub"])
+        with self._lock:
+            if entry.server_id is None:
+                entry.server_id = server_id
+            self._sub_routes[entry.server_id] = local_id
+        return local_id
+
+    def shard_map(self) -> tuple[int, list[str]]:
+        """Fetch the server's shard map: ``(epoch, ["host:port", ...])``.
+
+        An unsharded server answers ``(0, [])`` — "I am the only shard".
+        """
+        reply = self._rpc({"op": protocol.OP_SHARDMAP})
+        epoch = int(reply.get("epoch", 0))
+        shards = reply.get("shards")
+        return epoch, [str(s) for s in shards] if isinstance(shards, list) else []
 
     def unsubscribe(self, sub_id: int) -> bool:
         with self._lock:

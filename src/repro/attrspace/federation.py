@@ -1,0 +1,728 @@
+"""Federated attribute space: the LASS side of the LASS↔CASS hierarchy.
+
+The paper's deployment (Section 2.2) runs a Local Attribute Space Server
+on every execution host with a Central Attribute Space Server above it.
+This module is the machinery a :class:`~repro.attrspace.lass.LassServer`
+delegates to:
+
+* **Write-through forwarding.**  A local client's put/remove/batch is
+  applied to the host's own store first (the client's reply never waits
+  on the WAN), then forwarded upstream over a single leased session per
+  (context, shard), stamped with this host's *origin id* so the CASS can
+  suppress the echo back to us.  Consecutive queued writes bound for the
+  same shard coalesce into one ``OP_BATCH`` frame — the PR-5 batch
+  machinery doubles as the inter-server forwarding format.
+
+* **Miss forwarding.**  A get the local store cannot answer is forwarded
+  as an *asynchronous* upstream get carrying the originating client's
+  deadline, so the CASS-side timer — not a local one — bounds the wait.
+  The answer lands in the local store via
+  :meth:`~repro.attrspace.store.AttributeStore.fill` (waking any parked
+  local waiters) without republishing a change that never happened here.
+
+* **Subscription aggregation.**  However many local clients subscribe to
+  overlapping patterns, the LASS holds at most ONE upstream aggregated
+  subscription per distinct (context, pattern), and the CASS dedups all
+  of one host's aggregated subscriptions into a single egress frame per
+  event (see ``OP_SUB_AGG``).  Upstream notifications are applied to the
+  local store, whose ordinary publish re-fans them to every local
+  subscriber — CASS egress is O(hosts), not O(subscribers).
+
+* **Sharded CASS.**  Contexts spread across multiple CASS processes by
+  consistent hashing on (context, attribute-prefix): the LASS asks its
+  seed upstream for the shard map (``OP_SHARDMAP``) and routes each op
+  to the owning shard; patterns with a literal prefix route to one
+  shard, wildcard-prefixed patterns subscribe on every shard.
+
+Threading: all upstream traffic belongs to one worker thread that owns
+the session table and shard map outright (no lock), fed through an
+action queue; per-session pump threads service the upstream clients'
+event queues (async-get completions, aggregated notifications).  The
+only shared state — aggregation refcounts and the per-connection
+interest table — sits behind ``_lock`` (rank 22), which is never held
+across an upstream RPC or a queue wait.
+
+Because every forwarded ephemeral put rides the LASS's upstream session
+lease, a LASS that dies takes its hosts' ephemeral attributes with it at
+the CASS — liveness propagates through the hierarchy for free.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro import errors, obs
+from repro.attrspace.client import AttributeSpaceClient, ReconnectPolicy
+from repro.attrspace.notify import Notification
+from repro.attrspace.store import DEFAULT_CONTEXT, AttributeStore
+from repro.net.address import Endpoint, parse_endpoint
+from repro.transport.base import Transport
+from repro.util.log import get_logger
+from repro.util.sync import Latch, WaitableQueue, join_all, tracked_lock
+from repro.util.threads import spawn
+
+_log = get_logger("attrspace.federation")
+
+#: Queued writes bound upstream coalesce into one batch frame, at most
+#: this many sub-ops each (bounds frame size and per-flush latency).
+COALESCE_LIMIT = 64
+
+#: Virtual nodes per shard on the consistent-hash ring.
+RING_REPLICAS = 32
+
+GLOB_CHARS = frozenset("*?[")
+
+#: Completion for a forwarded get: (value, error) — exactly one is set.
+GetCompletion = Callable[[str | None, Exception | None], None]
+
+
+def _ring_point(key: str) -> int:
+    """A stable 64-bit ring position (``hash()`` is seeded per process,
+    so two LASSes would disagree on ownership — sha1 never does)."""
+    return int.from_bytes(hashlib.sha1(key.encode("utf-8")).digest()[:8], "big")
+
+
+def attribute_prefix(attribute: str) -> str:
+    """The shard-routing prefix: the attribute name up to the first dot.
+
+    Hashing the prefix (not the full name) keeps families like
+    ``proc.123.*`` co-located on one shard, so a literal-prefixed
+    subscription or batch touches a single upstream server.
+    """
+    return attribute.split(".", 1)[0]
+
+
+class ShardMap:
+    """Consistent-hash ring over the CASS shards of one epoch.
+
+    ``shards`` are ``"host:port"`` strings in advertisement order; a
+    single-entry map (the unsharded deployment) routes everything to
+    index 0 without hashing.
+    """
+
+    def __init__(self, epoch: int, shards: Sequence[str], replicas: int = RING_REPLICAS):
+        self.epoch = int(epoch)
+        self.shards: tuple[str, ...] = tuple(str(s) for s in shards)
+        if not self.shards:
+            raise ValueError("a shard map needs at least one shard")
+        self._ring: list[tuple[int, int]] = []
+        if len(self.shards) > 1:
+            for idx, shard in enumerate(self.shards):
+                for replica in range(replicas):
+                    self._ring.append((_ring_point(f"{shard}#{replica}"), idx))
+            self._ring.sort()
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def endpoint(self, shard: int) -> Endpoint:
+        return parse_endpoint(self.shards[shard])
+
+    def owner(self, context: str, attribute: str) -> int:
+        """The shard index owning (context, attribute-prefix)."""
+        if len(self.shards) == 1:
+            return 0
+        point = _ring_point(f"{context}/{attribute_prefix(attribute)}")
+        i = bisect.bisect_left(self._ring, (point, -1))
+        if i == len(self._ring):
+            i = 0
+        return self._ring[i][1]
+
+    def shards_for_pattern(self, context: str, pattern: str) -> list[int]:
+        """Which shards a subscription pattern must be placed on.
+
+        A pattern whose routing prefix is literal (``proc.*`` → prefix
+        ``proc``) can only match attributes owned by one shard; anything
+        with a glob in the prefix (``*``, ``job?.status``) may match
+        attributes anywhere, so it subscribes on every shard.
+        """
+        if len(self.shards) == 1:
+            return [0]
+        prefix = attribute_prefix(pattern)
+        if GLOB_CHARS.isdisjoint(prefix) and prefix != pattern:
+            return [self.owner(context, pattern)]
+        if GLOB_CHARS.isdisjoint(pattern):
+            # Fully literal pattern (no dot): still one owner.
+            return [self.owner(context, pattern)]
+        return list(range(len(self.shards)))
+
+
+@dataclass
+class _Upstream:
+    """One leased session to one CASS shard for one context."""
+
+    client: AttributeSpaceClient
+    pump: threading.Thread
+
+
+class LassFederation:
+    """Upstream engine of one LASS: forwarding, aggregation, sharding.
+
+    Owned by a :class:`~repro.attrspace.lass.LassServer`; usable on its
+    own in tests.  All public ``forward_*``/``note_*`` entry points are
+    non-blocking (they enqueue onto the worker's action queue) so no
+    serving thread ever stalls on the upstream link.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        host: str,
+        upstream: Endpoint,
+        *,
+        store: AttributeStore,
+        reconnect: ReconnectPolicy | None = None,
+        lease_ttl: float | None = 30.0,
+    ):
+        self.transport = transport
+        self.host = host
+        self.upstream = upstream
+        self.store = store
+        #: stable identity on the wire: stamped on every local apply and
+        #: every upstream forward; the CASS's echo suppression and the
+        #: one-frame-per-host dedup group both key on it
+        self.origin = f"lass:{host}"
+        self._reconnect = reconnect
+        self._lease_ttl = lease_ttl
+        #: Own registry (never the server's): the server fills its stats
+        #: dict during construction and nothing foreign writes it later.
+        self.metrics = obs.MetricsRegistry(f"federation@{host}")
+        self.counters = {
+            key: self.metrics.counter(f"attrspace.federation.{key}")
+            for key in (
+                "forwards",
+                "forward_failures",
+                "forwarded_gets",
+                "upstream_notifies",
+                "suppressed_echoes",
+                "aggregated_subs",
+                "sessions_opened",
+                "sessions_dropped",
+            )
+        }
+        #: (context, pattern) -> count of local subscriptions wanting it
+        self._interest: dict[tuple[str, str], int] = {}
+        #: local server sub id -> (conn id, context, pattern)
+        self._local_subs: dict[int, tuple[int, str, str]] = {}
+        self._lock = tracked_lock("attrspace.federation.LassFederation._lock")
+        self._actions: WaitableQueue[tuple] = WaitableQueue()
+        # -- worker-confined state (no lock: only _worker's thread) -----
+        self._map: ShardMap | None = None
+        self._sessions: dict[tuple[str, int], _Upstream] = {}
+        #: (context, pattern) -> [(shard, upstream local sub id)]
+        self._agg_subs: dict[tuple[str, str], list[tuple[int, int]]] = {}
+        self._pumps: list[threading.Thread] = []
+        self._worker = spawn(self._run, name=f"federation-{host}")
+
+    # -- entry points (any thread; never block on upstream) -----------------
+
+    def forward_put(
+        self, context: str, attribute: str, value: str, ephemeral: bool = False
+    ) -> None:
+        op: dict[str, Any] = {"op": "put", "attribute": attribute, "value": value}
+        if ephemeral:
+            op["ephemeral"] = True
+        self._enqueue(("write", context, op))
+
+    def forward_remove(self, context: str, attribute: str) -> None:
+        self._enqueue(("write", context, {"op": "remove", "attribute": attribute}))
+
+    def forward_batch(self, context: str, ops: list) -> None:
+        """Forward a batch frame's data sub-ops (gets stay host-local)."""
+        for op in ops:
+            if isinstance(op, dict) and op.get("op") in ("put", "remove"):
+                self._enqueue(("write", context, dict(op)))
+
+    def forward_get(
+        self,
+        context: str,
+        attribute: str,
+        timeout: float | None,
+        done: GetCompletion,
+        *,
+        block: bool = True,
+    ) -> None:
+        """Forward a local miss upstream; ``done`` runs on a pump thread.
+
+        ``timeout`` is the *originating client's* deadline, carried
+        upstream verbatim so the CASS arms the timer.  A severed upstream
+        session replays the parked get after re-attach (the client's
+        pending-async replay), so an outage shorter than the reconnect
+        policy's deadline is invisible to the waiting local client.
+        """
+        self._enqueue(("get", context, attribute, timeout, bool(block), done))
+
+    def note_subscribe(
+        self, conn_id: int, sub_id: int, context: str, pattern: str
+    ) -> None:
+        """A local client subscribed: ensure the upstream aggregate exists."""
+        with self._lock:
+            self._local_subs[sub_id] = (conn_id, context, pattern)
+            key = (context, pattern)
+            count = self._interest.get(key, 0)
+            self._interest[key] = count + 1
+            first = count == 0
+        if first:
+            self._enqueue(("sub", context, pattern))
+
+    def note_unsubscribe(self, sub_id: int) -> None:
+        """A local subscription ended; tear down the aggregate at zero."""
+        with self._lock:
+            record = self._local_subs.pop(sub_id, None)
+            if record is None:
+                return
+            _conn_id, context, pattern = record
+            key = (context, pattern)
+            remaining = self._interest.get(key, 0) - 1
+            if remaining > 0:
+                self._interest[key] = remaining
+                return
+            self._interest.pop(key, None)
+        self._enqueue(("unsub", context, pattern))
+
+    def note_connection_closed(self, conn_id: int) -> None:
+        """Release every interest a departed connection held."""
+        with self._lock:
+            doomed = [
+                sub_id
+                for sub_id, (owner, _c, _p) in self._local_subs.items()
+                if owner == conn_id
+            ]
+        for sub_id in doomed:
+            self.note_unsubscribe(sub_id)
+
+    def drop_context(self, context: str) -> None:
+        """The local context was destroyed: detach upstream too."""
+        self._enqueue(("drop", context))
+
+    def settle(self, timeout: float | None = 5.0) -> None:
+        """Block until every action enqueued before this call has been
+        processed — forwarded writes are acked upstream (deterministic
+        tests; completions of in-flight async gets are NOT awaited)."""
+        latch: Latch[bool] = Latch()
+        try:
+            self._actions.put(("settle", latch))
+        except errors.ChannelClosedError:
+            return
+        latch.wait(timeout=timeout)
+
+    def stop(self) -> None:
+        """Drain the action queue, close every upstream session; idempotent."""
+        self._actions.close()
+        self._worker.join(timeout=10.0)
+
+    def _enqueue(self, action: tuple) -> None:
+        try:
+            self._actions.put(action)
+        except errors.ChannelClosedError:
+            pass  # shutting down; the forward is abandoned
+
+    # -- worker thread -------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            try:
+                action = self._actions.get()
+            except errors.ChannelClosedError:
+                break
+            pending = [action]
+            while len(pending) < COALESCE_LIMIT:
+                try:
+                    pending.append(self._actions.get_nowait())
+                except (IndexError, errors.ChannelClosedError):
+                    break
+            self._process(pending)
+        self._shutdown_sessions()
+
+    def _process(self, pending: list[tuple]) -> None:
+        i = 0
+        while i < len(pending):
+            if pending[i][0] == "write":
+                j = i
+                while j < len(pending) and pending[j][0] == "write":
+                    j += 1
+                self._flush_writes(pending[i:j])
+                i = j
+                continue
+            action = pending[i]
+            i += 1
+            kind = action[0]
+            if kind == "get":
+                self._do_get(*action[1:])
+            elif kind == "sub":
+                self._do_sub(action[1], action[2])
+            elif kind == "unsub":
+                self._do_unsub(action[1], action[2])
+            elif kind == "drop":
+                self._do_drop(action[1])
+            elif kind == "settle":
+                action[1].open(True)
+
+    def _flush_writes(self, writes: list[tuple]) -> None:
+        """Send a run of queued writes, one batch frame per owning shard.
+
+        Order is preserved per (context, shard) — the only order the
+        space guarantees anyway, since only same-shard attributes can be
+        observed together by one upstream reader.
+        """
+        by_route: dict[tuple[str, int], list[dict[str, Any]]] = {}
+        shard_map = self._ensure_map()
+        for _kind, context, op in writes:
+            if shard_map is None:
+                self.counters["forward_failures"].increment()
+                continue
+            shard = shard_map.owner(context, str(op.get("attribute", "")))
+            by_route.setdefault((context, shard), []).append(op)
+        for (context, shard), ops in by_route.items():
+            client = self._session(context, shard)
+            if client is None:
+                self.counters["forward_failures"].increment(len(ops))
+                continue
+            try:
+                if len(ops) == 1 and ops[0]["op"] == "put":
+                    client.put(
+                        ops[0]["attribute"],
+                        ops[0]["value"],
+                        ephemeral=bool(ops[0].get("ephemeral", False)),
+                        origin=self.origin,
+                    )
+                elif len(ops) == 1:
+                    client.remove(ops[0]["attribute"], origin=self.origin)
+                else:
+                    client._batch_rpc(ops, origin=self.origin)
+                self.counters["forwards"].increment(len(ops))
+            except errors.TdpError as e:
+                self.counters["forward_failures"].increment(len(ops))
+                _log.warning(
+                    "%s: dropped %d forwarded write(s) to shard %d: %s",
+                    self.origin, len(ops), shard, e,
+                )
+                self._drop_session(context, shard)
+
+    def _do_get(
+        self,
+        context: str,
+        attribute: str,
+        timeout: float | None,
+        block: bool,
+        done: GetCompletion,
+    ) -> None:
+        shard_map = self._ensure_map()
+        client = (
+            self._session(context, shard_map.owner(context, attribute))
+            if shard_map is not None
+            else None
+        )
+        if client is None:
+            done(
+                None,
+                errors.ReconnectFailedError(
+                    f"no upstream session to forward get({attribute!r})"
+                ),
+            )
+            return
+        self.counters["forwarded_gets"].increment()
+
+        def completion(value: Any, error: Exception | None, _arg: Any) -> None:
+            done(value if error is None else None, error)
+
+        try:
+            client.async_get(attribute, completion, timeout=timeout, block=block)
+        except errors.TdpError as e:
+            done(None, e)
+
+    def _do_sub(self, context: str, pattern: str) -> None:
+        shard_map = self._ensure_map()
+        if shard_map is None:
+            _log.warning(
+                "%s: no upstream; aggregated sub %r deferred to session "
+                "restore", self.origin, pattern,
+            )
+            return
+        for shard in shard_map.shards_for_pattern(context, pattern):
+            client = self._session(context, shard)
+            if client is not None:
+                self._ensure_agg(context, pattern, shard, client)
+
+    def _ensure_agg(
+        self, context: str, pattern: str, shard: int, client: AttributeSpaceClient
+    ) -> None:
+        entries = self._agg_subs.setdefault((context, pattern), [])
+        if any(s == shard for s, _ in entries):
+            return
+        epoch = self._map.epoch if self._map is not None else 0
+        try:
+            sub_id = client.subscribe_agg(
+                pattern,
+                self._on_upstream_notify,
+                origin=self.origin,
+                epoch=epoch,
+            )
+        except errors.TdpError as e:
+            _log.warning(
+                "%s: aggregated subscribe %r on shard %d failed: %s",
+                self.origin, pattern, shard, e,
+            )
+            return
+        entries.append((shard, sub_id))
+        self.counters["aggregated_subs"].increment()
+        obs.record(
+            "federation.sub_agg", actor=self.origin,
+            pattern=pattern, shard=shard, context=context,
+        )
+
+    def _do_unsub(self, context: str, pattern: str) -> None:
+        entries = self._agg_subs.pop((context, pattern), [])
+        for shard, sub_id in entries:
+            upstream = self._sessions.get((context, shard))
+            if upstream is None:
+                continue
+            try:
+                upstream.client.unsubscribe(sub_id)
+            except errors.TdpError:
+                pass  # session dying; the server reaps with the lease
+
+    def _do_drop(self, context: str) -> None:
+        for key in [k for k in self._sessions if k[0] == context]:
+            self._close_session(key)
+        for key in [k for k in self._agg_subs if k[0] == context]:
+            del self._agg_subs[key]
+        with self._lock:
+            for key in [k for k in self._interest if k[0] == context]:
+                del self._interest[key]
+            for sub_id in [
+                s for s, (_c, ctx, _p) in self._local_subs.items() if ctx == context
+            ]:
+                del self._local_subs[sub_id]
+
+    def _on_upstream_notify(self, notification: Notification, _arg: Any) -> None:
+        """Apply a CASS-fanned change to the local store (pump thread).
+
+        The local publish re-fans it to every matching local subscriber —
+        this is the second hop of the two-hop fan-out that keeps CASS
+        egress at one frame per host.  Origin is preserved so a further
+        tier (or a diagnosing client) still sees where the change began.
+        """
+        if notification.origin == self.origin:
+            # Our own change came back despite server-side suppression
+            # (e.g. an unsharded upstream predating OP_SUB_AGG semantics).
+            self.counters["suppressed_echoes"].increment()
+            return
+        self.counters["upstream_notifies"].increment()
+        try:
+            if notification.kind == "remove":
+                self.store.remove(
+                    notification.attribute,
+                    context=notification.context,
+                    origin=notification.origin,
+                )
+            elif notification.value is not None:
+                self.store.put(
+                    notification.attribute,
+                    notification.value,
+                    context=notification.context,
+                    writer=notification.origin or "upstream",
+                    origin=notification.origin,
+                )
+        except errors.TdpError:
+            # Context destroyed locally while the frame was in flight, or
+            # a malformed upstream value: the change is simply not cached.
+            pass
+
+    # -- sessions (worker thread only) ---------------------------------------
+
+    def _ensure_map(self) -> ShardMap | None:
+        if self._map is not None:
+            return self._map
+        try:
+            probe = AttributeSpaceClient.connect(
+                self.transport,
+                self.host,
+                self.upstream,
+                context=DEFAULT_CONTEXT,
+                member=f"{self.origin}/probe",
+                reconnect=self._reconnect,
+                lease_ttl=None,
+            )
+        except errors.TdpError as e:
+            _log.warning("%s: upstream unreachable for shard map: %s", self.origin, e)
+            return None
+        try:
+            epoch, shards = probe.shard_map()
+        except errors.TdpError as e:
+            _log.warning("%s: shard-map probe failed: %s", self.origin, e)
+            return None
+        finally:
+            probe.close()
+        self._map = ShardMap(epoch, shards if shards else [str(self.upstream)])
+        obs.record(
+            "federation.shardmap", actor=self.origin,
+            epoch=self._map.epoch, shards=len(self._map),
+        )
+        return self._map
+
+    def _session(self, context: str, shard: int) -> AttributeSpaceClient | None:
+        key = (context, shard)
+        upstream = self._sessions.get(key)
+        if upstream is not None:
+            return upstream.client
+        shard_map = self._map
+        if shard_map is None:
+            return None
+        try:
+            client = AttributeSpaceClient.connect(
+                self.transport,
+                self.host,
+                shard_map.endpoint(shard),
+                context=context,
+                member=self.origin,
+                reconnect=self._reconnect,
+                lease_ttl=self._lease_ttl,
+            )
+        except errors.TdpError as e:
+            _log.warning(
+                "%s: cannot open upstream session to shard %d: %s",
+                self.origin, shard, e,
+            )
+            return None
+        pump = spawn(
+            self._pump, args=(client,), name=f"federation-{self.host}-pump-s{shard}"
+        )
+        self._sessions[key] = _Upstream(client, pump)
+        self._pumps.append(pump)
+        self.counters["sessions_opened"].increment()
+        # A recreated session (prior one exhausted its reconnect policy)
+        # must win back the aggregated subscriptions routed through it;
+        # within-session outages re-subscribe via the client's own ledger.
+        with self._lock:
+            interested = [k for k in self._interest if k[0] == context]
+        for ctx, pattern in interested:
+            if shard in shard_map.shards_for_pattern(ctx, pattern):
+                self._ensure_agg(ctx, pattern, shard, client)
+        return client
+
+    def _drop_session(self, context: str, shard: int) -> None:
+        """Forget a session whose forwarding failed terminally; the next
+        action to route here opens (and re-subscribes) a fresh one."""
+        key = (context, shard)
+        for agg_key in list(self._agg_subs):
+            if agg_key[0] == context:
+                remaining = [(s, i) for s, i in self._agg_subs[agg_key] if s != shard]
+                if remaining:
+                    self._agg_subs[agg_key] = remaining
+                else:
+                    del self._agg_subs[agg_key]
+        self._close_session(key)
+
+    def _close_session(self, key: tuple[str, int]) -> None:
+        upstream = self._sessions.pop(key, None)
+        if upstream is None:
+            return
+        self.counters["sessions_dropped"].increment()
+        try:
+            upstream.client.close()
+        except errors.TdpError:
+            pass
+
+    def _pump(self, client: AttributeSpaceClient) -> None:
+        """Service one upstream session's event queue until it closes."""
+        while True:
+            if client.wait_event(timeout=0.25):
+                client.service_events()
+            elif client.events.closed:
+                return
+
+    def _shutdown_sessions(self) -> None:
+        for key in list(self._sessions):
+            self._close_session(key)
+        try:
+            join_all(self._pumps, timeout=10.0)
+        except RuntimeError as e:
+            _log.warning("%s: pump threads leaked at shutdown: %s", self.origin, e)
+
+
+class GatewayRegistry:
+    """Process-local table of LASS gateways, one per simulated host.
+
+    :func:`dial` consults it so every client on a host shares that
+    host's LASS (and thus its cache and its single upstream session)
+    instead of each client booting a private gateway.
+    """
+
+    def __init__(self) -> None:
+        self._lock = tracked_lock("attrspace.federation.GatewayRegistry._lock")
+        self._gateways: dict[tuple[int, str, str], Any] = {}
+
+    def gateway(
+        self,
+        transport: Transport,
+        host: str,
+        upstream: Endpoint,
+        **kwargs: Any,
+    ) -> Any:
+        """Get or boot the LASS for ``host`` fronting ``upstream``."""
+        from repro.attrspace.lass import LassServer
+
+        key = (id(transport), host, str(upstream))
+        with self._lock:
+            existing = self._gateways.get(key)
+        if existing is not None:
+            return existing
+        # Construction outside the hold: it spawns threads, binds a
+        # listener, and may dial upstream — none of which belongs under
+        # a registry lock.  A lost race stops the duplicate.
+        server = LassServer(transport, host, upstream=upstream, **kwargs)
+        with self._lock:
+            current = self._gateways.get(key)
+            if current is None:
+                self._gateways[key] = server
+                return server
+        server.stop()
+        return current
+
+    def stop_all(self) -> None:
+        with self._lock:
+            servers = list(self._gateways.values())
+            self._gateways.clear()
+        for server in servers:
+            server.stop()
+
+
+#: Default registry used by :func:`dial`.
+GATEWAYS = GatewayRegistry()
+
+
+def dial(
+    transport: Transport,
+    src_host: str,
+    endpoint: Endpoint,
+    *,
+    via_lass: bool = False,
+    registry: GatewayRegistry | None = None,
+    gateway_kwargs: dict[str, Any] | None = None,
+    **client_kwargs: Any,
+) -> AttributeSpaceClient:
+    """Open an attribute-space session, optionally through the local LASS.
+
+    ``dial(..., via_lass=False)`` is :meth:`AttributeSpaceClient.connect`
+    straight to ``endpoint``.  With ``via_lass=True``, ``endpoint`` names
+    the *upstream* (CASS) and the session terminates at ``src_host``'s
+    LASS gateway instead — booted on first use — which caches, forwards,
+    and aggregates on the client's behalf (the paper's deployment shape:
+    processes talk only to their own host's LASS).
+    """
+    if not via_lass:
+        return AttributeSpaceClient.connect(
+            transport, src_host, endpoint, **client_kwargs
+        )
+    gateways = registry if registry is not None else GATEWAYS
+    lass = gateways.gateway(
+        transport, src_host, endpoint, **(gateway_kwargs or {})
+    )
+    return AttributeSpaceClient.connect(
+        transport, src_host, lass.endpoint, **client_kwargs
+    )

@@ -33,6 +33,13 @@ class Notification:
     attribute: str
     value: str | None  # None means the attribute was removed
     kind: str  # "put" | "remove"
+    #: federation provenance: the LASS origin id (``lass:<host>``) of the
+    #: server that first applied this change, or ``None`` for a change
+    #: applied directly on this server.  A LASS stamps it on every local
+    #: apply and on every upstream forward so the CASS can suppress the
+    #: echo back to the origin host and a LASS can recognize (and skip)
+    #: its own changes arriving via an aggregated subscription.
+    origin: str | None = None
 
     def to_wire(self) -> dict:
         return {
@@ -40,15 +47,18 @@ class Notification:
             "attribute": self.attribute,
             "value": self.value,
             "kind": self.kind,
+            "origin": self.origin,
         }
 
     @staticmethod
     def from_wire(d: dict) -> "Notification":
+        origin = d.get("origin")
         return Notification(
             context=str(d["context"]),
             attribute=str(d["attribute"]),
             value=d["value"],
             kind=str(d["kind"]),
+            origin=str(origin) if origin is not None else None,
         )
 
 
@@ -58,6 +68,12 @@ class _Subscription:
     context: str
     pattern: str
     deliver: Callable[[int, Notification], None]
+    #: fan-out dedup group: subscriptions sharing a non-None group get at
+    #: most ONE delivery per published event between them.  A LASS's
+    #: aggregated upstream subscriptions all carry its origin id as the
+    #: group, so overlapping patterns from one host still cost the CASS
+    #: exactly one egress frame per event — the LASS re-fans locally.
+    group: str | None = None
 
     def matches(self, context: str, attribute: str) -> bool:
         return context == self.context and fnmatch.fnmatchcase(attribute, self.pattern)
@@ -82,11 +98,17 @@ class SubscriptionRegistry:
         context: str,
         pattern: str,
         deliver: Callable[[int, Notification], None],
+        *,
+        group: str | None = None,
     ) -> int:
-        """Register; returns the subscription id used for unsubscribe."""
+        """Register; returns the subscription id used for unsubscribe.
+
+        ``group`` joins the subscription to a fan-out dedup group (see
+        :class:`_Subscription`); plain subscriptions pass ``None``.
+        """
         with self._lock:
             sub_id = self._ids.next()
-            self._subs[sub_id] = _Subscription(sub_id, context, pattern, deliver)
+            self._subs[sub_id] = _Subscription(sub_id, context, pattern, deliver, group)
             return sub_id
 
     def unsubscribe(self, sub_id: int) -> bool:
@@ -108,16 +130,28 @@ class SubscriptionRegistry:
             return len(doomed)
 
     def publish(self, notification: Notification) -> int:
-        """Fan a notification out to matching subscribers; returns count."""
+        """Fan a notification out to matching subscribers; returns count.
+
+        Subscriptions sharing a dedup group receive at most one delivery
+        per event between them (subscription-aggregation: one frame per
+        downstream host, however many of its patterns overlap).
+        """
         with self._lock:
             targets = [
                 s
                 for s in self._subs.values()
                 if s.matches(notification.context, notification.attribute)
             ]
+        delivered = 0
+        seen_groups: set[str] = set()
         for s in targets:
+            if s.group is not None:
+                if s.group in seen_groups:
+                    continue
+                seen_groups.add(s.group)
             s.deliver(s.sub_id, notification)
-        return len(targets)
+            delivered += 1
+        return delivered
 
     def __len__(self) -> int:
         with self._lock:

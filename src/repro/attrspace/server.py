@@ -31,6 +31,7 @@ import collections
 import enum
 import threading
 import time
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro import errors, obs
@@ -61,6 +62,23 @@ OUTBOUND_QUEUE_LIMIT = 512
 class ServerRole(enum.Enum):
     LASS = "lass"  # Local Attribute Space Server (one per execution host)
     CASS = "cass"  # Central Attribute Space Server (front-end host)
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """A CASS shard's view of the sharded attribute-space tier.
+
+    ``shards`` lists every CASS endpoint (``"host:port"`` strings, this
+    server included) in ring order; ``epoch`` versions the map.  A LASS
+    learns both via ``OP_SHARDMAP`` and stamps the epoch on aggregated
+    subscriptions so a shard can reject routing decisions made against a
+    stale map.  ``None`` (the default server config) means unsharded:
+    shardmap answers epoch 0 with no shard list, and downstream LASSes
+    treat the dialed endpoint as the only shard.
+    """
+
+    epoch: int = 0
+    shards: tuple[str, ...] = ()
 
 
 class _SessionLease:
@@ -260,9 +278,12 @@ class AttributeSpaceServer:
         store: AttributeStore | None = None,
         local_only: bool = False,
         clock: Clock | None = None,
+        federation: FederationConfig | None = None,
     ):
         self.role = role
         self.host = host
+        #: shard-map advertisement (CASS shards only; None = unsharded)
+        self.federation_config = federation
         #: timebase for blocking-get timeouts: wall time by default; the
         #: sim's startds inject their cluster's VirtualClock so scenario
         #: runs cannot have wall-time timers firing under virtual time
@@ -696,6 +717,12 @@ class AttributeSpaceServer:
                     del self._leases[lease.token]
         conn.send(protocol.ok_reply(req))
 
+    @staticmethod
+    def _origin_of(request: dict[str, Any]) -> str | None:
+        """Federation provenance on forwarded writes (absent = local)."""
+        origin = request.get("origin")
+        return origin if isinstance(origin, str) and origin else None
+
     def _op_put(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
         context = self._context_of(request)
         attribute = str(request.get("attribute", ""))
@@ -708,6 +735,7 @@ class AttributeSpaceServer:
             context=context,
             writer=conn.writer_id,
             ephemeral=bool(request.get("ephemeral", False)),
+            origin=self._origin_of(request),
         )
         self.stats["puts"].increment()
         conn.send(protocol.ok_reply(req, version=sv.version))
@@ -831,7 +859,9 @@ class AttributeSpaceServer:
     def _op_remove(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
         context = self._context_of(request)
         attribute = str(request.get("attribute", ""))
-        existed = self.store.remove(attribute, context=context)
+        existed = self.store.remove(
+            attribute, context=context, origin=self._origin_of(request)
+        )
         conn.send(protocol.ok_reply(req, existed=existed))
 
     def _op_list(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
@@ -879,6 +909,75 @@ class AttributeSpaceServer:
             conn.subscriptions.discard(sub_id)
         conn.send(protocol.ok_reply(req, removed=removed))
 
+    def _op_sub_agg(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
+        """Aggregated subscription from a downstream LASS.
+
+        Like ``subscribe``, with the federation contract on top: the
+        frame names the subscribing host (``origin``) and the LASS-side
+        aggregation id (``agg``, diagnostics), and all of one host's
+        aggregated subscriptions share one fan-out dedup group — however
+        many of its patterns overlap, a published event costs this
+        server exactly one egress frame per host, which the LASS re-fans
+        to its local subscribers.  Deliveries whose notification
+        originated on the subscribing host itself are suppressed (the
+        origin already applied and published the change locally).
+        ``epoch`` is validated against the shard map when this server is
+        a configured shard, so a LASS routing by a stale map hears about
+        it instead of silently subscribing on the wrong shard.
+        """
+        context = self._context_of(request)
+        pattern = str(request.get("pattern", "*"))
+        origin = str(request.get("origin", conn.peer))
+        agg = request.get("agg")
+        epoch = request.get("epoch")
+        config = self.federation_config
+        if (
+            config is not None
+            and isinstance(epoch, int)
+            and not isinstance(epoch, bool)
+            and epoch != config.epoch
+        ):
+            raise errors.ProtocolError(
+                f"stale shard epoch {epoch}: this shard serves epoch {config.epoch}"
+            )
+
+        def deliver(sub_id: int, notification: Notification) -> None:
+            if notification.origin is not None and notification.origin == origin:
+                return  # echo suppression: the origin host already has it
+            self.stats["notifications"].increment()
+            frame = {"op": protocol.OP_NOTIFY, "sub": sub_id, **notification.to_wire()}
+            if obs.enabled():
+                with obs.span(
+                    "notify.aggregate",
+                    actor=self.name,
+                    attribute=notification.attribute,
+                    origin=origin,
+                ):
+                    obs.inject(frame)
+                    conn.send(frame)
+            else:
+                conn.send(frame)
+
+        sub_id = self.store.subscriptions.subscribe(
+            context, pattern, deliver, group=origin
+        )
+        conn.subscriptions.add(sub_id)
+        obs.record(
+            "sub.aggregated", actor=self.name,
+            origin=origin, agg=agg, pattern=pattern,
+        )
+        conn.send(protocol.ok_reply(req, sub=sub_id))
+
+    def _op_shardmap(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
+        """Advertise the CASS shard map (or "unsharded") to a LASS."""
+        config = self.federation_config
+        if config is None:
+            conn.send(protocol.ok_reply(req, epoch=0, shards=[]))
+            return
+        conn.send(
+            protocol.ok_reply(req, epoch=config.epoch, shards=list(config.shards))
+        )
+
     def _op_batch(self, conn: _Connection, req: int, request: dict[str, Any]) -> None:
         """One frame, many ops: apply the sub-request list and answer
         with a positionally matched reply list.
@@ -904,7 +1003,10 @@ class AttributeSpaceServer:
         ):
             self._publish_stats(context)
         results = self.store.apply_batch(
-            ops, default_context=context, writer=conn.writer_id
+            ops,
+            default_context=context,
+            writer=conn.writer_id,
+            origin=self._origin_of(request),
         )
         traced = obs.enabled()
         replies: list[dict[str, Any]] = []

@@ -157,14 +157,18 @@ class AttributeStore:
     # -- data operations ------------------------------------------------------
 
     def put(self, attribute: str, value: str, *, context: str = DEFAULT_CONTEXT,
-            writer: str = "?", ephemeral: bool = False) -> StoredValue:
+            writer: str = "?", ephemeral: bool = False,
+            origin: str | None = None) -> StoredValue:
         """Store (attribute, value); wakes blocking getters and subscribers.
 
         Re-putting an existing attribute overwrites it (version bumped) —
         the space is a map, not a multiset; this matches the MPD-style
         usage in the pilot where e.g. a status attribute is updated.
         ``ephemeral`` marks the value for purging when ``writer``'s
-        session ends (see :meth:`purge_ephemeral`).
+        session ends (see :meth:`purge_ephemeral`).  ``origin`` is the
+        federation provenance stamped onto the notification (the LASS
+        origin id of the host that first applied the change), used for
+        echo suppression in the LASS↔CASS hierarchy.
         """
         validate_attribute_name(attribute)
         encode_value(value)
@@ -185,9 +189,41 @@ class AttributeStore:
         for _wid, cb in callbacks:
             cb(value)
         self.subscriptions.publish(
-            Notification(context=context, attribute=attribute, value=value, kind="put")
+            Notification(context=context, attribute=attribute, value=value,
+                         kind="put", origin=origin)
         )
         return sv
+
+    def fill(self, attribute: str, value: str, *, context: str = DEFAULT_CONTEXT,
+             writer: str = "?") -> str:
+        """Cache-fill: insert a value learned from upstream, quietly.
+
+        A LASS satisfying a forwarded ``get`` installs the CASS's answer
+        with ``fill`` rather than :meth:`put`: parked blocking-get
+        waiters are woken (that is the point), but **no notification is
+        published** — the value is not a new change, merely this host
+        learning an existing one, and republishing it would duplicate
+        the notify the aggregated subscription path already delivers.
+        Insert-if-absent: a concurrent real put wins, and the present
+        value is returned either way.
+        """
+        validate_attribute_name(attribute)
+        encode_value(value)
+        with self._lock:
+            ctx = self._require(context)
+            sv = ctx.data.get(attribute)
+            if sv is not None:
+                return sv.value
+            ctx.data[attribute] = StoredValue(
+                value=value,
+                writer=writer,
+                version=1,
+                stored_at=time.monotonic(),
+            )
+            callbacks = ctx.waiters.pop(attribute, [])
+        for _wid, cb in callbacks:
+            cb(value)
+        return value
 
     def apply_batch(
         self,
@@ -195,6 +231,7 @@ class AttributeStore:
         *,
         default_context: str = DEFAULT_CONTEXT,
         writer: str = "?",
+        origin: str | None = None,
     ) -> "list[dict | Exception]":
         """Apply a list of put/get/remove sub-operations in one lock hold.
 
@@ -221,7 +258,9 @@ class AttributeStore:
             for sub in ops:
                 try:
                     results.append(
-                        self._apply_one(sub, default_context, writer, wakes, notifications)
+                        self._apply_one(
+                            sub, default_context, writer, origin, wakes, notifications
+                        )
                     )
                 except TdpError as e:
                     results.append(e)
@@ -236,6 +275,7 @@ class AttributeStore:
         sub: Any,
         default_context: str,
         writer: str,
+        origin: str | None,
         wakes: "list[tuple[WaiterCallback, str]]",
         notifications: "list[Notification]",
     ) -> dict:
@@ -273,7 +313,8 @@ class AttributeStore:
             for _wid, cb in ctx.waiters.pop(attribute, []):
                 wakes.append((cb, value))
             notifications.append(
-                Notification(context=context, attribute=attribute, value=value, kind="put")
+                Notification(context=context, attribute=attribute, value=value,
+                             kind="put", origin=origin)
             )
             return {"version": sv.version}
         if op == "get":
@@ -287,7 +328,8 @@ class AttributeStore:
             existed = ctx.data.pop(attribute, None) is not None
             if existed:
                 notifications.append(
-                    Notification(context=context, attribute=attribute, value=None, kind="remove")
+                    Notification(context=context, attribute=attribute, value=None,
+                                 kind="remove", origin=origin)
                 )
             return {"existed": existed}
         raise ProtocolError(f"unsupported batch op {op!r}")
@@ -415,7 +457,8 @@ class AttributeStore:
             )
         return doomed
 
-    def remove(self, attribute: str, *, context: str = DEFAULT_CONTEXT) -> bool:
+    def remove(self, attribute: str, *, context: str = DEFAULT_CONTEXT,
+               origin: str | None = None) -> bool:
         """Remove an attribute; returns False if it was absent."""
         validate_attribute_name(attribute)
         with self._lock:
@@ -423,7 +466,8 @@ class AttributeStore:
             existed = ctx.data.pop(attribute, None) is not None
         if existed:
             self.subscriptions.publish(
-                Notification(context=context, attribute=attribute, value=None, kind="remove")
+                Notification(context=context, attribute=attribute, value=None,
+                             kind="remove", origin=origin)
             )
         return existed
 

@@ -88,8 +88,8 @@ def test_wire_inference_is_not_vacuous():
     from repro.analysis import wireschema
 
     schema = wireschema.infer_from_tree()
-    assert len(schema.op_constants) == 12
-    assert len([op for op in schema.ops if op != "error"]) == 11
+    assert len(schema.op_constants) == 14
+    assert len([op for op in schema.ops if op != "error"]) == 13
     assert set(schema.sub_ops) == {"get", "put", "remove"}
     assert schema.notify.reply_writes.fields, "notify writes collapsed"
     assert schema.notify.reply_reads.fields, "notify reads collapsed"

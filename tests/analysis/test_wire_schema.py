@@ -281,5 +281,5 @@ def test_validate_frame_subop_and_notify_kinds():
     assert wireschema.validate_frame(lock, sub, "batch:nope.request") \
         == ["unknown sub-op schema 'batch:nope.request'"]
     push = {"op": "notify", "sub": 1, "kind": "put", "attribute": "a",
-            "value": "v", "context": "c"}
+            "value": "v", "context": "c", "origin": None}
     assert wireschema.validate_frame(lock, push, "notify") == []

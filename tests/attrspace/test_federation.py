@@ -1,0 +1,628 @@
+"""Federation tests: LASS↔CASS hierarchy, aggregation, sharding, chaos.
+
+Like the client/server module, this whole file doubles as a chaos
+suite: with ``TDP_FAULTPLAN`` set (e.g. ``seed:42``) the transport
+grows the fault-injection wrapper, the LASSes' upstream sessions and
+the local clients become reconnecting sessions, and every test re-runs
+against severed channels and delayed frames.  Exact-count assertions
+(CASS egress arithmetic) are gated on the deterministic run; liveness
+and convergence assertions hold in both modes.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import errors
+from repro.attrspace.client import AttributeSpaceClient, ReconnectPolicy
+from repro.attrspace.federation import (
+    GatewayRegistry,
+    LassFederation,
+    ShardMap,
+    attribute_prefix,
+    dial,
+)
+from repro.attrspace.lass import LassServer
+from repro.attrspace.server import (
+    AttributeSpaceServer,
+    FederationConfig,
+    ServerRole,
+)
+from repro.net.topology import flat_network
+from repro.transport.faultinject import from_env
+from repro.transport.inmem import InMemoryTransport
+
+CHAOS = bool(os.environ.get("TDP_FAULTPLAN"))
+
+FAST = ReconnectPolicy(base_delay=0.02, max_delay=0.2, deadline=5.0, seed=7)
+
+HOSTS = ["hub", "shard0", "shard1", "hostA", "hostB", "hostC", "submit"]
+
+
+def wait_until(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def transport():
+    return from_env(InMemoryTransport(flat_network(HOSTS)))
+
+
+@pytest.fixture
+def cass(transport):
+    srv = AttributeSpaceServer(transport, "hub", role=ServerRole.CASS)
+    yield srv
+    srv.stop()
+
+
+def make_lass(transport, host, upstream, **kwargs):
+    if CHAOS:
+        kwargs.setdefault("reconnect", FAST)
+    return LassServer(transport, host, upstream=upstream, **kwargs)
+
+
+def make_client(transport, src_host, server, *, context="job", member=None):
+    member = member or f"client@{src_host}"
+    if CHAOS:
+        return AttributeSpaceClient.connect(
+            transport, src_host, server.endpoint,
+            context=context, member=member, reconnect=FAST, lease_ttl=30.0,
+        )
+    channel = transport.connect(src_host, server.endpoint, timeout=5.0)
+    return AttributeSpaceClient(channel, context=context, member=member)
+
+
+def drain(client, sink_len, expect, timeout=5.0):
+    """Pump a client's event queue until ``sink_len()`` reaches expect."""
+    deadline = time.monotonic() + timeout
+    while sink_len() < expect and time.monotonic() < deadline:
+        if client.wait_event(timeout=0.05):
+            client.service_events()
+    return sink_len()
+
+
+# -- shard-map unit behavior --------------------------------------------------
+
+
+class TestShardMap:
+    def test_attribute_prefix(self):
+        assert attribute_prefix("proc.123.status") == "proc"
+        assert attribute_prefix("flat") == "flat"
+
+    def test_single_shard_routes_everything_to_zero(self):
+        m = ShardMap(0, ["hub:7000"])
+        assert m.owner("c", "anything.at.all") == 0
+        assert m.shards_for_pattern("c", "*") == [0]
+
+    def test_owner_is_deterministic_and_prefix_keyed(self):
+        m1 = ShardMap(1, ["shard0:7000", "shard1:7000"])
+        m2 = ShardMap(1, ["shard0:7000", "shard1:7000"])
+        for attr in ("proc.1.pid", "proc.2.pid", "job.status", "x"):
+            assert m1.owner("c", attr) == m2.owner("c", attr)
+        # the whole proc.* family co-locates: same routing prefix
+        assert m1.owner("c", "proc.1.pid") == m1.owner("c", "proc.2.rss")
+
+    def test_pattern_placement(self):
+        m = ShardMap(1, ["shard0:7000", "shard1:7000"])
+        # literal prefix: one owner
+        assert m.shards_for_pattern("c", "proc.*") == [m.owner("c", "proc.x")]
+        # fully literal: one owner
+        assert m.shards_for_pattern("c", "job") == [m.owner("c", "job")]
+        # glob in the routing prefix: every shard
+        assert m.shards_for_pattern("c", "*") == [0, 1]
+        assert m.shards_for_pattern("c", "job?.status") == [0, 1]
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap(0, [])
+
+
+# -- aggregation semantics ----------------------------------------------------
+
+
+class TestAggregation:
+    def test_two_subscribers_one_upstream_sub(self, transport, cass):
+        lass = make_lass(transport, "hostA", cass.endpoint)
+        try:
+            a = make_client(transport, "hostA", lass, member="a")
+            b = make_client(transport, "hostA", lass, member="b")
+            sub_a = a.subscribe("job.*", lambda n, arg: None)
+            sub_b = b.subscribe("job.*", lambda n, arg: None)
+            lass.federation.settle()
+            assert wait_until(lambda: len(cass.store.subscriptions) == 1)
+            fed = lass.federation
+            assert fed.counters["aggregated_subs"].value == 1
+
+            # dropping one local subscriber keeps the aggregate alive
+            assert a.unsubscribe(sub_a) is True
+            lass.federation.settle()
+            assert len(cass.store.subscriptions) == 1
+
+            # the last one tears it down
+            assert b.unsubscribe(sub_b) is True
+            lass.federation.settle()
+            assert wait_until(lambda: len(cass.store.subscriptions) == 0)
+            a.close()
+            b.close()
+        finally:
+            lass.stop()
+
+    def test_connection_death_releases_interest(self, transport, cass):
+        lass = make_lass(transport, "hostA", cass.endpoint)
+        try:
+            a = make_client(transport, "hostA", lass, member="a")
+            a.subscribe("job.*", lambda n, arg: None)
+            lass.federation.settle()
+            assert wait_until(lambda: len(cass.store.subscriptions) == 1)
+            a.close()  # detach; _cleanup releases the connection's interests
+            lass.federation.settle()
+            assert wait_until(lambda: len(cass.store.subscriptions) == 0)
+        finally:
+            lass.stop()
+
+    def test_overlapping_patterns_one_egress_frame(self, transport, cass):
+        """Two distinct overlapping patterns on one host share the host's
+        dedup group at the CASS: one event, one egress frame."""
+        lass_b = make_lass(transport, "hostB", cass.endpoint)
+        lass_a = make_lass(transport, "hostA", cass.endpoint)
+        try:
+            wide, narrow = [], []
+            b1 = make_client(transport, "hostB", lass_b, member="wide")
+            b2 = make_client(transport, "hostB", lass_b, member="narrow")
+            b1.subscribe("job.*", lambda n, arg: wide.append(n))
+            b2.subscribe("job.status*", lambda n, arg: narrow.append(n))
+            lass_b.federation.settle()
+            assert wait_until(lambda: len(cass.store.subscriptions) == 2)
+            before = cass.stats["notifications"].value
+
+            writer = make_client(transport, "hostA", lass_a, member="writer")
+            writer.put("job.status.0", "running")
+            lass_a.federation.settle()
+
+            assert drain(b1, lambda: len(wide), 1) == 1
+            assert drain(b2, lambda: len(narrow), 1) == 1
+            assert wide[0].origin == "lass:hostA"
+            if not CHAOS:
+                # both aggregated subs matched, but the group collapsed
+                # the delivery to ONE frame down to hostB
+                assert cass.stats["notifications"].value - before == 1
+                assert (
+                    lass_b.federation.counters["upstream_notifies"].value == 1
+                )
+            writer.close()
+            b1.close()
+            b2.close()
+        finally:
+            lass_a.stop()
+            lass_b.stop()
+
+
+# -- write-through, miss forwarding, deadlines --------------------------------
+
+
+class TestForwarding:
+    def test_write_through_visible_cross_host(self, transport, cass):
+        lass_a = make_lass(transport, "hostA", cass.endpoint)
+        lass_b = make_lass(transport, "hostB", cass.endpoint)
+        try:
+            a = make_client(transport, "hostA", lass_a, member="a")
+            b = make_client(transport, "hostB", lass_b, member="b")
+            a.put("pid", "4711")
+            # the writer's own host answers from its cache immediately
+            assert a.try_get("pid") == "4711"
+            lass_a.federation.settle()
+            # the CASS holds the forwarded copy
+            assert wait_until(
+                lambda: "pid" in cass.store.contexts() or True
+            )
+            assert cass.store.try_get("pid", context="job") == "4711"
+            # a remote host's miss forwards upstream and caches the answer
+            assert b.try_get("pid") == "4711"
+            assert lass_b.store.try_get("pid", context="job") == "4711"
+            assert lass_b.federation.counters["forwarded_gets"].value >= 1
+            a.close()
+            b.close()
+        finally:
+            lass_a.stop()
+            lass_b.stop()
+
+    def test_remove_forwards_even_on_local_miss(self, transport, cass):
+        lass = make_lass(transport, "hostA", cass.endpoint)
+        try:
+            # seed the CASS directly: the LASS never cached this one
+            direct = make_client(transport, "submit", cass, member="seed")
+            direct.put("orphan", "1")
+            a = make_client(transport, "hostA", lass, member="a")
+            assert a.remove("orphan") is False  # not cached locally
+            lass.federation.settle()
+            with pytest.raises(errors.NoSuchAttributeError):
+                direct.try_get("orphan")
+            a.close()
+            direct.close()
+        finally:
+            lass.stop()
+
+    def test_batch_forwards_writes(self, transport, cass):
+        lass = make_lass(transport, "hostA", cass.endpoint)
+        try:
+            a = make_client(transport, "hostA", lass, member="a")
+            a.put_many([("m.1", "x"), ("m.2", "y")])
+            lass.federation.settle()
+            assert cass.store.try_get("m.1", context="job") == "x"
+            assert cass.store.try_get("m.2", context="job") == "y"
+            a.close()
+        finally:
+            lass.stop()
+
+    def test_ephemeral_rides_upstream_lease(self, transport, cass):
+        """A forwarded ephemeral belongs to the LASS's upstream member, so
+        detaching the writer's context purges it at the CASS too."""
+        lass = make_lass(transport, "hostA", cass.endpoint)
+        try:
+            a = make_client(transport, "hostA", lass, member="a")
+            a.put("beat", "x", ephemeral=True)
+            lass.federation.settle()
+            assert cass.store.try_get("beat", context="job") == "x"
+            a.close()  # detach purges locally; the purge forwards as removes
+            lass.federation.settle()
+            assert wait_until(
+                lambda: not _has(cass.store, "beat", "job")
+            )
+        finally:
+            lass.stop()
+
+    def test_blocking_get_deadline_runs_at_the_cass(self, transport, cass):
+        """The bugfix: the client's deadline rides upstream, the CASS timer
+        bounds the wait — no local LASS timer races it."""
+        lass = make_lass(transport, "hostA", cass.endpoint)
+        try:
+            a = make_client(transport, "hostA", lass, member="a")
+            started = time.monotonic()
+            with pytest.raises(errors.GetTimeoutError):
+                a.get("ghost", timeout=0.4)
+            assert time.monotonic() - started >= 0.3
+            # the waiter was parked upstream, not answered locally
+            assert cass.stats["blocked_gets"].value >= 1
+            assert lass.stats["blocked_gets"].value >= 1
+            a.close()
+        finally:
+            lass.stop()
+
+    def test_blocking_get_satisfied_by_remote_put(self, transport, cass):
+        lass_a = make_lass(transport, "hostA", cass.endpoint)
+        lass_b = make_lass(transport, "hostB", cass.endpoint)
+        try:
+            import threading
+
+            b = make_client(transport, "hostB", lass_b, member="b")
+            result = {}
+
+            def blocked():
+                result["v"] = b.get("late.answer", timeout=10.0)
+
+            t = threading.Thread(target=blocked)
+            t.start()
+            # wait for the forwarded get to park a waiter at the CASS
+            assert wait_until(lambda: cass.store.pending_waiter_count(context="job") > 0)
+            a = make_client(transport, "hostA", lass_a, member="a")
+            a.put("late.answer", "42")
+            t.join(timeout=10.0)
+            assert not t.is_alive()
+            assert result["v"] == "42"
+            # and the answer is now cached on the reader's host
+            assert lass_b.store.try_get("late.answer", context="job") == "42"
+            a.close()
+            b.close()
+        finally:
+            lass_a.stop()
+            lass_b.stop()
+
+    def test_severed_upstream_replays_blocking_get(self, transport, cass):
+        """Second half of the bugfix: an upstream outage shorter than the
+        reconnect deadline re-parks the forwarded get after re-attach
+        instead of surfacing a timeout the client never earned."""
+        import threading
+
+        lass = make_lass(transport, "hostA", cass.endpoint, reconnect=FAST)
+        try:
+            b = make_client(transport, "hostA", lass, member="b")
+            result = {}
+
+            def blocked():
+                result["v"] = b.get("late.answer", timeout=30.0)
+
+            t = threading.Thread(target=blocked)
+            t.start()
+            assert wait_until(lambda: cass.store.pending_waiter_count(context="job") > 0)
+
+            # cut the LASS's upstream session mid-wait
+            upstream = next(iter(lass.federation._sessions.values()))
+            with upstream.client._lock:
+                channel = upstream.client._channel
+            channel.close()
+            # the reconnect replays the pending async get: a waiter parks
+            # again upstream (same lease, deduped by req id)
+            assert wait_until(lambda: cass.store.pending_waiter_count(context="job") > 0)
+
+            direct = make_client(transport, "submit", cass, member="seed")
+            direct.put("late.answer", "42")
+            t.join(timeout=10.0)
+            assert not t.is_alive()
+            assert result.get("v") == "42"
+            direct.close()
+            b.close()
+        finally:
+            lass.stop()
+
+
+def _has(store, attribute, context):
+    try:
+        store.try_get(attribute, context=context)
+    except errors.TdpError:
+        return False
+    return True
+
+
+# -- sharded CASS -------------------------------------------------------------
+
+
+class TestSharding:
+    @pytest.fixture
+    def shards(self, transport):
+        s0 = AttributeSpaceServer(transport, "shard0", role=ServerRole.CASS)
+        s1 = AttributeSpaceServer(transport, "shard1", role=ServerRole.CASS)
+        config = FederationConfig(
+            epoch=1, shards=(str(s0.endpoint), str(s1.endpoint))
+        )
+        # advertise the same map from both shards
+        s0.federation_config = config
+        s1.federation_config = config
+        yield s0, s1
+        s0.stop()
+        s1.stop()
+
+    def test_writes_route_to_owning_shard(self, transport, shards):
+        s0, s1 = shards
+        lass = make_lass(transport, "hostA", s0.endpoint)
+        try:
+            a = make_client(transport, "hostA", lass, member="a")
+            attrs = [f"fam{i}.x" for i in range(8)]
+            for attr in attrs:
+                a.put(attr, "v")
+            lass.federation.settle()
+            m = ShardMap(1, [str(s0.endpoint), str(s1.endpoint)])
+            stores = {0: s0.store, 1: s1.store}
+            owners = set()
+            for attr in attrs:
+                owner = m.owner("job", attr)
+                owners.add(owner)
+                assert stores[owner].try_get(attr, context="job") == "v"
+                assert not _has(stores[1 - owner], attr, "job")
+            # non-vacuity: the family names actually spread across shards
+            assert owners == {0, 1}
+        finally:
+            lass.stop()
+
+    def test_wildcard_subscription_covers_every_shard(self, transport, shards):
+        s0, s1 = shards
+        lass = make_lass(transport, "hostB", s1.endpoint)
+        try:
+            seen = []
+            b = make_client(transport, "hostB", lass, member="b")
+            b.subscribe("*", lambda n, arg: seen.append(n.attribute))
+            lass.federation.settle()
+            assert wait_until(
+                lambda: len(s0.store.subscriptions) == 1
+                and len(s1.store.subscriptions) == 1
+            )
+            assert lass.federation.counters["aggregated_subs"].value == 2
+
+            # a put routed to either shard reaches the one local subscriber
+            writer = make_lass(transport, "hostA", s0.endpoint)
+            try:
+                a = make_client(transport, "hostA", writer, member="a")
+                m = ShardMap(1, [str(s0.endpoint), str(s1.endpoint)])
+                pair = ["fam0.x", next(
+                    f"fam{i}.x" for i in range(1, 16)
+                    if m.owner("job", f"fam{i}.x") != m.owner("job", "fam0.x")
+                )]
+                for attr in pair:
+                    a.put(attr, "v")
+                writer.federation.settle()
+                assert drain(b, lambda: len(seen), 2) == 2
+                assert set(seen) == set(pair)
+                a.close()
+            finally:
+                writer.stop()
+            b.close()
+        finally:
+            lass.stop()
+
+    def test_stale_epoch_rejected(self, transport, shards):
+        s0, _ = shards
+        client = make_client(transport, "submit", s0, member="probe")
+        with pytest.raises(errors.ProtocolError):
+            client.subscribe_agg(
+                "x*", lambda n, arg: None, origin="lass:probe", epoch=99
+            )
+        client.close()
+
+    def test_shardmap_probe(self, transport, shards):
+        s0, s1 = shards
+        client = make_client(transport, "submit", s0, member="probe")
+        epoch, listed = client.shard_map()
+        assert epoch == 1
+        assert listed == [str(s0.endpoint), str(s1.endpoint)]
+        client.close()
+
+
+# -- fan-out economics: CASS egress is O(hosts) -------------------------------
+
+
+class TestFanoutEconomics:
+    def test_cass_egress_one_frame_per_host(self, transport, cass):
+        """K puts from hostA, subscribers on A, B and C: the CASS emits
+        exactly K×(hosts−1) frames — the origin host is suppressed, every
+        other host gets ONE frame per event however many local
+        subscribers it fans to."""
+        SUBS_PER_HOST = 5
+        K = 10
+        lasses = {
+            h: make_lass(transport, h, cass.endpoint)
+            for h in ("hostA", "hostB", "hostC")
+        }
+        clients = []
+        try:
+            sinks = {}
+            for host, lass in lasses.items():
+                for i in range(SUBS_PER_HOST):
+                    c = make_client(
+                        transport, host, lass, member=f"sub{i}@{host}"
+                    )
+                    sink = []
+                    c.subscribe("storm.*", lambda n, arg, s=sink: s.append(n))
+                    clients.append(c)
+                    sinks[(host, i)] = (c, sink)
+                lass.federation.settle()
+            assert wait_until(lambda: len(cass.store.subscriptions) == 3)
+            before = cass.stats["notifications"].value
+
+            writer = make_client(
+                transport, "hostA", lasses["hostA"], member="writer"
+            )
+            clients.append(writer)
+            for k in range(K):
+                writer.put(f"storm.{k}", str(k))
+            lasses["hostA"].federation.settle()
+
+            # every subscriber on every host sees all K events
+            for (host, i), (c, sink) in sinks.items():
+                assert drain(c, lambda s=sink: len(s), K, timeout=10.0) == K
+
+            if not CHAOS:
+                egress = cass.stats["notifications"].value - before
+                assert egress == K * 2  # hostB + hostC; origin suppressed
+                for host in ("hostB", "hostC"):
+                    fed = lasses[host].federation
+                    assert fed.counters["upstream_notifies"].value == K
+                # hostA's fan-out never crossed the wire at all
+                assert (
+                    lasses["hostA"].federation.counters[
+                        "upstream_notifies"
+                    ].value
+                    == 0
+                )
+        finally:
+            for c in clients:
+                c.close()
+            for lass in lasses.values():
+                lass.stop()
+
+
+# -- chaos: a LASS severed mid-storm ------------------------------------------
+
+
+class TestChaos:
+    def test_lass_severed_mid_storm_recovers(self, transport, cass):
+        """Cut the origin LASS's upstream session in the middle of a put
+        storm: the reconnect replays the un-acked forwards, the aggregated
+        subscriptions re-establish from the client ledger, and the system
+        converges — every put lands at the CASS and the remote subscriber
+        is still live afterwards."""
+        K = 30
+        lass_a = make_lass(transport, "hostA", cass.endpoint, reconnect=FAST)
+        lass_b = make_lass(transport, "hostB", cass.endpoint, reconnect=FAST)
+        try:
+            seen = []
+            b = make_client(transport, "hostB", lass_b, member="b")
+            b.subscribe("storm.*", lambda n, arg: seen.append(n.attribute))
+            lass_b.federation.settle()
+            assert wait_until(lambda: len(cass.store.subscriptions) >= 1)
+
+            writer = make_client(transport, "hostA", lass_a, member="writer")
+            for k in range(K):
+                writer.put(f"storm.{k}", str(k))
+                if k == K // 2:
+                    # mid-storm: sever whatever upstream session exists
+                    for upstream in list(
+                        lass_a.federation._sessions.values()
+                    ):
+                        with upstream.client._lock:
+                            channel = upstream.client._channel
+                        channel.close()
+            lass_a.federation.settle(timeout=15.0)
+
+            # convergence: every forwarded write landed upstream
+            for k in range(K):
+                assert wait_until(
+                    lambda k=k: _has(cass.store, f"storm.{k}", "job"),
+                    timeout=10.0,
+                ), f"storm.{k} never reached the CASS"
+
+            # the remote subscriber is still live: a fresh event arrives
+            writer.put("storm.done", "1")
+            lass_a.federation.settle()
+            assert wait_until(
+                lambda: drain(b, lambda: len(seen), len(seen) + 1,
+                              timeout=0.2) > 0 and "storm.done" in seen,
+                timeout=10.0,
+            )
+            assert lass_a.federation.counters["forwards"].value >= K
+            writer.close()
+            b.close()
+        finally:
+            lass_a.stop()
+            lass_b.stop()
+
+
+# -- dial(): the deployment-shaped entry point --------------------------------
+
+
+class TestDial:
+    def test_dial_via_lass_shares_the_host_gateway(self, transport, cass):
+        registry = GatewayRegistry()
+        gateway_kwargs = {"reconnect": FAST} if CHAOS else None
+        try:
+            a1 = dial(
+                transport, "hostA", cass.endpoint, via_lass=True,
+                registry=registry, gateway_kwargs=gateway_kwargs,
+                context="job", member="a1",
+            )
+            a2 = dial(
+                transport, "hostA", cass.endpoint, via_lass=True,
+                registry=registry, gateway_kwargs=gateway_kwargs,
+                context="job", member="a2",
+            )
+            # one gateway per host: both sessions terminate at it
+            assert len(registry._gateways) == 1
+            a1.put("shared", "1")
+            assert a2.get("shared", timeout=5.0) == "1"
+            # direct dial still goes straight upstream
+            direct = dial(
+                transport, "submit", cass.endpoint,
+                context="job", member="probe",
+            )
+            assert direct.get("shared", timeout=5.0) == "1"
+            a1.close()
+            a2.close()
+            direct.close()
+        finally:
+            registry.stop_all()
+
+    def test_lass_publishes_federation_stats(self, transport, cass):
+        lass = make_lass(transport, "hostA", cass.endpoint)
+        try:
+            a = make_client(transport, "hostA", lass, member="a")
+            a.put("x", "1")
+            lass.federation.settle()
+            lass._publish_stats("job")
+            assert int(a.try_get("tdp.stats.federation.forwards")) >= 1
+            a.close()
+        finally:
+            lass.stop()

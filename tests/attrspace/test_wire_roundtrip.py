@@ -98,11 +98,16 @@ def server():
 
 
 def run_full_scenario(transport, srv):
-    """Exercise all eleven request ops plus the notify push."""
+    """Exercise all thirteen request ops plus the notify push."""
     channel = transport.connect("submit", srv.endpoint, timeout=5.0)
     client = AttributeSpaceClient(channel, context="conf", member="probe")
     seen = []
     sub_id = client.subscribe("pid*", lambda n, arg: seen.append(n), None)
+    agg_id = client.subscribe_agg(
+        "agg*", lambda n, arg: None, origin="lass:submit"
+    )
+    epoch, shards = client.shard_map()
+    assert epoch == 0 and shards == []
     client.put("pid", "4711")
     client.put("pid.boot", "1", ephemeral=True)
     assert client.get("pid", timeout=5.0) == "4711"
@@ -123,6 +128,7 @@ def run_full_scenario(transport, srv):
     client.service_events()
     assert seen and seen[0].attribute == "pid"
     assert client.unsubscribe(sub_id) is True
+    assert client.unsubscribe(agg_id) is True
     client.close()  # sends detach
     return seen
 
@@ -228,10 +234,18 @@ SAMPLES = [
     ("batch:get.reply", {"ok": True, "value": "1"}),
     ("batch:remove.request", {"op": "remove", "attribute": "a"}),
     ("batch:remove.reply", {"ok": True, "existed": True}),
+    ("sub_agg.request", {"op": "sub_agg", "req": 12, "context": "c",
+                         "pattern": "pid*", "agg": 3,
+                         "origin": "lass:node1", "epoch": 0}),
+    ("sub_agg.reply", {"reply_to": 12, "ok": True, "sub": 9}),
+    ("shardmap.request", {"op": "shardmap", "req": 13}),
+    ("shardmap.reply", {"reply_to": 13, "ok": True, "epoch": 2,
+                        "shards": ["cass0:7000", "cass1:7000"]}),
     ("notify", {"op": "notify", "sub": 9, "kind": "put", "context": "c",
-                "attribute": "pid", "value": "4711"}),
+                "attribute": "pid", "value": "4711",
+                "origin": "lass:node1"}),
     ("notify", {"op": "notify", "sub": 9, "kind": "remove", "context": "c",
-                "attribute": "pid", "value": None}),
+                "attribute": "pid", "value": None, "origin": None}),
     ("error", {"reply_to": 11, "ok": False, "error_type": "context",
                "error": "no such context"}),
     ("error", {"reply_to": 11, "ok": False,
